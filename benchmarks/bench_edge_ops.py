@@ -1,0 +1,97 @@
+"""Ablation — the anywhere edge-change family (paper refs [7][9][10]).
+
+The vertex-addition paper builds on the series' earlier edge-change
+algorithms: edge additions [9], edge deletions [10], and weight changes
+[7].  This bench compares the anywhere cost of each change type against
+the baseline restart on the same graph, quantifying the asymmetry the
+protocols imply: additions are monotone relax-only (cheap), deletions pay
+an invalidation + re-derivation pass (dearer), and both beat restarting.
+"""
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
+from repro.graph import ChangeBatch, barabasi_albert
+from repro.graph.changes import EdgeAddition, EdgeDeletion, EdgeReweight
+
+COLUMNS = ["change", "modeled_minutes", "rc_steps"]
+
+N_CHANGES = 6
+
+
+def _run(graph, batch, scale):
+    engine = AnytimeAnywhereCloseness(
+        graph,
+        AnytimeConfig(nprocs=scale.nprocs, seed=scale.seed,
+                      collect_snapshots=False),
+    )
+    engine.setup()
+    result = engine.run(changes=ChangeStream({2: batch}), strategy="roundrobin")
+    return result
+
+
+def run_all(scale):
+    graph = barabasi_albert(scale.n_base, scale.m, seed=scale.seed)
+    edges = graph.edge_list()
+    victims = edges[:: max(len(edges) // N_CHANGES, 1)][:N_CHANGES]
+    non_edges = []
+    vs = graph.vertex_list()
+    i = 0
+    while len(non_edges) < N_CHANGES:
+        u, v = vs[i], vs[-1 - i]
+        if u != v and not graph.has_edge(u, v):
+            non_edges.append((u, v))
+        i += 1
+
+    batches = {
+        "edge_additions": ChangeBatch(
+            edge_additions=[EdgeAddition(u, v, 1.0) for u, v in non_edges]
+        ),
+        "weight_decreases": ChangeBatch(
+            edge_reweights=[
+                EdgeReweight(u, v, w / 2.0) for u, v, w in victims
+            ]
+        ),
+        "weight_increases": ChangeBatch(
+            edge_reweights=[
+                EdgeReweight(u, v, w * 3.0) for u, v, w in victims
+            ]
+        ),
+        "edge_deletions": ChangeBatch(
+            edge_deletions=[EdgeDeletion(u, v) for u, v, _w in victims]
+        ),
+    }
+    rows = []
+    for label, batch in batches.items():
+        result = _run(graph, batch, scale)
+        rows.append(
+            {
+                "change": label,
+                "modeled_minutes": result.modeled_minutes,
+                "rc_steps": result.rc_steps,
+            }
+        )
+    # baseline restart for the deletion batch (the dearest anywhere case)
+    engine = AnytimeAnywhereCloseness(
+        graph,
+        AnytimeConfig(nprocs=scale.nprocs, seed=scale.seed,
+                      collect_snapshots=False),
+    )
+    result = engine.run_baseline_restart(
+        ChangeStream({2: batches["edge_deletions"]})
+    )
+    rows.append(
+        {
+            "change": "edge_deletions(baseline restart)",
+            "modeled_minutes": result.modeled_minutes,
+            "rc_steps": result.rc_steps,
+        }
+    )
+    return rows
+
+
+def test_edge_ops_ablation(benchmark, scale, emit):
+    rows = benchmark.pedantic(lambda: run_all(scale), rounds=1, iterations=1)
+    emit("ablation_edge_ops", rows, COLUMNS)
+    by = {r["change"]: r["modeled_minutes"] for r in rows}
+    # monotone relax-only changes are cheaper than invalidating ones
+    assert by["edge_additions"] <= by["edge_deletions"]
+    assert by["weight_decreases"] <= by["weight_increases"]

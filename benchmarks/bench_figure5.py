@@ -1,0 +1,40 @@
+"""Figure 5 — strategy comparison for vertex additions at RC0.
+
+Paper: batches of 500-6000 vertices (on 50,000) injected at RC0;
+RoundRobin-PS and CutEdge-PS win for small batches, Repartition-S wins for
+large batches (the crossover is the paper's headline tradeoff).
+"""
+
+from repro.bench import figure5
+
+COLUMNS = [
+    "batch_size",
+    "strategy",
+    "modeled_minutes",
+    "rc_steps",
+    "new_cut_edges",
+    "wall_seconds",
+]
+
+
+def test_figure5(benchmark, scale, emit):
+    rows = benchmark.pedantic(
+        lambda: figure5(scale), rounds=1, iterations=1
+    )
+    emit("figure5", rows, COLUMNS)
+
+    def minutes(strategy, size):
+        return next(
+            r["modeled_minutes"]
+            for r in rows
+            if r["strategy"] == strategy and r["batch_size"] == size
+        )
+
+    smallest, largest = min(scale.batch_sizes), max(scale.batch_sizes)
+    # small batches: anywhere addition is no worse than repartitioning
+    assert minutes("roundrobin", smallest) <= 1.25 * minutes(
+        "repartition", smallest
+    )
+    # large batches: Repartition-S wins (the crossover exists)
+    assert minutes("repartition", largest) < minutes("roundrobin", largest)
+    assert minutes("repartition", largest) < minutes("cutedge", largest)

@@ -1,0 +1,34 @@
+"""Figure 6 — strategy comparison for vertex additions at RC8 (late stage).
+
+Paper: same sweep as Fig. 5 but injected late in the analysis; the same
+ordering holds (RR/CutEdge for small batches, Repartition-S for large).
+"""
+
+from repro.bench import figure6
+
+COLUMNS = [
+    "batch_size",
+    "strategy",
+    "modeled_minutes",
+    "rc_steps",
+    "new_cut_edges",
+    "wall_seconds",
+]
+
+
+def test_figure6(benchmark, scale, emit):
+    rows = benchmark.pedantic(
+        lambda: figure6(scale), rounds=1, iterations=1
+    )
+    emit("figure6", rows, COLUMNS)
+
+    def minutes(strategy, size):
+        return next(
+            r["modeled_minutes"]
+            for r in rows
+            if r["strategy"] == strategy and r["batch_size"] == size
+        )
+
+    largest = max(scale.batch_sizes)
+    assert minutes("repartition", largest) < minutes("roundrobin", largest)
+    assert minutes("repartition", largest) < minutes("cutedge", largest)

@@ -1,0 +1,31 @@
+"""Figure 7 — new cut edges created by each strategy.
+
+Paper: counting the cut edges among the newly added edges after each
+strategy's placement: Repartition-S < CutEdge-PS < RoundRobin-PS — the
+structural explanation for CutEdge-PS's (modest) runtime advantage.
+"""
+
+from repro.bench import figure5, figure7
+
+COLUMNS = ["batch_size", "strategy", "new_cut_edges"]
+
+
+def test_figure7(benchmark, scale, emit):
+    rows = benchmark.pedantic(
+        lambda: figure7(scale, rows=figure5(scale)), rounds=1, iterations=1
+    )
+    emit("figure7", rows, COLUMNS)
+
+    def cuts(strategy, size):
+        return next(
+            r["new_cut_edges"]
+            for r in rows
+            if r["strategy"] == strategy and r["batch_size"] == size
+        )
+
+    # the paper's ordering must hold for every non-trivial batch size
+    for size in scale.batch_sizes:
+        if size < 16:
+            continue  # tiny batches are noise-dominated
+        assert cuts("repartition", size) <= cuts("cutedge", size), size
+        assert cuts("cutedge", size) <= cuts("roundrobin", size), size

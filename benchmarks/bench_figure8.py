@@ -1,0 +1,42 @@
+"""Figure 8 — incremental vertex additions over 10 RC steps.
+
+Paper: 51/187/383/561 vertices per step for 10 steps (on 50,000 vertices);
+the baseline restarts for every update and is dramatically slower;
+RoundRobin-PS / CutEdge-PS win at low change rates, Repartition-S wins at
+high rates.
+"""
+
+from repro.bench import figure8
+
+COLUMNS = [
+    "per_step",
+    "cumulative",
+    "strategy",
+    "modeled_minutes",
+    "rc_steps",
+    "wall_seconds",
+]
+
+
+def test_figure8(benchmark, scale, emit):
+    rows = benchmark.pedantic(
+        lambda: figure8(scale), rounds=1, iterations=1
+    )
+    emit("figure8", rows, COLUMNS)
+
+    def minutes(strategy, per_step):
+        return next(
+            r["modeled_minutes"]
+            for r in rows
+            if r["strategy"] == strategy and r["per_step"] == per_step
+        )
+
+    lo, hi = min(scale.per_step_sizes), max(scale.per_step_sizes)
+    # baseline restarts dominate everything at every rate
+    for rate in scale.per_step_sizes:
+        assert minutes("baseline", rate) > minutes("roundrobin", rate)
+        assert minutes("baseline", rate) > minutes("repartition", rate)
+    # low rates: continuous anywhere addition beats repeated repartitioning
+    assert minutes("roundrobin", lo) < minutes("repartition", lo)
+    # high rates: Repartition-S takes over
+    assert minutes("repartition", hi) < minutes("roundrobin", hi)

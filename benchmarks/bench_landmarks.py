@@ -1,0 +1,66 @@
+"""Extension — landmark approximation quality/cost (paper ref [22]).
+
+Okamoto et al.'s approximate-then-verify ranking is the practical answer
+to "who are the top actors *right now*" between exact anytime refreshes.
+This bench sweeps the landmark budget and reports rank quality against the
+exact answer plus the wall-time ratio vs. full APSP.
+"""
+
+import time
+
+from repro.centrality import (
+    exact_closeness,
+    landmark_closeness,
+    rank_correlation,
+    rank_vertices,
+    top_k_closeness,
+    top_k_overlap,
+)
+from repro.graph import barabasi_albert
+
+COLUMNS = [
+    "landmarks",
+    "rank_corr",
+    "top10_overlap",
+    "topk_exact_match",
+    "speedup_vs_apsp",
+]
+
+BUDGETS = (4, 8, 16, 32, 64)
+
+
+def run_all(scale):
+    graph = barabasi_albert(scale.n_base, scale.m, seed=scale.seed)
+    t0 = time.perf_counter()
+    exact = exact_closeness(graph)
+    exact_seconds = time.perf_counter() - t0
+    exact_top10 = rank_vertices(exact)[:10]
+    rows = []
+    for budget in BUDGETS:
+        t0 = time.perf_counter()
+        est = landmark_closeness(graph, budget, seed=scale.seed)
+        est_seconds = max(time.perf_counter() - t0, 1e-9)
+        ranked = top_k_closeness(
+            graph, 10, n_landmarks=budget, seed=scale.seed
+        )
+        rows.append(
+            {
+                "landmarks": budget,
+                "rank_corr": rank_correlation(est, exact),
+                "top10_overlap": top_k_overlap(est, exact, 10),
+                "topk_exact_match": [v for v, _c in ranked] == exact_top10,
+                "speedup_vs_apsp": exact_seconds / est_seconds,
+            }
+        )
+    return rows
+
+
+def test_landmark_quality(benchmark, scale, emit):
+    rows = benchmark.pedantic(lambda: run_all(scale), rounds=1, iterations=1)
+    emit("extension_landmarks", rows, COLUMNS)
+    # quality grows with the landmark budget and ends high
+    corrs = [r["rank_corr"] for r in rows]
+    assert corrs[-1] > 0.85
+    assert corrs[-1] >= corrs[0]
+    # the hybrid top-k is exact once the budget is moderate
+    assert rows[-1]["topk_exact_match"]

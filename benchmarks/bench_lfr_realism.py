@@ -1,0 +1,49 @@
+"""Robustness — do the paper's shapes survive on LFR workloads?
+
+The default figure benches use controlled planted-partition batches; this
+bench re-runs the Fig. 5 comparison on LFR benchmark graphs (power-law
+degrees *and* community sizes, realistic mixing) and asserts the same
+qualitative claims: the cut-edge ordering and Repartition-S's win for
+large batches.
+"""
+
+from repro.bench import ScenarioScale, lfr_workload, run_workload
+
+COLUMNS = [
+    "batch",
+    "strategy",
+    "modeled_minutes",
+    "new_cut_edges",
+    "rc_steps",
+]
+
+
+def run_all(scale):
+    rows = []
+    fractions = (0.1, 0.4)
+    for frac in fractions:
+        n_new = max(int(scale.n_base * frac), 8)
+        wl = lfr_workload(
+            scale.n_base, n_new, mu=0.15, seed=scale.seed, inject_step=0
+        )
+        for strat in ("repartition", "cutedge", "roundrobin"):
+            out = run_workload(wl, strat, scale)
+            row = out.as_row()
+            row["batch"] = wl.total_added
+            rows.append(row)
+    return rows
+
+
+def test_lfr_realism(benchmark, scale, emit):
+    rows = benchmark.pedantic(lambda: run_all(scale), rounds=1, iterations=1)
+    emit("robustness_lfr", rows, COLUMNS)
+    largest = max(r["batch"] for r in rows)
+    big = {r["strategy"]: r for r in rows if r["batch"] == largest}
+    # Fig. 7 ordering on realistic structure
+    assert big["repartition"]["new_cut_edges"] <= big["cutedge"]["new_cut_edges"]
+    assert big["cutedge"]["new_cut_edges"] <= big["roundrobin"]["new_cut_edges"]
+    # Fig. 5 large-batch crossover on realistic structure
+    assert (
+        big["repartition"]["modeled_minutes"]
+        < big["roundrobin"]["modeled_minutes"]
+    )

@@ -1,0 +1,53 @@
+"""Ablation — maximum message size S (paper §IV.C).
+
+"The maximum size of a single message exchanged between the processors is
+represented by S ... chosen such that the network remains lightly loaded."
+Small S chunks every boundary-DV payload into many header-paying wire
+messages; large S approaches one-shot transfers.  This sweep quantifies
+the header-amortization curve.
+"""
+
+from dataclasses import replace
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.graph import barabasi_albert
+from repro.model import LogPParams
+
+COLUMNS = ["max_message_kib", "modeled_comm_s", "modeled_total_s"]
+
+SIZES_KIB = (1, 4, 16, 64, 1024)
+
+
+def run_all(scale):
+    graph = barabasi_albert(scale.n_base, scale.m, seed=scale.seed)
+    rows = []
+    for kib in SIZES_KIB:
+        logp = LogPParams(max_message_bytes=kib * 1024)
+        engine = AnytimeAnywhereCloseness(
+            graph,
+            AnytimeConfig(
+                nprocs=scale.nprocs, logp=logp,
+                collect_snapshots=False, seed=scale.seed,
+            ),
+        )
+        engine.setup()
+        engine.run()
+        tracer = engine.cluster.tracer
+        rows.append(
+            {
+                "max_message_kib": kib,
+                "modeled_comm_s": sum(r.modeled_comm for r in tracer.records),
+                "modeled_total_s": tracer.modeled_seconds,
+            }
+        )
+    return rows
+
+
+def test_message_size_ablation(benchmark, scale, emit):
+    rows = benchmark.pedantic(lambda: run_all(scale), rounds=1, iterations=1)
+    emit("ablation_message_size", rows, COLUMNS)
+    comm = [r["modeled_comm_s"] for r in rows]
+    # larger S amortizes headers: comm time is non-increasing in S
+    assert all(b <= a + 1e-12 for a, b in zip(comm, comm[1:]))
+    # and the effect is material between the extremes
+    assert comm[0] > comm[-1]

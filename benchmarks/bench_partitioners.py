@@ -1,0 +1,68 @@
+"""Ablation — DD-phase partitioner choice.
+
+DESIGN.md: "multilevel vs spectral vs BFS-growing vs hashing: cut size,
+balance, and downstream RC cost."  The paper delegates this choice to
+ParMETIS; this ablation quantifies why a cut-minimizing partitioner is the
+right default (boundary-DV traffic scales with the cut).
+"""
+
+import pytest
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.graph import holme_kim
+from repro.partition import (
+    BFSGrowingPartitioner,
+    HashPartitioner,
+    MultilevelPartitioner,
+    RoundRobinPartitioner,
+    SpectralPartitioner,
+    partition_report,
+)
+
+COLUMNS = ["partitioner", "edge_cut", "balance", "pipeline_modeled_s"]
+
+
+def run_all(scale):
+    graph = holme_kim(scale.n_base, scale.m, p_triad=0.7, seed=scale.seed)
+    rows = []
+    for part in (
+        MultilevelPartitioner(seed=scale.seed),
+        SpectralPartitioner(seed=scale.seed),
+        BFSGrowingPartitioner(seed=scale.seed),
+        HashPartitioner(),
+        RoundRobinPartitioner(),
+    ):
+        rep = partition_report(graph, part.partition(graph, scale.nprocs))
+        engine = AnytimeAnywhereCloseness(
+            graph,
+            AnytimeConfig(
+                nprocs=scale.nprocs, partitioner=part,
+                collect_snapshots=False, seed=scale.seed,
+            ),
+        )
+        engine.setup()
+        result = engine.run()
+        rows.append(
+            {
+                "partitioner": part.name,
+                "edge_cut": rep["edge_cut"],
+                "balance": rep["balance"],
+                "pipeline_modeled_s": result.modeled_seconds,
+            }
+        )
+    return rows
+
+
+def test_partitioner_ablation(benchmark, scale, emit):
+    rows = benchmark.pedantic(lambda: run_all(scale), rounds=1, iterations=1)
+    emit("ablation_partitioners", rows, COLUMNS)
+    by_name = {r["partitioner"]: r for r in rows}
+    ml = by_name["MultilevelPartitioner"]
+    # the METIS-style partitioner must beat the structure-oblivious ones on
+    # cut, and that must translate into a faster pipeline
+    for oblivious in ("HashPartitioner", "RoundRobinPartitioner"):
+        assert ml["edge_cut"] < by_name[oblivious]["edge_cut"]
+        assert (
+            ml["pipeline_modeled_s"]
+            < by_name[oblivious]["pipeline_modeled_s"]
+        )

@@ -1,0 +1,88 @@
+"""Robustness — placement quality across many seeds (statistical check).
+
+The Fig. 7 ordering (CutEdge-PS creates fewer new cut edges than
+RoundRobin-PS) should not depend on a lucky seed.  Placement quality can
+be measured *without* running the RC phase — place the batch, extend the
+partition, count cut edges among the new edges — so this bench sweeps
+10 seeds x several batch sizes cheaply and checks the ordering holds in
+aggregate and in (nearly) every instance.
+"""
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.bench import community_workload
+from repro.core.strategies import CutEdgePS, LDGPS, NeighborMajorityPS, RoundRobinPS
+
+COLUMNS = ["strategy", "mean_new_cut_edges", "wins_vs_roundrobin", "runs"]
+
+SEEDS = range(10)
+SIZES = (24, 48, 96)
+
+
+def count_new_cut_edges(batch, cluster, placement):
+    owner = dict(cluster.partition.assignment)
+    owner.update(placement)
+    cut = 0
+    for va in batch.vertex_additions:
+        for t, _w in va.edges:
+            if owner[va.vertex] != owner[t]:
+                cut += 1
+    return cut
+
+
+def run_all(scale):
+    strategies = {
+        "roundrobin": RoundRobinPS,
+        "cutedge": CutEdgePS,
+        "ldg": LDGPS,
+        "neighbormajority": NeighborMajorityPS,
+    }
+    totals = {name: [] for name in strategies}
+    for seed in SEEDS:
+        for size in SIZES:
+            wl = community_workload(
+                scale.n_base, size, seed=seed, inject_step=0
+            )
+            engine = AnytimeAnywhereCloseness(
+                wl.base,
+                AnytimeConfig(
+                    nprocs=scale.nprocs, seed=seed, collect_snapshots=False
+                ),
+            )
+            engine.setup()
+            batch = wl.single_batch()
+            for name, cls in strategies.items():
+                placement = cls().assign(batch, engine.cluster)
+                totals[name].append(
+                    count_new_cut_edges(batch, engine.cluster, placement)
+                )
+    rows = []
+    rr = totals["roundrobin"]
+    for name, vals in totals.items():
+        wins = sum(1 for a, b in zip(vals, rr) if a <= b)
+        rows.append(
+            {
+                "strategy": name,
+                "mean_new_cut_edges": sum(vals) / len(vals),
+                "wins_vs_roundrobin": wins,
+                "runs": len(vals),
+            }
+        )
+    return rows
+
+
+def test_placement_robustness(benchmark, scale, emit):
+    rows = benchmark.pedantic(lambda: run_all(scale), rounds=1, iterations=1)
+    emit("robustness_placement", rows, COLUMNS)
+    by = {r["strategy"]: r for r in rows}
+    n_runs = by["roundrobin"]["runs"]
+    # CutEdge-PS beats RoundRobin-PS in essentially every instance
+    assert by["cutedge"]["wins_vs_roundrobin"] >= 0.9 * n_runs
+    assert (
+        by["cutedge"]["mean_new_cut_edges"]
+        < 0.8 * by["roundrobin"]["mean_new_cut_edges"]
+    )
+    # the locality-aware extensions also dominate round-robin on average
+    assert (
+        by["ldg"]["mean_new_cut_edges"]
+        < by["roundrobin"]["mean_new_cut_edges"]
+    )

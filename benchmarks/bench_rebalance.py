@@ -1,0 +1,71 @@
+"""Ablation — targeted rebalancing vs. unmanaged skew (paper §VI).
+
+A skew-inducing change stream (neighbor-majority placement piles community
+arrivals onto few workers) is run with and without the rebalancer.  The
+rebalanced run must keep per-worker vertex imbalance bounded; the table
+shows the imbalance / modeled-time tradeoff.
+"""
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.bench import incremental_stream
+from repro.core.strategies import (
+    NeighborMajorityPS,
+    RebalancedStrategy,
+    VertexAdditionStrategy,
+)
+
+COLUMNS = [
+    "variant",
+    "vertex_imbalance",
+    "cut_imbalance",
+    "moves",
+    "modeled_minutes",
+]
+
+
+def run_all(scale):
+    wl = incremental_stream(
+        scale.n_base,
+        max(scale.per_step_sizes),
+        scale.incr_steps,
+        n_communities_per_step=1,
+        seed=scale.seed,
+    )
+    rows = []
+    for label, make in (
+        ("neighbormajority", lambda: VertexAdditionStrategy(NeighborMajorityPS())),
+        (
+            "neighbormajority+rebalance",
+            lambda: RebalancedStrategy(
+                VertexAdditionStrategy(NeighborMajorityPS()), threshold=0.10
+            ),
+        ),
+    ):
+        strategy = make()
+        engine = AnytimeAnywhereCloseness(
+            wl.base,
+            AnytimeConfig(
+                nprocs=scale.nprocs, seed=scale.seed, collect_snapshots=False
+            ),
+        )
+        engine.setup()
+        result = engine.run(changes=wl.stream, strategy=strategy)
+        rows.append(
+            {
+                "variant": label,
+                "vertex_imbalance": result.load.vertex_imbalance,
+                "cut_imbalance": result.load.cut_imbalance,
+                "moves": getattr(strategy, "total_moves", 0),
+                "modeled_minutes": result.modeled_minutes,
+            }
+        )
+    return rows
+
+
+def test_rebalance_ablation(benchmark, scale, emit):
+    rows = benchmark.pedantic(lambda: run_all(scale), rounds=1, iterations=1)
+    emit("ablation_rebalance", rows, COLUMNS)
+    plain, balanced = rows
+    assert balanced["vertex_imbalance"] <= plain["vertex_imbalance"] + 1e-9
+    assert balanced["vertex_imbalance"] <= 0.30
+    assert balanced["moves"] > 0

@@ -1,0 +1,47 @@
+"""Shared fixtures for the figure benchmarks.
+
+Scale control: set ``REPRO_BENCH_SCALE=small`` for a quick smoke pass, or
+``REPRO_BENCH_SCALE=paper`` to run the original 50,000-vertex /
+16-processor parameters (hours).  Default is the laptop-scale reduction
+documented in EXPERIMENTS.md.
+
+Each figure benchmark prints the regenerated data series (the same rows
+the paper plots) — run with ``-s`` to see them inline; they are also
+written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import ScenarioScale, format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> ScenarioScale:
+    choice = os.environ.get("REPRO_BENCH_SCALE", "default")
+    if choice == "small":
+        return ScenarioScale.small()
+    if choice == "paper":
+        return ScenarioScale.paper()
+    return ScenarioScale()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a figure's rows and persist them under benchmarks/results/."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, rows, columns=None) -> None:
+        table = format_table(rows, columns)
+        text = f"== {name} ==\n{table}\n"
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+
+    return _emit

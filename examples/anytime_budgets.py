@@ -1,0 +1,59 @@
+"""The anytime property, hands-on: interrupt, inspect, resume.
+
+"The term anytime refers to the ability of the algorithm to provide
+non-trivial solutions when interrupted.  The quality of these solutions
+improves in a monotonically non-decreasing manner" (paper §I).
+
+This example runs the analysis under modeled-time budgets, reading out the
+solution quality at each interruption: resolved distance pairs, closeness
+error against the exact answer, and rank agreement of the top actors —
+then resumes until convergence.
+
+Run:  python examples/anytime_budgets.py
+"""
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.centrality import (
+    closeness_error,
+    exact_closeness,
+    rank_correlation,
+    top_k_overlap,
+)
+from repro.core.snapshots import take_snapshot
+from repro.graph import barabasi_albert
+
+
+def main() -> None:
+    graph = barabasi_albert(800, 3, seed=13)
+    exact = exact_closeness(graph)
+    engine = AnytimeAnywhereCloseness(
+        graph, AnytimeConfig(nprocs=8, seed=13, collect_snapshots=False)
+    )
+    engine.setup()
+
+    print(f"{'budget slice':>14s} {'RC steps':>8s} {'resolved':>9s}"
+          f" {'MAE':>10s} {'rank corr':>9s} {'top-20':>7s}")
+    slice_budget = 0.02  # modeled seconds per interruption window
+    total_steps = 0
+    while True:
+        result = engine.run(budget_modeled_seconds=slice_budget)
+        total_steps += result.rc_steps
+        snap = take_snapshot(engine.cluster, total_steps)
+        err = closeness_error(snap.closeness, exact)
+        corr = rank_correlation(snap.closeness, exact)
+        top = top_k_overlap(snap.closeness, exact, 20)
+        print(f"{slice_budget:13.3f}s {total_steps:8d}"
+              f" {snap.resolved_fraction:8.1%} {err['mae']:10.2e}"
+              f" {corr:9.3f} {top:7.0%}")
+        if result.converged:
+            break
+
+    final_err = max(abs(result.closeness[v] - exact[v]) for v in exact)
+    print(f"\nconverged after {total_steps} steps;"
+          f" final max error = {final_err:.2e}")
+    print("every interrupted read was a valid upper-bound solution —"
+          " that is the anytime guarantee.")
+
+
+if __name__ == "__main__":
+    main()

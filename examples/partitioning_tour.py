@@ -1,0 +1,59 @@
+"""Tour of the partitioning substrate (the library's METIS stand-in).
+
+The DD phase, CutEdge-PS and Repartition-S all depend on a cut-minimizing
+graph partitioner.  This example compares every partitioner in the library
+on a clustered scale-free graph — cut size, balance, and the downstream
+effect on the anytime-anywhere pipeline's modeled runtime — and shows the
+Louvain community detector that builds the experiment workloads.
+
+Run:  python examples/partitioning_tour.py
+"""
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.graph import holme_kim, louvain_communities, modularity
+from repro.partition import (
+    BFSGrowingPartitioner,
+    HashPartitioner,
+    MultilevelPartitioner,
+    RoundRobinPartitioner,
+    SpectralPartitioner,
+    partition_report,
+)
+
+NPROCS = 8
+
+
+def main() -> None:
+    graph = holme_kim(600, 3, p_triad=0.7, seed=3)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    comms = louvain_communities(graph, seed=3)
+    q = modularity(graph, comms)
+    print(f"Louvain: {len(comms)} communities, modularity Q = {q:.3f}\n")
+
+    partitioners = [
+        MultilevelPartitioner(seed=3),
+        SpectralPartitioner(seed=3),
+        BFSGrowingPartitioner(seed=3),
+        HashPartitioner(),
+        RoundRobinPartitioner(),
+    ]
+    print(f"{'partitioner':24s} {'edge cut':>8s} {'balance':>8s}"
+          f" {'pipeline modeled(s)':>20s}")
+    for part in partitioners:
+        rep = partition_report(graph, part.partition(graph, NPROCS))
+        # downstream effect: run the full pipeline with this partitioner
+        cfg = AnytimeConfig(nprocs=NPROCS, partitioner=part, seed=3)
+        engine = AnytimeAnywhereCloseness(graph, cfg)
+        engine.setup()
+        result = engine.run()
+        print(f"{part.name:24s} {rep['edge_cut']:8d}"
+              f" {rep['balance']:8.2f} {result.modeled_seconds:20.4f}")
+
+    print("\nlower cut => less boundary-DV traffic => faster recombination;"
+          "\nthe multilevel (METIS-style) partitioner is the default for a"
+          " reason.")
+
+
+if __name__ == "__main__":
+    main()

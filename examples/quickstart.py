@@ -1,0 +1,51 @@
+"""Quickstart: distributed closeness centrality on a scale-free graph.
+
+Builds a Barabási–Albert graph, runs the three-phase anytime-anywhere
+pipeline (domain decomposition -> initial approximation -> recombination)
+on a simulated 8-processor cluster, validates the result against an exact
+single-machine computation, and shows the anytime quality curve.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.centrality import exact_closeness, rank_vertices
+from repro.graph import barabasi_albert
+
+
+def main() -> None:
+    graph = barabasi_albert(600, 3, seed=42)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges")
+
+    engine = AnytimeAnywhereCloseness(graph, AnytimeConfig(nprocs=8, seed=42))
+    engine.setup()          # DD + IA phases
+    result = engine.run()   # RC phase to convergence
+
+    print(f"converged in {result.rc_steps} RC steps")
+    print(f"modeled cluster time: {result.modeled_seconds * 1e3:.2f} ms "
+          f"(LogP + cost model), wall: {result.wall_seconds:.2f} s")
+
+    # --- validate against the exact reference -------------------------
+    exact = exact_closeness(graph)
+    max_err = max(abs(result.closeness[v] - exact[v]) for v in exact)
+    print(f"max |closeness - exact| = {max_err:.2e}")
+
+    # --- the anytime property ------------------------------------------
+    # every snapshot is a valid set of upper-bound estimates; quality
+    # improves monotonically with each RC step
+    print("\nanytime quality curve (resolved distance pairs per RC step):")
+    for snap in result.snapshots:
+        label = "after IA" if snap.step < 0 else f"after RC{snap.step}"
+        print(f"  {label:10s}  resolved {snap.resolved_fraction:6.1%}"
+              f"  (modeled t = {snap.modeled_seconds * 1e3:7.2f} ms)")
+
+    # --- headline actors ------------------------------------------------
+    top = rank_vertices(result.closeness)[:5]
+    print("\ntop-5 most central vertices:")
+    for v in top:
+        print(f"  vertex {v:4d}  closeness = {result.closeness[v]:.6f}"
+              f"  degree = {graph.degree(v)}")
+
+
+if __name__ == "__main__":
+    main()

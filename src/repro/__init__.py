@@ -1,0 +1,40 @@
+"""repro — anytime anywhere algorithms for vertex additions in large and
+dynamic graphs.
+
+A from-scratch reproduction of Santos, Korah, Murugappan & Subramanian,
+"Efficient Anytime Anywhere Algorithms for Vertex Additions in Large and
+Dynamic Graphs" (IPDPS Workshops 2017): distributed closeness centrality
+on dynamic graphs with anywhere vertex additions, processor-assignment
+strategies (RoundRobin-PS, CutEdge-PS), Repartition-S, and a simulated
+LogP-metered message-passing cluster.
+
+Quick start::
+
+    from repro import AnytimeAnywhereCloseness, AnytimeConfig
+    from repro.graph import barabasi_albert
+
+    engine = AnytimeAnywhereCloseness(
+        barabasi_albert(500, 3, seed=1), AnytimeConfig(nprocs=4)
+    )
+    engine.setup()
+    print(engine.run().closeness)
+"""
+
+from .core.config import AnytimeConfig
+from .core.engine import AnytimeAnywhereCloseness, RunResult
+from .errors import ReproError
+from .graph.changes import ChangeBatch, ChangeStream
+from .graph.graph import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnytimeAnywhereCloseness",
+    "AnytimeConfig",
+    "RunResult",
+    "Graph",
+    "ChangeBatch",
+    "ChangeStream",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""Benchmark harness: workloads, figure scenarios, reporting."""
+
+from .reporting import format_table, pivot, to_markdown
+from .sweep import grid_points, grid_sweep
+from .scenarios import (
+    ScenarioScale,
+    StrategyOutcome,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    run_workload,
+    scaling,
+    strategy_sweep,
+)
+from .workloads import (
+    Workload,
+    community_workload,
+    incremental_stream,
+    lfr_workload,
+    louvain_carved_workload,
+    scale_free_workload,
+    split_sizes,
+)
+
+__all__ = [
+    "ScenarioScale",
+    "StrategyOutcome",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "run_workload",
+    "scaling",
+    "strategy_sweep",
+    "Workload",
+    "scale_free_workload",
+    "community_workload",
+    "louvain_carved_workload",
+    "lfr_workload",
+    "incremental_stream",
+    "split_sizes",
+    "format_table",
+    "to_markdown",
+    "pivot",
+    "grid_sweep",
+    "grid_points",
+]

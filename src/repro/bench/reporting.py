@@ -1,0 +1,79 @@
+"""Result-table formatting for the figure benches and the CLI."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "to_markdown", "pivot"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None
+) -> str:
+    """Render dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = [
+        "  ".join(c.ljust(widths[i]) for i, c in enumerate(cols)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def to_markdown(
+    rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None
+) -> str:
+    """Render dict rows as a GitHub-flavored markdown table."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    out = ["| " + " | ".join(cols) + " |", "|" + "---|" * len(cols)]
+    for r in rows:
+        out.append("| " + " | ".join(_fmt(r.get(c, "")) for c in cols) + " |")
+    return "\n".join(out)
+
+
+def pivot(
+    rows: Sequence[Dict[str, Any]],
+    index: str,
+    columns: str,
+    values: str,
+) -> List[Dict[str, Any]]:
+    """Long-to-wide reshape: one output row per ``index`` value, one column
+    per distinct ``columns`` value, cells from ``values``.
+
+    This turns per-(size, strategy) rows into the per-size series the
+    paper's figures plot.
+    """
+    order: List[Any] = []
+    table: Dict[Any, Dict[str, Any]] = {}
+    col_names: List[str] = []
+    for r in rows:
+        key = r[index]
+        if key not in table:
+            table[key] = {index: key}
+            order.append(key)
+        cname = str(r[columns])
+        if cname not in col_names:
+            col_names.append(cname)
+        table[key][cname] = r[values]
+    return [table[k] for k in order]

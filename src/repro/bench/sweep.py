@@ -1,0 +1,71 @@
+"""Generic parameter-grid sweeps over scenario runners.
+
+Utility used by ablation benches and available to downstream users:
+evaluate a function over the cartesian product of a parameter grid and
+collect one result row per point, with the grid values merged in.
+
+Example::
+
+    rows = grid_sweep(
+        lambda nprocs, seed: {"minutes": run(nprocs, seed)},
+        {"nprocs": [4, 8, 16], "seed": [0, 1]},
+    )
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+__all__ = ["grid_sweep", "grid_points"]
+
+
+def grid_points(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """The cartesian product of a parameter grid as a list of dicts.
+
+    Key order follows the grid's insertion order; the last key varies
+    fastest.
+    """
+    if not grid:
+        return [{}]
+    keys = list(grid)
+    for k in keys:
+        if not isinstance(grid[k], (list, tuple)):
+            raise TypeError(f"grid values must be sequences; {k!r} is not")
+        if len(grid[k]) == 0:
+            raise ValueError(f"grid axis {k!r} is empty")
+    return [
+        dict(zip(keys, combo))
+        for combo in itertools.product(*(grid[k] for k in keys))
+    ]
+
+
+def grid_sweep(
+    fn: Callable[..., Mapping[str, Any]],
+    grid: Mapping[str, Sequence[Any]],
+    *,
+    on_error: str = "raise",
+) -> List[Dict[str, Any]]:
+    """Call ``fn(**point)`` for every grid point; return merged rows.
+
+    Each row contains the grid point's parameters plus whatever mapping
+    ``fn`` returned (function keys win on collision so a runner can
+    override a label).  ``on_error="skip"`` drops failing points instead
+    of propagating; ``"record"`` keeps the point with an ``"error"`` key.
+    """
+    if on_error not in ("raise", "skip", "record"):
+        raise ValueError(f"unknown on_error mode {on_error!r}")
+    rows: List[Dict[str, Any]] = []
+    for point in grid_points(grid):
+        try:
+            result = fn(**point)
+        except Exception as exc:  # noqa: BLE001 - policy-controlled
+            if on_error == "raise":
+                raise
+            if on_error == "record":
+                rows.append({**point, "error": repr(exc)})
+            continue
+        row = dict(point)
+        row.update(result)
+        rows.append(row)
+    return rows

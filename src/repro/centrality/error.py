@@ -1,0 +1,108 @@
+"""Solution-quality metrics for anytime snapshots.
+
+The anytime property guarantees monotonically non-decreasing solution
+quality; these metrics quantify it: distance-level errors against ground
+truth and rank-level agreement of the induced centrality ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..types import VertexId
+
+__all__ = [
+    "distance_error",
+    "closeness_error",
+    "rank_correlation",
+    "top_k_overlap",
+]
+
+
+def distance_error(
+    approx: np.ndarray, exact: np.ndarray
+) -> Dict[str, float]:
+    """Error statistics between two distance matrices of the same shape.
+
+    ``inf`` entries in ``approx`` that are finite in ``exact`` count as
+    *unresolved*; finite-vs-finite entries contribute absolute error.
+    Approximate distances are upper bounds, so negative errors indicate a
+    correctness bug (tests assert ``min_signed >= 0``).
+    """
+    if approx.shape != exact.shape:
+        raise ValueError(f"shape mismatch: {approx.shape} vs {exact.shape}")
+    finite_exact = np.isfinite(exact)
+    finite_both = finite_exact & np.isfinite(approx)
+    unresolved = int((finite_exact & ~np.isfinite(approx)).sum())
+    if finite_both.any():
+        diff = approx[finite_both] - exact[finite_both]
+        mae = float(np.abs(diff).mean())
+        mx = float(np.abs(diff).max())
+        min_signed = float(diff.min())
+    else:
+        mae = mx = 0.0
+        min_signed = 0.0
+    total = int(finite_exact.sum())
+    return {
+        "mae": mae,
+        "max": mx,
+        "min_signed": min_signed,
+        "unresolved": float(unresolved),
+        "unresolved_frac": float(unresolved / total) if total else 0.0,
+    }
+
+
+def closeness_error(
+    approx: Dict[VertexId, float], exact: Dict[VertexId, float]
+) -> Dict[str, float]:
+    """MAE / max error between two closeness maps (shared keys)."""
+    keys = sorted(set(approx) & set(exact))
+    if not keys:
+        return {"mae": 0.0, "max": 0.0}
+    a = np.array([approx[k] for k in keys])
+    e = np.array([exact[k] for k in keys])
+    d = np.abs(a - e)
+    return {"mae": float(d.mean()), "max": float(d.max())}
+
+
+def rank_correlation(
+    approx: Dict[VertexId, float], exact: Dict[VertexId, float]
+) -> float:
+    """Spearman rank correlation of two centrality maps (shared keys)."""
+    keys = sorted(set(approx) & set(exact))
+    n = len(keys)
+    if n < 2:
+        return 1.0
+    a = np.array([approx[k] for k in keys])
+    e = np.array([exact[k] for k in keys])
+
+    def _ranks(x: np.ndarray) -> np.ndarray:
+        order = np.argsort(x)
+        ranks = np.empty(n, dtype=np.float64)
+        ranks[order] = np.arange(n, dtype=np.float64)
+        # average ranks over ties for a proper Spearman
+        for val in np.unique(x):
+            mask = x == val
+            if mask.sum() > 1:
+                ranks[mask] = ranks[mask].mean()
+        return ranks
+
+    ra, re = _ranks(a), _ranks(e)
+    sa, se = ra.std(), re.std()
+    if sa == 0.0 or se == 0.0:
+        return 1.0 if (sa == se) else 0.0
+    return float(np.corrcoef(ra, re)[0, 1])
+
+
+def top_k_overlap(
+    approx: Dict[VertexId, float], exact: Dict[VertexId, float], k: int
+) -> float:
+    """|top-k(approx) ∩ top-k(exact)| / k — headline-actor agreement."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    top = lambda d: {
+        v for v, _ in sorted(d.items(), key=lambda t: (-t[1], t[0]))[:k]
+    }
+    return len(top(approx) & top(exact)) / k

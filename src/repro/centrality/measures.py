@@ -1,0 +1,113 @@
+"""Additional SNA measures derived from the distance-vector substrate.
+
+The anytime-anywhere framework was built as a general SNA engine (the
+paper's §I cites companion work on other centrality measures).  Everything
+that is a function of per-source distance rows comes for free from the
+same DVs the closeness pipeline maintains — and inherits the anytime
+property (each measure computed from upper-bound rows converges
+monotonically):
+
+* **harmonic centrality** — ``sum_u 1/d(v,u)``; robust to disconnection,
+* **eccentricity** — ``max_u d(v,u)`` over reached vertices (and the
+  graph-level **radius** / **diameter**),
+* **degree centrality** — structural, straight from the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..types import VertexId
+from .exact import apsp_dijkstra
+
+__all__ = [
+    "harmonic_from_row",
+    "harmonic_from_matrix",
+    "exact_harmonic",
+    "eccentricity_from_row",
+    "eccentricity_from_matrix",
+    "exact_eccentricity",
+    "radius_diameter",
+    "degree_centrality",
+]
+
+
+def harmonic_from_row(row: np.ndarray, *, self_col: Optional[int] = None) -> float:
+    """Harmonic centrality of one vertex from its distance row."""
+    mask = np.isfinite(row) & (row > 0.0)
+    if self_col is not None:
+        mask = mask.copy()
+        mask[self_col] = False
+    vals = row[mask]
+    if vals.size == 0:
+        return 0.0
+    return float(np.sum(1.0 / vals))
+
+
+def harmonic_from_matrix(
+    dist: np.ndarray, ids: Sequence[VertexId]
+) -> Dict[VertexId, float]:
+    n = len(ids)
+    if dist.shape != (n, n):
+        raise ValueError(f"distance matrix {dist.shape} does not match {n} ids")
+    return {
+        v: harmonic_from_row(dist[i], self_col=i) for i, v in enumerate(ids)
+    }
+
+
+def exact_harmonic(graph: Graph) -> Dict[VertexId, float]:
+    """Ground-truth harmonic centrality."""
+    dist, ids = apsp_dijkstra(graph)
+    return harmonic_from_matrix(dist, ids)
+
+
+def eccentricity_from_row(
+    row: np.ndarray, *, self_col: Optional[int] = None
+) -> float:
+    """Eccentricity over *reached* vertices; 0.0 for an isolated vertex."""
+    finite = np.isfinite(row)
+    if self_col is not None:
+        finite = finite.copy()
+        finite[self_col] = False
+    vals = row[finite]
+    if vals.size == 0:
+        return 0.0
+    return float(vals.max())
+
+
+def eccentricity_from_matrix(
+    dist: np.ndarray, ids: Sequence[VertexId]
+) -> Dict[VertexId, float]:
+    n = len(ids)
+    if dist.shape != (n, n):
+        raise ValueError(f"distance matrix {dist.shape} does not match {n} ids")
+    return {
+        v: eccentricity_from_row(dist[i], self_col=i)
+        for i, v in enumerate(ids)
+    }
+
+
+def exact_eccentricity(graph: Graph) -> Dict[VertexId, float]:
+    dist, ids = apsp_dijkstra(graph)
+    return eccentricity_from_matrix(dist, ids)
+
+
+def radius_diameter(ecc: Dict[VertexId, float]) -> Tuple[float, float]:
+    """Graph radius and diameter from an eccentricity map."""
+    if not ecc:
+        return 0.0, 0.0
+    vals = [e for e in ecc.values() if e > 0.0]
+    if not vals:
+        return 0.0, 0.0
+    return float(min(vals)), float(max(vals))
+
+
+def degree_centrality(graph: Graph) -> Dict[VertexId, float]:
+    """Degree centrality ``deg(v) / (n - 1)`` (1.0 for n <= 1 vertices)."""
+    n = graph.num_vertices
+    if n <= 1:
+        return {v: 0.0 for v in graph.vertices()}
+    return {v: graph.degree(v) / (n - 1) for v in graph.vertices()}

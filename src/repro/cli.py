@@ -1,0 +1,226 @@
+"""Command-line interface: regenerate any figure of the paper.
+
+Examples::
+
+    python -m repro figure5
+    python -m repro figure8 --n-base 800 --nprocs 16
+    python -m repro all --markdown --out results.md
+    python -m repro partition --n 1000 --nparts 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .bench.reporting import format_table, to_markdown
+from .bench.scenarios import (
+    ScenarioScale,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    scaling,
+)
+
+__all__ = ["main", "build_parser"]
+
+_FIG_COLUMNS = {
+    "figure4": ["inject_step", "strategy", "modeled_minutes", "rc_steps",
+                "new_cut_edges", "wall_seconds"],
+    "figure5": ["batch_size", "strategy", "modeled_minutes", "rc_steps",
+                "new_cut_edges", "wall_seconds"],
+    "figure6": ["batch_size", "strategy", "modeled_minutes", "rc_steps",
+                "new_cut_edges", "wall_seconds"],
+    "figure7": ["batch_size", "strategy", "new_cut_edges"],
+    "figure8": ["per_step", "cumulative", "strategy", "modeled_minutes",
+                "rc_steps", "wall_seconds"],
+    "scaling": ["nprocs", "modeled_seconds", "comm_seconds", "comm_fraction",
+                "speedup", "rc_steps"],
+}
+
+_FIGS: Dict[str, Callable[..., List[dict]]] = {
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "scaling": scaling,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the evaluation of 'Efficient Anytime Anywhere"
+            " Algorithms for Vertex Additions in Large and Dynamic Graphs'"
+            " (IPDPS-W 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scale_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--n-base", type=int, default=None,
+                       help="base graph size (default scenario scale)")
+        p.add_argument("--nprocs", type=int, default=None,
+                       help="simulated processors (paper: 16)")
+        p.add_argument("--seed", type=int, default=None)
+        p.add_argument("--small", action="store_true",
+                       help="tiny smoke-test scale")
+        p.add_argument("--verify", action="store_true",
+                       help="validate final results against exact closeness")
+        p.add_argument("--markdown", action="store_true",
+                       help="emit a markdown table instead of plain text")
+        p.add_argument("--out", type=str, default=None,
+                       help="write the table to this file as well")
+
+    for name in list(_FIGS) + ["all"]:
+        p = sub.add_parser(
+            name,
+            help=(
+                "run every figure" if name == "all"
+                else f"regenerate the paper's {name}"
+            ),
+        )
+        add_scale_args(p)
+
+    pp = sub.add_parser("partition", help="partition a random graph and report quality")
+    pp.add_argument("--n", type=int, default=1000)
+    pp.add_argument("--m", type=int, default=3)
+    pp.add_argument("--nparts", type=int, default=8)
+    pp.add_argument("--seed", type=int, default=0)
+
+    tp = sub.add_parser(
+        "trace",
+        help="run a dynamic analysis and print the per-phase time breakdown",
+    )
+    tp.add_argument("--n-base", type=int, default=400)
+    tp.add_argument("--batch", type=int, default=40,
+                    help="vertices added at the injection step")
+    tp.add_argument("--inject-step", type=int, default=2)
+    tp.add_argument("--nprocs", type=int, default=8)
+    tp.add_argument("--strategy", type=str, default="cutedge")
+    tp.add_argument("--seed", type=int, default=7)
+    tp.add_argument("--json", type=str, default=None,
+                    help="also dump the full trace to this JSON file")
+    return parser
+
+
+def _scale_from_args(args: argparse.Namespace) -> ScenarioScale:
+    scale = ScenarioScale.small() if args.small else ScenarioScale()
+    overrides = {}
+    if args.n_base is not None:
+        overrides["n_base"] = args.n_base
+    if args.nprocs is not None:
+        overrides["nprocs"] = args.nprocs
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return replace(scale, **overrides) if overrides else scale
+
+
+def _emit(name: str, rows: List[dict], args: argparse.Namespace) -> str:
+    cols = _FIG_COLUMNS[name]
+    if not args.verify and "max_error" in cols:
+        cols = [c for c in cols if c != "max_error"]
+    table = to_markdown(rows, cols) if args.markdown else format_table(rows, cols)
+    return f"== {name} ==\n{table}\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "partition":
+        from .graph.generators import barabasi_albert
+        from .partition import (
+            BFSGrowingPartitioner,
+            HashPartitioner,
+            MultilevelPartitioner,
+            RoundRobinPartitioner,
+            SpectralPartitioner,
+            partition_report,
+        )
+
+        g = barabasi_albert(args.n, args.m, seed=args.seed)
+        rows = []
+        for part in (
+            MultilevelPartitioner(seed=args.seed),
+            SpectralPartitioner(seed=args.seed),
+            BFSGrowingPartitioner(seed=args.seed),
+            HashPartitioner(),
+            RoundRobinPartitioner(),
+        ):
+            rep = partition_report(g, part.partition(g, args.nparts))
+            rows.append(
+                {
+                    "partitioner": part.name,
+                    "edge_cut": rep["edge_cut"],
+                    "balance": rep["balance"],
+                    "cut_imbalance": rep["cut_imbalance"],
+                }
+            )
+        print(format_table(rows))
+        return 0
+
+    if args.command == "trace":
+        from . import AnytimeAnywhereCloseness, AnytimeConfig
+        from .bench.workloads import community_workload
+
+        workload = community_workload(
+            args.n_base, args.batch, seed=args.seed,
+            inject_step=args.inject_step,
+        )
+        engine = AnytimeAnywhereCloseness(
+            workload.base,
+            AnytimeConfig(nprocs=args.nprocs, seed=args.seed,
+                          collect_snapshots=False),
+        )
+        engine.setup()
+        result = engine.run(changes=workload.stream, strategy=args.strategy)
+        tracer = engine.cluster.tracer
+        rows = [
+            {"phase": name, "modeled_seconds": secs}
+            for name, secs in sorted(
+                tracer.by_phase().items(), key=lambda t: -t[1]
+            )
+        ]
+        print(format_table(rows))
+        print(
+            f"\ntotal modeled {tracer.modeled_seconds:.4f}s over"
+            f" {result.rc_steps} RC steps"
+            f" ({tracer.total_messages} messages,"
+            f" {tracer.total_words:,} words on the wire);"
+            f" wall {tracer.wall_seconds:.2f}s"
+        )
+        if args.json:
+            tracer.save(args.json)
+            print(f"full trace written to {args.json}")
+        return 0
+
+    scale = _scale_from_args(args)
+    names = list(_FIGS) if args.command == "all" else [args.command]
+    output: List[str] = []
+    fig5_rows: Optional[List[dict]] = None
+    for name in names:
+        fn = _FIGS[name]
+        if name == "figure7":
+            # figure 7 derives from a figure-5 sweep; reuse it when `all`
+            # already ran one instead of repeating the experiment
+            rows = fn(scale, rows=fig5_rows)
+        else:
+            rows = fn(scale, verify=args.verify)
+            if name == "figure5":
+                fig5_rows = rows
+        output.append(_emit(name, rows, args))
+    text = "\n".join(output)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,172 @@
+"""Checkpoint / restore for long-running analyses.
+
+An anytime computation is exactly the kind of thing one wants to persist:
+all accumulated refinement lives in the workers' DV matrices, and those
+are plain arrays.  A checkpoint captures
+
+* the global graph, the partition, and the column index,
+* every worker's DV matrix and local APSP,
+* the modeled/wall clocks and the next RC step,
+
+in a single compressed ``.npz``.  Restore rebuilds the cluster around the
+saved partition, re-wires subscriptions, and conservatively queues a full
+boundary refresh (any in-flight rows at save time are thereby recovered;
+re-sending converged rows is harmless, only mildly over-charging the
+modeled clock).  Resuming a converged checkpoint therefore converges
+immediately; resuming a mid-computation checkpoint continues refining.
+
+The engine's *configuration* (cost model, partitioner, schedule) is code,
+not data — pass the same :class:`AnytimeConfig` to :func:`load_checkpoint`
+that produced the checkpoint, or accept the defaults.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..graph.graph import Graph
+from ..graph.views import extract_local_subgraph
+from ..partition.base import Partition
+from ..runtime.cluster import Cluster
+from .config import AnytimeConfig
+from .engine import AnytimeAnywhereCloseness
+
+__all__ = ["save_checkpoint", "load_checkpoint", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+_PathLike = Union[str, Path]
+
+
+def save_checkpoint(engine: AnytimeAnywhereCloseness, path: _PathLike) -> None:
+    """Persist a set-up engine's full computation state to ``path``."""
+    cluster = engine.cluster
+    if cluster is None or cluster.partition is None:
+        raise ConfigurationError("engine must be set up before checkpointing")
+    graph = cluster.graph
+    edges = graph.edge_list()
+    arrays = {
+        "edges_u": np.array([u for u, _v, _w in edges], dtype=np.int64),
+        "edges_v": np.array([v for _u, v, _w in edges], dtype=np.int64),
+        "edges_w": np.array([w for _u, _v, w in edges], dtype=np.float64),
+        "vertices": np.array(graph.vertex_list(), dtype=np.int64),
+        "index_ids": np.array(cluster.index.ids, dtype=np.int64),
+        "part_vertices": np.array(
+            sorted(cluster.partition.assignment), dtype=np.int64
+        ),
+        "part_ranks": np.array(
+            [
+                cluster.partition.assignment[v]
+                for v in sorted(cluster.partition.assignment)
+            ],
+            dtype=np.int64,
+        ),
+    }
+    for w in cluster.workers:
+        arrays[f"dv_{w.rank}"] = w.dv
+        arrays[f"apsp_{w.rank}"] = w.local_apsp
+    meta = {
+        "version": CHECKPOINT_VERSION,
+        "nprocs": cluster.nprocs,
+        "next_step": engine._next_step,
+        "modeled_seconds": cluster.tracer.modeled_seconds,
+        "wall_seconds": cluster.tracer.wall_seconds,
+        "wf_improved": engine.config.wf_improved,
+        "worker_speeds": [w.speed for w in cluster.workers],
+    }
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+
+
+def load_checkpoint(
+    path: _PathLike, config: Optional[AnytimeConfig] = None
+) -> AnytimeAnywhereCloseness:
+    """Rebuild an engine from a checkpoint; ready for :meth:`run`.
+
+    ``config`` supplies the non-data configuration (cost model,
+    partitioners, schedule); its ``nprocs`` must match the checkpoint.
+    """
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta_json"]).decode("utf-8"))
+        if meta.get("version") != CHECKPOINT_VERSION:
+            raise ConfigurationError(
+                f"unsupported checkpoint version {meta.get('version')}"
+            )
+        nprocs = int(meta["nprocs"])
+        speeds = meta.get("worker_speeds")
+        if speeds is not None and all(sp == 1.0 for sp in speeds):
+            speeds = None  # homogeneous: no need to carry the list
+        if config is None:
+            config = AnytimeConfig(
+                nprocs=nprocs,
+                wf_improved=bool(meta["wf_improved"]),
+                worker_speeds=speeds,
+            )
+        if config.nprocs != nprocs:
+            raise ConfigurationError(
+                f"config.nprocs={config.nprocs} does not match the"
+                f" checkpoint's {nprocs}"
+            )
+        graph = Graph()
+        for v in data["vertices"]:
+            graph.add_vertex(int(v))
+        for u, v, w in zip(data["edges_u"], data["edges_v"], data["edges_w"]):
+            graph.add_edge(int(u), int(v), float(w))
+        assignment = {
+            int(v): int(r)
+            for v, r in zip(data["part_vertices"], data["part_ranks"])
+        }
+        index_ids = [int(v) for v in data["index_ids"]]
+        dvs = {r: data[f"dv_{r}"] for r in range(nprocs)}
+        apsps = {r: data[f"apsp_{r}"] for r in range(nprocs)}
+
+    engine = AnytimeAnywhereCloseness(graph, config)
+    cluster = Cluster(
+        graph.copy(),
+        nprocs,
+        cost=config.cost,
+        logp=config.logp,
+        schedule=config.schedule,
+        worker_speeds=config.worker_speeds,
+    )
+    # the engine's graph copy is authoritative; keep cluster.graph == it
+    engine.cluster = cluster
+    cluster.graph = engine.graph
+    # rebuild the column index in the saved order
+    cluster.index.ids = []
+    cluster.index.col = {}
+    cluster.index.add_many(index_ids)
+    part = Partition(nprocs, assignment)
+    part.validate_against(engine.graph)
+    cluster.partition = part
+    blocks = part.blocks()
+    for r in range(nprocs):
+        sub = extract_local_subgraph(engine.graph, blocks[r], assignment, r)
+        w = cluster.workers[r]
+        w.load_subgraph(sub)
+        dv = dvs[r]
+        if dv.shape != w.dv.shape:
+            raise ConfigurationError(
+                f"checkpoint DV shape {dv.shape} does not match rebuilt"
+                f" worker {r} shape {w.dv.shape}"
+            )
+        w.dv = dv.copy()
+        w.local_apsp = apsps[r].copy()
+        w.take_compute_seconds()
+    cluster._wire_subscriptions()
+    # conservative refresh: recover any in-flight state at save time
+    for w in cluster.workers:
+        w.queue_all_boundary_rows()
+        w.request_full_repropagate()
+    cluster.tracer.modeled_seconds = float(meta["modeled_seconds"])
+    cluster.tracer.wall_seconds = float(meta["wall_seconds"])
+    engine._next_step = int(meta["next_step"])
+    return engine

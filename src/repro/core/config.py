@@ -1,0 +1,86 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..model.cost import DEFAULT_COST, CostModel
+from ..model.logp import DEFAULT_LOGP, LogPParams
+from ..model.schedules import CommSchedule, SequentialAllToAll
+from ..partition.base import Partitioner
+from ..partition.multilevel import MultilevelPartitioner
+
+__all__ = ["AnytimeConfig"]
+
+
+@dataclass
+class AnytimeConfig:
+    """Configuration for :class:`~repro.core.engine.AnytimeAnywhereCloseness`.
+
+    Attributes
+    ----------
+    nprocs:
+        Number of simulated processors (the paper uses 16).
+    partitioner:
+        Cut-minimizing partitioner for the DD phase (and Repartition-S);
+        defaults to the multilevel METIS-style partitioner.
+    cutedge_partitioner:
+        Serial partitioner CutEdge-PS applies to the new-vertex graph;
+        defaults to a fresh multilevel partitioner (the paper uses serial
+        METIS here).
+    cost / logp / schedule:
+        Performance models (see :mod:`repro.model`).
+    max_rc_steps:
+        Safety bound on recombination steps before
+        :class:`~repro.errors.ConvergenceError` is raised.
+    repartition_threshold:
+        Fraction of |V| above which the adaptive strategy switches from
+        anywhere vertex addition to Repartition-S.
+    wf_improved:
+        Use Wasserman–Faust-scaled closeness in snapshots/results.
+    collect_snapshots:
+        Record an anytime snapshot after every RC step.
+    seed:
+        Seed for partitioner randomness when defaults are constructed.
+    """
+
+    nprocs: int = 16
+    partitioner: Optional[Partitioner] = None
+    cutedge_partitioner: Optional[Partitioner] = None
+    cost: CostModel = DEFAULT_COST
+    logp: LogPParams = DEFAULT_LOGP
+    schedule: Optional[CommSchedule] = None
+    max_rc_steps: int = 10_000
+    repartition_threshold: float = 0.05
+    wf_improved: bool = False
+    collect_snapshots: bool = True
+    seed: int = 0
+    #: relative processor speeds for heterogeneous clusters (len == nprocs);
+    #: None = homogeneous.  Pair with a MultilevelPartitioner whose
+    #: target_weights match for speed-proportional blocks.
+    worker_speeds: Optional[list] = None
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1:
+            raise ConfigurationError(f"nprocs must be >= 1, got {self.nprocs}")
+        if self.max_rc_steps < 1:
+            raise ConfigurationError("max_rc_steps must be >= 1")
+        if not 0.0 <= self.repartition_threshold <= 1.0:
+            raise ConfigurationError(
+                "repartition_threshold must be a fraction in [0, 1]"
+            )
+        if self.worker_speeds is not None:
+            if len(self.worker_speeds) != self.nprocs:
+                raise ConfigurationError(
+                    "worker_speeds must have one entry per processor"
+                )
+            if any(sp <= 0 for sp in self.worker_speeds):
+                raise ConfigurationError("worker speeds must be positive")
+        if self.partitioner is None:
+            self.partitioner = MultilevelPartitioner(seed=self.seed)
+        if self.cutedge_partitioner is None:
+            self.cutedge_partitioner = MultilevelPartitioner(seed=self.seed + 1)
+        if self.schedule is None:
+            self.schedule = SequentialAllToAll()

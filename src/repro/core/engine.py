@@ -1,0 +1,352 @@
+"""Public facade: the anytime-anywhere closeness centrality engine.
+
+Typical use::
+
+    from repro import AnytimeAnywhereCloseness, AnytimeConfig
+    from repro.graph import barabasi_albert
+
+    g = barabasi_albert(1000, 3, seed=7)
+    engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=8))
+    engine.setup()                       # DD + IA
+    result = engine.run()                # RC to convergence
+    result.closeness[42]                 # exact closeness of vertex 42
+
+Dynamic analysis schedules change batches at RC steps::
+
+    result = engine.run(changes=stream, strategy="cutedge")
+
+Strategy names: ``"roundrobin"``, ``"cutedge"``, ``"leastloaded"``,
+``"neighbormajority"`` (anywhere vertex addition with the corresponding
+placement), ``"repartition"`` (Repartition-S), ``"adaptive"``
+(threshold-switched), or any :class:`DynamicStrategy` instance.
+``run_baseline_restart`` provides the paper's restart-from-scratch
+comparison point.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..graph.changes import ChangeBatch, ChangeStream
+from ..graph.graph import Graph
+from ..runtime.cluster import Cluster
+from ..runtime.metrics import LoadSnapshot, snapshot_load
+from ..types import VertexId
+from .config import AnytimeConfig
+from .recombination import run_recombination
+from .snapshots import AnytimeSnapshot, take_snapshot
+from .strategies import (
+    AdaptiveStrategy,
+    CompositeStrategy,
+    CutEdgePS,
+    DynamicStrategy,
+    LeastLoadedPS,
+    NeighborMajorityPS,
+    RepartitionStrategy,
+    RoundRobinPS,
+    VertexAdditionStrategy,
+)
+
+logger = logging.getLogger("repro.engine")
+
+__all__ = ["AnytimeAnywhereCloseness", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a (possibly dynamic) closeness computation."""
+
+    closeness: Dict[VertexId, float]
+    rc_steps: int
+    modeled_seconds: float
+    wall_seconds: float
+    snapshots: List[AnytimeSnapshot] = field(default_factory=list)
+    load: Optional[LoadSnapshot] = None
+    restarts: int = 0
+    #: False when the run was interrupted by an anytime budget before
+    #: reaching a fixed point (results are still valid upper bounds)
+    converged: bool = True
+
+    @property
+    def modeled_minutes(self) -> float:
+        """The paper reports minutes; convenience accessor."""
+        return self.modeled_seconds / 60.0
+
+
+class AnytimeAnywhereCloseness:
+    """Anytime-anywhere distributed closeness centrality (the paper)."""
+
+    def __init__(
+        self, graph: Graph, config: Optional[AnytimeConfig] = None
+    ) -> None:
+        self.graph = graph.copy()
+        self.config = config or AnytimeConfig()
+        self.cluster: Optional[Cluster] = None
+        self.snapshots: List[AnytimeSnapshot] = []
+        #: per-RC-step load snapshots (populated when collecting snapshots)
+        self.load_history: List[LoadSnapshot] = []
+        self._next_step = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        """DD + IA: partition the graph and compute local approximations."""
+        cfg = self.config
+        self.cluster = Cluster(
+            self.graph,
+            cfg.nprocs,
+            cost=cfg.cost,
+            logp=cfg.logp,
+            schedule=cfg.schedule,
+            worker_speeds=cfg.worker_speeds,
+        )
+        self.cluster.decompose(cfg.partitioner)
+        self.cluster.run_initial_approximation()
+        logger.debug(
+            "setup complete: n=%d, P=%d, modeled=%.4fs",
+            self.graph.num_vertices, cfg.nprocs,
+            self.cluster.tracer.modeled_seconds,
+        )
+        self.snapshots = []
+        self.load_history = [snapshot_load(self.cluster)]
+        self._next_step = 0
+        if cfg.collect_snapshots:
+            self.snapshots.append(
+                take_snapshot(self.cluster, -1, wf_improved=cfg.wf_improved)
+            )
+
+    def _require_cluster(self) -> Cluster:
+        if self.cluster is None:
+            raise ConfigurationError("call setup() before running")
+        return self.cluster
+
+    # ------------------------------------------------------------------
+    # strategy resolution
+    # ------------------------------------------------------------------
+    def resolve_strategy(
+        self, strategy: Union[str, DynamicStrategy, None]
+    ) -> Optional[DynamicStrategy]:
+        if strategy is None or isinstance(strategy, DynamicStrategy):
+            return strategy
+        cfg = self.config
+        from .strategies import LDGPS
+
+        placements = {
+            "roundrobin": RoundRobinPS,
+            "leastloaded": LeastLoadedPS,
+            "neighbormajority": NeighborMajorityPS,
+            "ldg": LDGPS,
+        }
+        if strategy in placements:
+            return CompositeStrategy(
+                VertexAdditionStrategy(placements[strategy]())
+            )
+        if strategy == "cutedge":
+            return CompositeStrategy(
+                VertexAdditionStrategy(CutEdgePS(cfg.cutedge_partitioner))
+            )
+        if strategy == "repartition":
+            return RepartitionStrategy(cfg.partitioner)
+        if strategy == "adaptive":
+            # composite wrapper so deletion events route to the deletion
+            # strategies while the adaptive chooser handles additions
+            return CompositeStrategy(
+                AdaptiveStrategy(
+                    CutEdgePS(cfg.cutedge_partitioner),
+                    RepartitionStrategy(cfg.partitioner),
+                    threshold=cfg.repartition_threshold,
+                )
+            )
+        raise ConfigurationError(f"unknown strategy {strategy!r}")
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        changes: Optional[ChangeStream] = None,
+        strategy: Union[str, DynamicStrategy, None] = "roundrobin",
+        budget_modeled_seconds: Optional[float] = None,
+    ) -> RunResult:
+        """Run the RC phase to convergence, absorbing ``changes``.
+
+        May be called repeatedly: later calls resume at the next RC step
+        (``changes`` steps are absolute across calls).
+
+        ``budget_modeled_seconds`` exercises the *anytime* property: the
+        loop stops once the modeled clock advances by the budget, and the
+        result carries ``converged=False`` with valid upper-bound
+        estimates; call :meth:`run` again to continue refining.
+        """
+        cluster = self._require_cluster()
+        cfg = self.config
+        dyn = self.resolve_strategy(strategy) if changes else None
+
+        def observer(step: int) -> None:
+            if cfg.collect_snapshots:
+                self.snapshots.append(
+                    take_snapshot(cluster, step, wf_improved=cfg.wf_improved)
+                )
+                self.load_history.append(snapshot_load(cluster))
+
+        steps = run_recombination(
+            cluster,
+            strategy=dyn,
+            changes=changes,
+            max_steps=cfg.max_rc_steps,
+            on_step=observer,
+            start_step=self._next_step,
+            budget_modeled_seconds=budget_modeled_seconds,
+        )
+        self._next_step += steps
+        pending_changes = bool(changes) and changes.last_step >= self._next_step
+        logger.debug(
+            "run finished: steps=%d, modeled=%.4fs, pending_changes=%s",
+            steps, cluster.tracer.modeled_seconds, pending_changes,
+        )
+        return RunResult(
+            closeness=self.current_closeness(),
+            rc_steps=steps,
+            modeled_seconds=cluster.tracer.modeled_seconds,
+            wall_seconds=cluster.tracer.wall_seconds,
+            snapshots=list(self.snapshots),
+            load=snapshot_load(cluster),
+            converged=cluster.converged_vote() and not pending_changes,
+        )
+
+    def run_baseline_restart(
+        self, changes: Optional[ChangeStream] = None
+    ) -> RunResult:
+        """The paper's Baseline Restart: recompute from scratch per batch.
+
+        The analysis proceeds step by step; whenever a batch is scheduled,
+        the entire computation restarts on the updated graph (no partial
+        results are reused).  Modeled time accumulates across the wasted
+        work, which is exactly the cost the anytime property avoids.
+        """
+        cfg = self.config
+        total_modeled = 0.0
+        total_wall = 0.0
+        restarts = 0
+        schedule: List[Tuple[int, ChangeBatch]] = list(changes) if changes else []
+        self.setup()
+        cluster = self._require_cluster()
+        # the original analysis progresses until the first change arrives
+        if schedule:
+            first_step, _ = schedule[0]
+            for s in range(first_step):
+                if not cluster.any_pending():
+                    break
+                cluster.tracer.begin("rc_step", s)
+                cluster.exchange_boundary()
+                cluster.relax_and_propagate()
+                cluster.tracer.end()
+        steps = 0
+        for i, (_sched_step, batch) in enumerate(schedule):
+            # restart: all partial results are thrown away, and — unlike the
+            # anywhere strategies — the recomputation must run to completion
+            # to yield up-to-date results for this change (the paper's
+            # baseline "restarts the computation from scratch for every
+            # change"); with frequent updates these full reruns pile up
+            total_modeled += cluster.tracer.modeled_seconds
+            total_wall += cluster.tracer.wall_seconds
+            restarts += 1
+            batch.apply_to(self.graph)
+            self.setup()
+            cluster = self._require_cluster()
+            steps = run_recombination(
+                cluster, max_steps=cfg.max_rc_steps, start_step=0
+            )
+        if not schedule:
+            steps = run_recombination(
+                cluster, max_steps=cfg.max_rc_steps, start_step=0
+            )
+        self._next_step = steps
+        return RunResult(
+            closeness=self.current_closeness(),
+            rc_steps=steps,
+            modeled_seconds=total_modeled + cluster.tracer.modeled_seconds,
+            wall_seconds=total_wall + cluster.tracer.wall_seconds,
+            snapshots=list(self.snapshots),
+            load=snapshot_load(cluster),
+            restarts=restarts,
+        )
+
+    # ------------------------------------------------------------------
+    # fault tolerance (paper §VI future work)
+    # ------------------------------------------------------------------
+    def crash_worker(self, rank: int) -> None:
+        """Simulate a worker crash with immediate warm recovery.
+
+        The worker loses all derived state (DVs, local APSP, received
+        rows); the graph is durable input.  Recovery re-ships the
+        sub-graph, reruns the local IA, and re-wires boundary-DV
+        subscriptions; a subsequent :meth:`run` re-converges to the exact
+        answer.  All recovery costs land on the modeled clock.
+        """
+        from ..runtime.faults import crash_and_recover
+
+        crash_and_recover(self._require_cluster(), rank)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def current_closeness(self) -> Dict[VertexId, float]:
+        """Closeness estimates from the current DVs (anytime read)."""
+        cluster = self._require_cluster()
+        snap = take_snapshot(cluster, -1, wf_improved=self.config.wf_improved)
+        return snap.closeness
+
+    def current_measure(self, measure: str = "closeness") -> Dict[VertexId, float]:
+        """Any row-derived SNA measure from the current DVs (anytime read).
+
+        ``measure`` is one of ``"closeness"``, ``"harmonic"``,
+        ``"eccentricity"``, ``"degree"``.  All but degree are computed from
+        the same distance vectors the pipeline refines, so interrupted
+        reads are valid anytime estimates.
+        """
+        from ..centrality.closeness import closeness_from_row
+        from ..centrality.measures import (
+            degree_centrality,
+            eccentricity_from_row,
+            harmonic_from_row,
+        )
+
+        cluster = self._require_cluster()
+        if measure == "degree":
+            return degree_centrality(cluster.graph)
+        row_fns = {
+            "closeness": lambda row, c: closeness_from_row(
+                row, self_col=c, wf_improved=self.config.wf_improved
+            ),
+            "harmonic": lambda row, c: harmonic_from_row(row, self_col=c),
+            "eccentricity": lambda row, c: eccentricity_from_row(
+                row, self_col=c
+            ),
+        }
+        fn = row_fns.get(measure)
+        if fn is None:
+            raise ConfigurationError(
+                f"unknown measure {measure!r}; choose from"
+                f" {sorted(row_fns) + ['degree']}"
+            )
+        out: Dict[VertexId, float] = {}
+        for w in cluster.workers:
+            for v in w.owned:
+                out[v] = fn(w.dv[w.row_of[v]], cluster.index.column(v))
+        return out
+
+    def distances(self) -> Tuple[np.ndarray, List[VertexId]]:
+        """The assembled distance matrix (modeled as a gather to rank 0)."""
+        return self._require_cluster().gather_distance_matrix()
+
+    @property
+    def modeled_seconds(self) -> float:
+        return self._require_cluster().tracer.modeled_seconds

@@ -1,0 +1,93 @@
+"""The recombination (RC) loop — paper Fig. 1.
+
+Each RC step:
+
+1. **exchange** — personalized all-to-all delivery of queued boundary-DV
+   rows (lines 9-15),
+2. **refine** — cut-edge relaxation against fresh external rows, then the
+   local min-plus (Floyd–Warshall-style) propagation (line 17's static
+   refinement strategy),
+3. **dynamic changes** — if the change stream schedules a batch at this
+   step, the configured dynamic strategy incorporates it (line 16-17),
+
+repeated "until no more updates in any processor" (line 18) and no further
+changes are scheduled.  For a static graph this terminates within P-1
+steps (the longest processor chain), which tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..errors import ConvergenceError
+from ..graph.changes import ChangeStream
+from .strategies.base import DynamicStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.cluster import Cluster
+
+__all__ = ["run_recombination"]
+
+
+def run_recombination(
+    cluster: "Cluster",
+    *,
+    strategy: Optional[DynamicStrategy] = None,
+    changes: Optional[ChangeStream] = None,
+    max_steps: int = 10_000,
+    on_step: Optional[Callable[[int], None]] = None,
+    start_step: int = 0,
+    budget_modeled_seconds: Optional[float] = None,
+) -> int:
+    """Run RC steps until convergence; returns the number of steps run.
+
+    Parameters
+    ----------
+    strategy:
+        Dynamic strategy applied to scheduled change batches.  Required if
+        ``changes`` is non-empty.
+    changes:
+        Batches keyed by RC step (0-based, absolute — ``start_step`` lets a
+        caller resume an interrupted loop without re-applying old batches).
+    max_steps:
+        Safety bound; exceeding it raises :class:`ConvergenceError`.
+    on_step:
+        Observer called after each completed step (snapshots).
+    budget_modeled_seconds:
+        Anytime interruption: stop (without error) once the modeled clock
+        has advanced by this much since entry, even if not yet converged.
+        The partial results remain valid upper bounds.
+    """
+    if changes and changes.last_step >= start_step and strategy is None:
+        raise ValueError("a dynamic strategy is required to apply changes")
+    clock_start = cluster.tracer.modeled_seconds
+    step = start_step
+    steps_run = 0
+    while steps_run < max_steps:
+        # budget first: it is checked against the clock *before* the
+        # convergence vote charges its all-reduce, so a fresh call always
+        # starts at zero elapsed and is guaranteed to make progress
+        # (unless the budget itself is zero)
+        if (
+            budget_modeled_seconds is not None
+            and cluster.tracer.modeled_seconds - clock_start
+            >= budget_modeled_seconds
+        ):
+            return steps_run  # interrupted: anytime result stands
+        batch = changes.at_step(step) if changes else None
+        future_changes = bool(changes) and changes.last_step > step
+        if batch is None and not future_changes and not cluster.any_pending():
+            return steps_run
+        cluster.tracer.begin("rc_step", step)
+        cluster.exchange_boundary()
+        cluster.relax_and_propagate()
+        if batch is not None:
+            strategy.apply(cluster, batch, step)  # type: ignore[union-attr]
+        cluster.tracer.end()
+        if on_step is not None:
+            on_step(step)
+        step += 1
+        steps_run += 1
+    raise ConvergenceError(
+        f"recombination did not converge within {max_steps} steps"
+    )

@@ -1,0 +1,100 @@
+"""Constraint-driven strategy selection (paper Fig. 1 line 16).
+
+The paper's RC template "chooses recombination strategy(ies) based on the
+constraints".  Two composites implement that choice:
+
+* :class:`AdaptiveStrategy` — the headline insight of the evaluation:
+  small batches go through the anywhere vertex-addition strategy, batches
+  larger than a threshold fraction of |V| go through Repartition-S.
+* :class:`CompositeStrategy` — routes a *mixed* batch to the appropriate
+  specialized strategies (additions, edge deletions/reweights, vertex
+  deletions) in a safe order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ...graph.changes import ChangeBatch
+from .base import DynamicStrategy, ProcessorAssignmentStrategy
+from .edge_deletion import EdgeDeletionStrategy
+from .repartition import RepartitionStrategy
+from .vertex_addition import VertexAdditionStrategy
+from .vertex_deletion import VertexDeletionStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...runtime.cluster import Cluster
+
+__all__ = ["AdaptiveStrategy", "CompositeStrategy"]
+
+
+class AdaptiveStrategy(DynamicStrategy):
+    """Switch between anywhere addition and Repartition-S by batch size."""
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        placement: ProcessorAssignmentStrategy,
+        repartition: Optional[RepartitionStrategy] = None,
+        *,
+        threshold: float = 0.05,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be a fraction of |V| in [0, 1]")
+        self.addition = VertexAdditionStrategy(placement)
+        self.repartition = repartition or RepartitionStrategy()
+        self.threshold = threshold
+        self.last_choice: Optional[str] = None
+
+    def apply(self, cluster: "Cluster", batch: ChangeBatch, step: int) -> None:
+        k = len(batch.vertex_additions)
+        n = max(cluster.graph.num_vertices, 1)
+        if k > self.threshold * n:
+            self.last_choice = self.repartition.name
+            self.repartition.apply(cluster, batch, step)
+        else:
+            self.last_choice = self.addition.name
+            self.addition.apply(cluster, batch, step)
+
+
+class CompositeStrategy(DynamicStrategy):
+    """Route mixed change batches to the specialized strategies.
+
+    Application order: additions first (they can only tighten bounds),
+    then edge deletions/reweights, then vertex deletions (both of which
+    run invalidation passes that see the post-addition state).
+    """
+
+    name = "composite"
+
+    def __init__(self, addition: DynamicStrategy) -> None:
+        self.addition = addition
+        self.edge_deletion = EdgeDeletionStrategy()
+        self.vertex_deletion = VertexDeletionStrategy()
+
+    def apply(self, cluster: "Cluster", batch: ChangeBatch, step: int) -> None:
+        if batch.vertex_additions or batch.edge_additions:
+            self.addition.apply(
+                cluster,
+                ChangeBatch(
+                    vertex_additions=batch.vertex_additions,
+                    edge_additions=batch.edge_additions,
+                ),
+                step,
+            )
+        if batch.edge_deletions or batch.edge_reweights:
+            self.edge_deletion.apply(
+                cluster,
+                ChangeBatch(
+                    edge_deletions=batch.edge_deletions,
+                    edge_reweights=batch.edge_reweights,
+                ),
+                step,
+            )
+        if batch.vertex_deletions:
+            self.vertex_deletion.apply(
+                cluster,
+                ChangeBatch(vertex_deletions=batch.vertex_deletions),
+                step,
+            )

@@ -1,0 +1,225 @@
+"""Processor assignment strategies for new vertices (§IV.C.1.a).
+
+* :class:`RoundRobinPS` — deal new vertices to processors cyclically;
+  O(k), edge-oblivious.  The rotation offset persists across batches so
+  repeated small batches stay globally balanced.
+* :class:`CutEdgePS` — treat the batch's new vertices + the edges *among
+  them* as an independent graph, partition it with a cut-minimizing serial
+  partitioner (the paper uses METIS), then map parts to processors so that
+  attachment edges back to the existing graph are co-located where
+  possible.
+* :class:`LeastLoadedPS` — extension: always place on the currently
+  lightest processor (greedy vertex balance, edge-oblivious).
+* :class:`NeighborMajorityPS` — extension: place each new vertex with the
+  processor owning most of its already-placed neighbors (a streaming
+  label-propagation placement in the spirit of Vaquero et al.).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from ...graph.changes import ChangeBatch
+from ...partition.base import Partitioner
+from ...partition.multilevel import MultilevelPartitioner
+from ...types import Rank, VertexId
+from .base import ProcessorAssignmentStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...runtime.cluster import Cluster
+
+__all__ = [
+    "RoundRobinPS",
+    "CutEdgePS",
+    "LeastLoadedPS",
+    "LDGPS",
+    "NeighborMajorityPS",
+]
+
+
+class RoundRobinPS(ProcessorAssignmentStrategy):
+    """Cyclic placement — the paper's RoundRobin-PS."""
+
+    name = "roundrobin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def assign(self, batch: ChangeBatch, cluster: "Cluster") -> Dict[VertexId, Rank]:
+        out: Dict[VertexId, Rank] = {}
+        for v in sorted(batch.new_vertex_ids()):
+            out[v] = self._next
+            self._next = (self._next + 1) % cluster.nprocs
+        # O(k) placement cost on the coordinating processor
+        cluster.charge_serial_compute(cluster.cost.vertex_time(len(out)))
+        return out
+
+
+class CutEdgePS(ProcessorAssignmentStrategy):
+    """Cut-edge-optimizing placement — the paper's CutEdge-PS.
+
+    The new vertices and intra-batch edges form an independent graph that
+    a serial cut-minimizing partitioner splits into ``nprocs`` parts
+    (existing vertices are never migrated, per the paper).  Parts are then
+    mapped to ranks greedily so parts with many attachment edges to a
+    rank's existing vertices land on that rank.
+    """
+
+    name = "cutedge"
+
+    def __init__(self, partitioner: Optional[Partitioner] = None) -> None:
+        self.partitioner = partitioner or MultilevelPartitioner(seed=1)
+
+    def assign(self, batch: ChangeBatch, cluster: "Cluster") -> Dict[VertexId, Rank]:
+        new_graph = batch.new_vertex_graph()
+        k = new_graph.num_vertices
+        if k == 0:
+            return {}
+        part = self.partitioner.partition(new_graph, cluster.nprocs)
+        # serial METIS runs on every processor concurrently in the paper;
+        # the modeled cost is therefore one serial partitioning
+        cluster.charge_serial_compute(
+            cluster.cost.partition_time(
+                k, 2 * new_graph.num_edges, cluster.nprocs
+            )
+        )
+        blocks = part.blocks()
+        # affinity[p][r]: attachment edges from part p to vertices on rank r
+        owner = cluster.partition.assignment if cluster.partition else {}
+        part_of = part.assignment
+        affinity = np.zeros((cluster.nprocs, cluster.nprocs), dtype=np.int64)
+        n_attach = 0
+        for va in batch.vertex_additions:
+            p = part_of[va.vertex]
+            for t, _w in va.edges:
+                r = owner.get(t)
+                if r is not None:
+                    affinity[p, r] += 1
+                    n_attach += 1
+        cluster.charge_serial_compute(cluster.cost.scan_time(n_attach))
+        # greedy one-to-one mapping: biggest parts pick their best rank first
+        order = sorted(range(cluster.nprocs), key=lambda p: -len(blocks[p]))
+        taken: set[Rank] = set()
+        rank_of_part: Dict[int, Rank] = {}
+        for p in order:
+            free = [r for r in range(cluster.nprocs) if r not in taken]
+            best = max(free, key=lambda r: (affinity[p, r], -r))
+            rank_of_part[p] = best
+            taken.add(best)
+        return {
+            v: rank_of_part[p]
+            for p, block in enumerate(blocks)
+            for v in block
+        }
+
+
+class LeastLoadedPS(ProcessorAssignmentStrategy):
+    """Place each new vertex on the least-loaded processor.
+
+    Load is normalized by processor speed, so on heterogeneous clusters a
+    2x-speed worker is considered half as loaded at equal vertex counts.
+    """
+
+    name = "leastloaded"
+
+    def assign(self, batch: ChangeBatch, cluster: "Cluster") -> Dict[VertexId, Rank]:
+        speeds = [w.speed for w in cluster.workers]
+        loads = [w.n_local / sp for w, sp in zip(cluster.workers, speeds)]
+        out: Dict[VertexId, Rank] = {}
+        for v in sorted(batch.new_vertex_ids()):
+            r = int(np.argmin(loads))
+            out[v] = r
+            loads[r] += 1.0 / speeds[r]
+        cluster.charge_serial_compute(
+            cluster.cost.vertex_time(len(out) * cluster.nprocs)
+        )
+        return out
+
+
+class LDGPS(ProcessorAssignmentStrategy):
+    """Streaming LDG placement (Stanton–Kliot) as an assignment strategy.
+
+    Each new vertex goes to the processor holding the most of its
+    already-placed neighbors (existing *or* earlier-in-batch), damped by a
+    capacity penalty — a middle ground between RoundRobin-PS (balance
+    only) and CutEdge-PS (batch structure only): it sees both the batch
+    edges and the attachments to the existing placement.
+    """
+
+    name = "ldg"
+
+    def __init__(self, capacity_slack: float = 0.1) -> None:
+        self.capacity_slack = capacity_slack
+
+    def assign(self, batch: ChangeBatch, cluster: "Cluster") -> Dict[VertexId, Rank]:
+        from ...partition.streaming import ldg_stream_assign
+
+        new_ids = sorted(batch.new_vertex_ids())
+        if not new_ids:
+            return {}
+        # a scratch graph holding existing + new topology for the stream
+        scratch = cluster.graph.copy()
+        batch_copy = ChangeBatch(
+            vertex_additions=list(batch.vertex_additions)
+        )
+        batch_copy.apply_to(scratch)
+        existing = dict(cluster.partition.assignment) if cluster.partition else {}
+        ops = sum(scratch.degree(v) for v in new_ids) + len(new_ids)
+        cluster.charge_serial_compute(cluster.cost.scan_time(ops))
+        full = ldg_stream_assign(
+            scratch,
+            cluster.nprocs,
+            order=new_ids,
+            capacity_slack=self.capacity_slack,
+            initial_assignment=existing,
+        )
+        return {v: full[v] for v in new_ids}
+
+
+class NeighborMajorityPS(ProcessorAssignmentStrategy):
+    """Place each new vertex with the majority of its placed neighbors.
+
+    Ties (and neighbor-less vertices) fall back to the lightest processor.
+    Processes vertices in decreasing attachment-degree order so well-
+    anchored vertices vote first.
+    """
+
+    name = "neighbormajority"
+
+    def assign(self, batch: ChangeBatch, cluster: "Cluster") -> Dict[VertexId, Rank]:
+        owner: Dict[VertexId, Rank] = dict(
+            cluster.partition.assignment if cluster.partition else {}
+        )
+        loads = [w.n_local for w in cluster.workers]
+        # adjacency among batch + attachments
+        adj: Dict[VertexId, List[VertexId]] = {
+            va.vertex: [] for va in batch.vertex_additions
+        }
+        ops = 0
+        for va in batch.vertex_additions:
+            for t, _w in va.edges:
+                adj[va.vertex].append(t)
+                if t in adj:
+                    adj[t].append(va.vertex)
+                ops += 1
+        out: Dict[VertexId, Rank] = {}
+        order = sorted(adj, key=lambda v: (-len(adj[v]), v))
+        for v in order:
+            votes = np.zeros(cluster.nprocs, dtype=np.int64)
+            for t in adj[v]:
+                r = owner.get(t)
+                if r is None:
+                    r = out.get(t)
+                if r is not None:
+                    votes[r] += 1
+                ops += 1
+            if votes.any():
+                best = int(np.argmax(votes))
+            else:
+                best = int(np.argmin(loads))
+            out[v] = best
+            loads[best] += 1
+        cluster.charge_serial_compute(cluster.cost.scan_time(ops))
+        return out

@@ -1,0 +1,53 @@
+"""Strategy interfaces for the recombination phase.
+
+Two strategy kinds, matching the paper's decomposition:
+
+* :class:`ProcessorAssignmentStrategy` (``A_pr`` in §IV.C.1.a) — decide
+  which processor each *new vertex* goes to.
+* :class:`DynamicStrategy` (``A_rs``) — incorporate a change batch into the
+  running computation (anywhere vertex addition, repartition, ...).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict
+
+from ...graph.changes import ChangeBatch
+from ...types import Rank, VertexId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...runtime.cluster import Cluster
+
+__all__ = ["ProcessorAssignmentStrategy", "DynamicStrategy"]
+
+
+class ProcessorAssignmentStrategy(abc.ABC):
+    """Maps a batch's new vertices to processor ranks."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def assign(
+        self, batch: ChangeBatch, cluster: "Cluster"
+    ) -> Dict[VertexId, Rank]:
+        """Return an owner rank for every new vertex of ``batch``.
+
+        Implementations must meter their own compute into the cluster's
+        workers/tracer so modeled time reflects the strategy's overhead.
+        """
+
+
+class DynamicStrategy(abc.ABC):
+    """Incorporates one change batch at a recombination step."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def apply(self, cluster: "Cluster", batch: ChangeBatch, step: int) -> None:
+        """Apply ``batch`` to the running computation at RC step ``step``.
+
+        On return the cluster's graph, partition and workers must be
+        mutually consistent, and every DV entry must be a valid upper
+        bound on the new graph's distances.
+        """

@@ -1,0 +1,84 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate finer-grained conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-structure errors."""
+
+
+class VertexNotFound(GraphError, KeyError):
+    """A vertex id was referenced that is not present in the graph."""
+
+    def __init__(self, vertex: int) -> None:
+        super().__init__(vertex)
+        self.vertex = vertex
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep a plain message
+        return f"vertex {self.vertex} is not in the graph"
+
+
+class EdgeNotFound(GraphError, KeyError):
+    """An edge was referenced that is not present in the graph."""
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__((u, v))
+        self.u = u
+        self.v = v
+
+    def __str__(self) -> str:
+        return f"edge ({self.u}, {self.v}) is not in the graph"
+
+
+class DuplicateVertex(GraphError, ValueError):
+    """Attempted to add a vertex id that already exists."""
+
+
+class InvalidWeight(GraphError, ValueError):
+    """Edge weights must be positive and finite for shortest-path analysis."""
+
+
+class PartitionError(ReproError):
+    """Base class for partitioning errors."""
+
+
+class InvalidPartition(PartitionError, ValueError):
+    """A partition does not cover the vertex set exactly once."""
+
+
+class BalanceConstraintError(PartitionError):
+    """A partitioner could not satisfy the requested balance tolerance."""
+
+
+class RuntimeSimulationError(ReproError):
+    """Base class for simulated-cluster runtime errors."""
+
+
+class WorkerError(RuntimeSimulationError):
+    """A simulated worker entered an inconsistent state."""
+
+
+class CommunicationError(RuntimeSimulationError):
+    """A message was routed to a nonexistent worker or malformed."""
+
+
+class ConvergenceError(ReproError):
+    """The recombination loop exceeded its iteration budget without
+    reaching a fixed point."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid algorithm or model configuration."""
+
+
+class ChangeStreamError(ReproError, ValueError):
+    """A dynamic-change event is malformed or inconsistent with the graph."""

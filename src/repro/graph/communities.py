@@ -1,0 +1,174 @@
+"""Louvain community detection (from scratch).
+
+The paper builds its added-vertex batches by running Pajek's Louvain method
+on a larger graph and extracting whole communities (§V.B.2).  We reproduce
+that methodology with our own Louvain implementation: greedy modularity
+optimization by local vertex moves, followed by graph aggregation, repeated
+until modularity stops improving.
+
+The implementation follows Blondel et al. (2008).  It is deterministic for a
+given ``seed`` (the vertex visiting order is shuffled once per level).
+Internally the levels operate on plain adjacency dictionaries so aggregated
+self-loop weight (intra-community weight collapsed into a super-vertex) can
+be tracked exactly, which the public :class:`~repro.graph.graph.Graph` type
+deliberately disallows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..types import VertexId
+from .graph import Graph
+
+__all__ = ["louvain_communities", "modularity"]
+
+_Adj = Dict[int, Dict[int, float]]
+
+
+def modularity(graph: Graph, communities: List[List[VertexId]]) -> float:
+    """Newman modularity Q of a partition into communities.
+
+    Computed community-by-community as ``sum_c (in_c / m - (tot_c / 2m)^2)``
+    where ``in_c`` is the total weight of intra-community edges and
+    ``tot_c`` the total weighted degree of the community.
+    """
+    m = graph.total_weight
+    if m <= 0.0:
+        return 0.0
+    comm_of: Dict[VertexId, int] = {}
+    for ci, block in enumerate(communities):
+        for v in block:
+            comm_of[v] = ci
+    internal = np.zeros(len(communities))
+    total_deg = np.zeros(len(communities))
+    for u, v, w in graph.edges():
+        cu, cv = comm_of[u], comm_of[v]
+        if cu == cv:
+            internal[cu] += w
+        total_deg[cu] += w
+        total_deg[cv] += w
+    return float(np.sum(internal / m - (total_deg / (2.0 * m)) ** 2))
+
+
+def _one_level(
+    adj: _Adj,
+    self_w: Dict[int, float],
+    m2: float,
+    rng: np.random.Generator,
+    resolution: float,
+) -> Tuple[Dict[int, int], bool]:
+    """One local-moving pass; returns (community assignment, improved?)."""
+    comm: Dict[int, int] = {}
+    deg: Dict[int, float] = {}
+    comm_tot: Dict[int, float] = {}
+    for i, v in enumerate(sorted(adj)):
+        comm[v] = i
+        d = sum(adj[v].values()) + 2.0 * self_w.get(v, 0.0)
+        deg[v] = d
+        comm_tot[i] = d
+    order = sorted(adj)
+    rng.shuffle(order)
+    improved = False
+    moved = True
+    while moved:
+        moved = False
+        for v in order:
+            cv = comm[v]
+            dv = deg[v]
+            links: Dict[int, float] = {}
+            for u, w in adj[v].items():
+                links[comm[u]] = links.get(comm[u], 0.0) + w
+            comm_tot[cv] -= dv
+            base = links.get(cv, 0.0)
+            best_c, best_gain = cv, 0.0
+            for c, k_in in links.items():
+                if c == cv:
+                    continue
+                gain = (k_in - base) - resolution * dv * (
+                    comm_tot[c] - comm_tot[cv]
+                ) / m2
+                if gain > best_gain + 1e-12:
+                    best_gain, best_c = gain, c
+            comm_tot[best_c] = comm_tot.get(best_c, 0.0) + dv
+            if best_c != cv:
+                comm[v] = best_c
+                moved = True
+                improved = True
+    return comm, improved
+
+
+def _aggregate(
+    adj: _Adj, self_w: Dict[int, float], comm: Dict[int, int]
+) -> Tuple[_Adj, Dict[int, float], Dict[int, int]]:
+    """Collapse communities to super-vertices.
+
+    Returns ``(meta_adj, meta_self_w, relabel)`` where ``relabel`` maps old
+    community ids to dense meta-vertex ids.  Intra-community edge weight and
+    member self-loops accumulate into the super-vertex's self-loop weight so
+    total weighted degree is conserved across levels.
+    """
+    labels = sorted(set(comm.values()))
+    relabel = {c: i for i, c in enumerate(labels)}
+    meta: _Adj = {i: {} for i in range(len(labels))}
+    meta_self: Dict[int, float] = {i: 0.0 for i in range(len(labels))}
+    for v, nbrs in adj.items():
+        cv = relabel[comm[v]]
+        meta_self[cv] += self_w.get(v, 0.0)
+        for u, w in nbrs.items():
+            if u < v:
+                continue  # count each undirected edge once
+            cu = relabel[comm[u]]
+            if cu == cv:
+                meta_self[cv] += w
+            else:
+                meta[cv][cu] = meta[cv].get(cu, 0.0) + w
+                meta[cu][cv] = meta[cu].get(cv, 0.0) + w
+    return meta, meta_self, relabel
+
+
+def louvain_communities(
+    graph: Graph,
+    *,
+    seed: Optional[int] = None,
+    resolution: float = 1.0,
+    max_levels: int = 32,
+) -> List[List[VertexId]]:
+    """Detect communities with the Louvain method.
+
+    Parameters
+    ----------
+    graph: the graph to cluster (weights are respected).
+    seed: RNG seed for the vertex visiting order.
+    resolution: modularity resolution parameter (1.0 = classic).
+    max_levels: safety bound on aggregation levels.
+
+    Returns
+    -------
+    A list of communities, each a sorted list of original vertex ids,
+    ordered by their smallest member.  Isolated vertices become singleton
+    communities.
+    """
+    rng = np.random.default_rng(seed)
+    adj: _Adj = {v: dict(graph.adjacency_of(v)) for v in graph.vertices()}
+    self_w: Dict[int, float] = {}
+    m2 = 2.0 * graph.total_weight
+    member: Dict[VertexId, int] = {v: v for v in adj}
+    if m2 <= 0.0:
+        return [[v] for v in graph.vertex_list()]
+    for _level in range(max_levels):
+        comm, improved = _one_level(adj, self_w, m2, rng, resolution)
+        if not improved:
+            break
+        adj, self_w, relabel = _aggregate(adj, self_w, comm)
+        member = {v: relabel[comm[c]] for v, c in member.items()}
+        if len(adj) <= 1:
+            break
+    groups: Dict[int, List[VertexId]] = {}
+    for v, c in member.items():
+        groups.setdefault(c, []).append(v)
+    blocks = [sorted(b) for b in groups.values()]
+    blocks.sort(key=lambda b: b[0])
+    return blocks

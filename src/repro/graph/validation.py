@@ -1,0 +1,83 @@
+"""Graph structural checks and simple analyses used across the library."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..types import VertexId
+from .graph import Graph
+
+__all__ = [
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "check_symmetry",
+    "degree_histogram",
+    "powerlaw_exponent_estimate",
+]
+
+
+def connected_components(graph: Graph) -> List[List[VertexId]]:
+    """Connected components as sorted vertex lists, largest first."""
+    seen: Set[VertexId] = set()
+    comps: List[List[VertexId]] = []
+    for start in graph.vertices():
+        if start in seen:
+            continue
+        comp: List[VertexId] = []
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            v = queue.popleft()
+            comp.append(v)
+            for u in graph.neighbors(v):
+                if u not in seen:
+                    seen.add(u)
+                    queue.append(u)
+        comps.append(sorted(comp))
+    comps.sort(key=len, reverse=True)
+    return comps
+
+
+def is_connected(graph: Graph) -> bool:
+    if graph.num_vertices == 0:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def largest_component(graph: Graph) -> List[VertexId]:
+    comps = connected_components(graph)
+    return comps[0] if comps else []
+
+
+def check_symmetry(graph: Graph) -> None:
+    """Assert the undirected invariant: w(u,v) == w(v,u) for every edge."""
+    for u, v, w in graph.edges():
+        back = graph.weight(v, u)
+        if back != w:
+            raise AssertionError(f"asymmetric weights on ({u},{v}): {w} vs {back}")
+
+
+def degree_histogram(graph: Graph) -> Dict[int, int]:
+    """Map degree -> number of vertices with that degree."""
+    hist: Dict[int, int] = {}
+    for v in graph.vertices():
+        d = graph.degree(v)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def powerlaw_exponent_estimate(graph: Graph, dmin: int = 2) -> Optional[float]:
+    """MLE estimate of a power-law degree exponent (Clauset et al. style).
+
+    Returns ``None`` when fewer than 10 vertices have degree >= ``dmin``.
+    Used by tests to confirm the scale-free property of generated inputs.
+    """
+    degrees = np.array([graph.degree(v) for v in graph.vertices()], dtype=float)
+    degrees = degrees[degrees >= dmin]
+    if degrees.size < 10:
+        return None
+    return float(1.0 + degrees.size / np.sum(np.log(degrees / (dmin - 0.5))))

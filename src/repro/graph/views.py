@@ -1,0 +1,118 @@
+"""Sub-graph extraction utilities.
+
+The DD phase hands each simulated processor a *local sub-graph*: the induced
+graph on its assigned vertices **plus** the cut-edges to external boundary
+vertices (paper §IV.A: "B_i is the set of external boundary vertices for
+processor p_i; external boundary vertices act as bridges that connect the
+neighboring sub-graphs to the vertices in the local sub-graph").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from ..types import VertexId
+from .graph import Graph
+
+__all__ = ["induced_subgraph", "LocalSubgraph", "extract_local_subgraph"]
+
+
+def induced_subgraph(graph: Graph, vertices: Iterable[VertexId]) -> Graph:
+    """The sub-graph induced on ``vertices`` (edges with both endpoints in)."""
+    keep: Set[VertexId] = set(vertices)
+    sub = Graph()
+    for v in keep:
+        sub.add_vertex(v, exist_ok=True)
+    for v in keep:
+        for u, w in graph.neighbor_items(v):
+            if u in keep and v <= u:
+                sub.add_edge(v, u, w)
+    return sub
+
+
+@dataclass
+class LocalSubgraph:
+    """The per-processor view produced by domain decomposition.
+
+    Attributes
+    ----------
+    owned:
+        Vertices assigned to this processor (``V_i`` in the paper).
+    local_graph:
+        Induced graph on ``owned`` (internal edges only).
+    cut_edges:
+        Edges ``(u, x, w)`` with ``u`` owned here and ``x`` owned elsewhere.
+    external_boundary:
+        ``B_i``: the set of remote endpoints of cut edges.
+    local_boundary:
+        Owned vertices incident to at least one cut edge (``b_i`` counts
+        these in the paper's analysis).
+    """
+
+    owned: List[VertexId]
+    local_graph: Graph
+    cut_edges: List[Tuple[VertexId, VertexId, float]] = field(default_factory=list)
+    external_boundary: FrozenSet[VertexId] = frozenset()
+    local_boundary: FrozenSet[VertexId] = frozenset()
+
+    @property
+    def cut_size(self) -> int:
+        """Number of cut edges incident to this sub-graph."""
+        return len(self.cut_edges)
+
+    def cut_edges_by_local(self) -> Dict[VertexId, List[Tuple[VertexId, float]]]:
+        """Group cut edges by their *local* endpoint: ``u -> [(x, w), ...]``."""
+        grouped: Dict[VertexId, List[Tuple[VertexId, float]]] = {}
+        for u, x, w in self.cut_edges:
+            grouped.setdefault(u, []).append((x, w))
+        return grouped
+
+
+def extract_local_subgraph(
+    graph: Graph, owned: Iterable[VertexId], owner_of: Dict[VertexId, int], rank: int
+) -> LocalSubgraph:
+    """Build the :class:`LocalSubgraph` for ``rank``.
+
+    Parameters
+    ----------
+    graph:
+        The full graph.
+    owned:
+        Vertices assigned to ``rank``.
+    owner_of:
+        Global assignment ``vertex -> rank`` (used to classify cut edges).
+    rank:
+        This processor's rank.
+    """
+    owned_list = sorted(set(owned))
+    owned_set = set(owned_list)
+    local = Graph()
+    for v in owned_list:
+        local.add_vertex(v)
+    cut: List[Tuple[VertexId, VertexId, float]] = []
+    ext: Set[VertexId] = set()
+    loc_bnd: Set[VertexId] = set()
+    for v in owned_list:
+        for u, w in graph.neighbor_items(v):
+            if u in owned_set:
+                if v <= u:
+                    local.add_edge(v, u, w)
+            else:
+                if owner_of.get(u, rank) == rank:
+                    # Inconsistent assignment: neighbor claims to be ours but
+                    # was not listed in ``owned``.
+                    raise ValueError(
+                        f"vertex {u} assigned to rank {rank} but absent from its"
+                        " owned set"
+                    )
+                cut.append((v, u, w))
+                ext.add(u)
+                loc_bnd.add(v)
+    return LocalSubgraph(
+        owned=owned_list,
+        local_graph=local,
+        cut_edges=cut,
+        external_boundary=frozenset(ext),
+        local_boundary=frozenset(loc_bnd),
+    )

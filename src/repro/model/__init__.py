@@ -1,0 +1,25 @@
+"""Performance models: LogP network, compute cost model, comm schedules."""
+
+from .cost import DEFAULT_COST, CostModel
+from .logp import DEFAULT_LOGP, LogPParams
+from .schedules import (
+    SCHEDULES,
+    CommSchedule,
+    FloodAllToAll,
+    PairwiseRounds,
+    SequentialAllToAll,
+    tree_broadcast_time,
+)
+
+__all__ = [
+    "LogPParams",
+    "DEFAULT_LOGP",
+    "CostModel",
+    "DEFAULT_COST",
+    "CommSchedule",
+    "SequentialAllToAll",
+    "PairwiseRounds",
+    "FloodAllToAll",
+    "tree_broadcast_time",
+    "SCHEDULES",
+]

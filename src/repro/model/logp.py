@@ -1,0 +1,84 @@
+"""LogP / LogGP network cost model.
+
+The paper analyzes every phase of the algorithm in the LogP model
+(Culler et al. 1993): ``L`` latency, ``o`` per-message CPU overhead,
+``g`` inter-message gap, ``P`` processors.  We add the LogGP per-byte gap
+``G`` so large boundary-DV messages are charged bandwidth, and a maximum
+message size ``S`` (the paper's "maximum size of a single message ...
+chosen such that the network remains lightly loaded"), above which a
+message is split into chunks.
+
+Default parameters approximate the paper's testbed: 1 Gb/s Ethernet
+(G = 8 ns/byte), tens-of-microsecond latency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["LogPParams", "DEFAULT_LOGP"]
+
+
+@dataclass(frozen=True)
+class LogPParams:
+    """LogGP parameters (seconds / bytes).
+
+    Attributes
+    ----------
+    latency: ``L`` — wire latency per message (s).
+    overhead: ``o`` — CPU send/receive overhead per message (s).
+    gap: ``g`` — minimum gap between consecutive message injections (s).
+    byte_gap: ``G`` — time per payload byte (s/byte); 8e-9 ≈ 1 Gb/s.
+    max_message_bytes: ``S`` — messages larger than this are chunked.
+    word_bytes: size of one distance value on the wire.
+    """
+
+    latency: float = 50e-6
+    overhead: float = 5e-6
+    gap: float = 10e-6
+    byte_gap: float = 8e-9
+    max_message_bytes: int = 1 << 20
+    word_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("latency", "overhead", "gap", "byte_gap"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.max_message_bytes < self.word_bytes:
+            raise ConfigurationError(
+                "max_message_bytes must hold at least one word"
+            )
+        if self.word_bytes <= 0:
+            raise ConfigurationError("word_bytes must be positive")
+
+    # ------------------------------------------------------------------
+    def chunks(self, nbytes: int) -> int:
+        """Number of wire messages needed for an ``nbytes`` payload."""
+        if nbytes <= 0:
+            return 1  # empty messages still cost a header exchange
+        return math.ceil(nbytes / self.max_message_bytes)
+
+    def message_time(self, nbytes: int) -> float:
+        """End-to-end time for one point-to-point message of ``nbytes``.
+
+        ``2o + L`` per chunk (send + receive overhead and latency), ``g``
+        between chunks, ``G`` per payload byte.
+        """
+        nbytes = max(nbytes, 0)
+        k = self.chunks(nbytes)
+        return (
+            k * (2.0 * self.overhead + self.latency)
+            + (k - 1) * self.gap
+            + nbytes * self.byte_gap
+        )
+
+    def words_time(self, nwords: int) -> float:
+        """Message time for a payload of ``nwords`` distance values."""
+        return self.message_time(nwords * self.word_bytes)
+
+
+#: Default parameters (≈ 1 Gb/s Ethernet cluster, the paper's testbed).
+DEFAULT_LOGP = LogPParams()

@@ -1,0 +1,132 @@
+"""Communication schedules.
+
+The paper's RC phase uses a *personalized all-to-all* schedule that "ensures
+only one message traverses the network at any given time in order to prevent
+network flooding and obtain predictable performance ... takes Ο(P²) steps".
+We implement that schedule plus two alternatives for ablation:
+
+* :class:`SequentialAllToAll` — the paper's one-message-at-a-time schedule;
+  exchange time is the *sum* of all message times.
+* :class:`PairwiseRounds` — P-1 rounds of disjoint pairwise exchanges
+  (hypercube-style ``dst = rank XOR round`` when P is a power of two,
+  otherwise the circulant ``dst = (rank + round) mod P``); per-round time is
+  the *max* message time in the round.
+* :class:`FloodAllToAll` — every message injected at once; the shared link
+  serializes payload bytes but headers overlap, modeling the flooding the
+  paper's schedule avoids.
+
+Broadcasts use a binomial tree (paper Fig. 3 line 22: "SEND row to all
+other processors // using tree broadcast").
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, Sequence, Tuple
+
+from .logp import LogPParams
+
+__all__ = [
+    "Message3",
+    "CommSchedule",
+    "SequentialAllToAll",
+    "PairwiseRounds",
+    "FloodAllToAll",
+    "tree_broadcast_time",
+    "SCHEDULES",
+]
+
+#: ``(src, dst, nbytes)``
+Message3 = Tuple[int, int, int]
+
+
+class CommSchedule(abc.ABC):
+    """Strategy object that prices a batch of point-to-point messages."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def exchange_time(self, messages: Sequence[Message3], params: LogPParams) -> float:
+        """Modeled wall time to deliver all ``messages``."""
+
+
+class SequentialAllToAll(CommSchedule):
+    """One message on the wire at a time (the paper's schedule)."""
+
+    name = "sequential"
+
+    def exchange_time(self, messages: Sequence[Message3], params: LogPParams) -> float:
+        return float(
+            sum(params.message_time(b) for s, d, b in messages if s != d)
+        )
+
+
+class PairwiseRounds(CommSchedule):
+    """Disjoint pairwise-exchange rounds; rounds are serialized, messages
+    within a round run concurrently (per-round time = slowest message)."""
+
+    name = "pairwise"
+
+    def exchange_time(self, messages: Sequence[Message3], params: LogPParams) -> float:
+        if not messages:
+            return 0.0
+        ranks = {s for s, _d, _b in messages} | {d for _s, d, _b in messages}
+        nprocs = max(ranks) + 1
+        # bucket messages by the round in which the (src, dst) pair talks
+        power_of_two = nprocs & (nprocs - 1) == 0 and nprocs > 0
+        per_round: Dict[int, float] = {}
+        leftover = 0.0
+        for s, d, b in messages:
+            t = params.message_time(b)
+            if s == d:
+                continue  # self-messages are free (local copy)
+            if power_of_two:
+                rnd = s ^ d  # 1..P-1
+            else:
+                rnd = (d - s) % nprocs
+            per_round[rnd] = max(per_round.get(rnd, 0.0), t)
+        return float(sum(per_round.values()) + leftover)
+
+
+class FloodAllToAll(CommSchedule):
+    """All messages injected simultaneously into one shared link.
+
+    Headers (latency/overhead) overlap; payload bytes serialize on the
+    shared medium.  This is the congestion regime the paper's schedule is
+    designed to avoid — with bursty large exchanges it can beat the
+    sequential schedule on paper but suffers the modeled contention
+    penalty ``contention_factor`` per byte.
+    """
+
+    name = "flood"
+
+    def __init__(self, contention_factor: float = 2.0) -> None:
+        self.contention_factor = contention_factor
+
+    def exchange_time(self, messages: Sequence[Message3], params: LogPParams) -> float:
+        wire = [(s, d, b) for s, d, b in messages if s != d]
+        if not wire:
+            return 0.0
+        header = max(
+            params.chunks(b) * (2 * params.overhead + params.latency)
+            for _s, _d, b in wire
+        )
+        payload = sum(max(b, 0) for _s, _d, b in wire) * params.byte_gap
+        return float(header + self.contention_factor * payload)
+
+
+def tree_broadcast_time(nbytes: int, nprocs: int, params: LogPParams) -> float:
+    """Binomial-tree broadcast of one payload to ``nprocs`` processors."""
+    if nprocs <= 1:
+        return 0.0
+    depth = math.ceil(math.log2(nprocs))
+    return depth * params.message_time(nbytes)
+
+
+#: Registry for CLI/bench lookup.
+SCHEDULES: Dict[str, CommSchedule] = {
+    "sequential": SequentialAllToAll(),
+    "pairwise": PairwiseRounds(),
+    "flood": FloodAllToAll(),
+}

@@ -1,0 +1,42 @@
+"""Partitioning substrate: multilevel k-way partitioner and baselines."""
+
+from .base import Partition, Partitioner
+from .bfs_growing import BFSGrowingPartitioner, bfs_grow
+from .hashing import HashPartitioner
+from .metrics import (
+    balance,
+    cut_edges,
+    cut_size_per_block,
+    edge_cut,
+    imbalance,
+    new_cut_edges,
+    partition_report,
+    weighted_edge_cut,
+)
+from .multilevel import MultilevelPartitioner
+from .roundrobin import ContiguousPartitioner, RoundRobinPartitioner, round_robin_assign
+from .spectral import SpectralPartitioner
+from .streaming import LDGPartitioner, ldg_stream_assign
+
+__all__ = [
+    "Partition",
+    "Partitioner",
+    "MultilevelPartitioner",
+    "SpectralPartitioner",
+    "LDGPartitioner",
+    "ldg_stream_assign",
+    "BFSGrowingPartitioner",
+    "bfs_grow",
+    "HashPartitioner",
+    "RoundRobinPartitioner",
+    "ContiguousPartitioner",
+    "round_robin_assign",
+    "cut_edges",
+    "edge_cut",
+    "weighted_edge_cut",
+    "cut_size_per_block",
+    "balance",
+    "imbalance",
+    "new_cut_edges",
+    "partition_report",
+]

@@ -1,0 +1,102 @@
+"""Partition value object and the partitioner interface.
+
+A *partition* assigns every vertex of a graph to one of ``nparts`` blocks
+(processors).  The DD phase, CutEdge-PS and Repartition-S all consume the
+same :class:`Partitioner` interface, which is the flexibility the paper
+calls out ("any cut-edge optimization based graph partitioning algorithm
+can be used in this phase").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import InvalidPartition
+from ..graph.graph import Graph
+from ..types import Rank, VertexId
+
+__all__ = ["Partition", "Partitioner"]
+
+
+@dataclass
+class Partition:
+    """An assignment of vertices to ``nparts`` blocks."""
+
+    nparts: int
+    assignment: Dict[VertexId, Rank]
+
+    def __post_init__(self) -> None:
+        if self.nparts < 1:
+            raise InvalidPartition(f"nparts must be >= 1, got {self.nparts}")
+        for v, r in self.assignment.items():
+            if not 0 <= r < self.nparts:
+                raise InvalidPartition(
+                    f"vertex {v} assigned to rank {r}, valid range is"
+                    f" [0, {self.nparts})"
+                )
+
+    def block(self, rank: Rank) -> List[VertexId]:
+        """Sorted vertices of one block."""
+        return sorted(v for v, r in self.assignment.items() if r == rank)
+
+    def blocks(self) -> List[List[VertexId]]:
+        """All blocks as sorted vertex lists, indexed by rank."""
+        out: List[List[VertexId]] = [[] for _ in range(self.nparts)]
+        for v, r in self.assignment.items():
+            out[r].append(v)
+        for b in out:
+            b.sort()
+        return out
+
+    def block_sizes(self) -> List[int]:
+        sizes = [0] * self.nparts
+        for r in self.assignment.values():
+            sizes[r] += 1
+        return sizes
+
+    def owner(self, v: VertexId) -> Rank:
+        return self.assignment[v]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.assignment)
+
+    def copy(self) -> "Partition":
+        return Partition(self.nparts, dict(self.assignment))
+
+    def validate_against(self, graph: Graph) -> None:
+        """Check the partition covers exactly the graph's vertex set."""
+        gv = set(graph.vertices())
+        pv = set(self.assignment)
+        if gv != pv:
+            missing = sorted(gv - pv)[:5]
+            extra = sorted(pv - gv)[:5]
+            raise InvalidPartition(
+                f"partition does not cover vertex set (missing={missing},"
+                f" extra={extra})"
+            )
+
+    def merge_assignments(self, extra: Dict[VertexId, Rank]) -> "Partition":
+        """A new partition with ``extra`` vertices added (ids must be new)."""
+        overlap = set(extra) & set(self.assignment)
+        if overlap:
+            raise InvalidPartition(
+                f"merge would reassign existing vertices: {sorted(overlap)[:5]}"
+            )
+        merged = dict(self.assignment)
+        merged.update(extra)
+        return Partition(self.nparts, merged)
+
+
+class Partitioner(abc.ABC):
+    """Interface: split a graph's vertices into ``nparts`` blocks."""
+
+    @abc.abstractmethod
+    def partition(self, graph: Graph, nparts: int) -> Partition:
+        """Partition ``graph`` into ``nparts`` blocks covering all vertices."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__

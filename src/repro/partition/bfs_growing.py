@@ -1,0 +1,124 @@
+"""BFS region-growing partitioner (greedy graph growing).
+
+Grows ``nparts`` regions breadth-first from spread-out seeds, capping each
+region at ``ceil(n / nparts)`` vertices.  This is the classic GGP heuristic
+also used to produce initial partitions inside the multilevel driver.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..types import Rank, VertexId
+from .base import Partition, Partitioner
+
+__all__ = ["BFSGrowingPartitioner", "bfs_grow"]
+
+
+def _pick_seeds(graph: Graph, nparts: int, rng: np.random.Generator) -> List[VertexId]:
+    """Pick ``nparts`` seeds far apart: repeated farthest-first BFS sweeps."""
+    order = graph.vertex_list()
+    if not order:
+        return []
+    seeds = [order[int(rng.integers(len(order)))]]
+    while len(seeds) < nparts:
+        # BFS from all current seeds; farthest vertex becomes the next seed
+        dist: Dict[VertexId, int] = {s: 0 for s in seeds}
+        queue = deque(seeds)
+        farthest = seeds[-1]
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v):
+                if u not in dist:
+                    dist[u] = dist[v] + 1
+                    queue.append(u)
+                    farthest = u
+        if farthest in seeds:
+            # disconnected graph: grab any unvisited vertex
+            remaining = [v for v in order if v not in dist]
+            if remaining:
+                farthest = remaining[int(rng.integers(len(remaining)))]
+            else:
+                farthest = order[int(rng.integers(len(order)))]
+        if farthest in seeds:
+            break  # tiny graph; duplicates would loop forever
+        seeds.append(farthest)
+    # pad with arbitrary vertices if the graph is smaller than nparts
+    i = 0
+    while len(seeds) < nparts and i < len(order):
+        if order[i] not in seeds:
+            seeds.append(order[i])
+        i += 1
+    return seeds
+
+
+def bfs_grow(
+    graph: Graph,
+    nparts: int,
+    *,
+    seed: Optional[int] = None,
+    capacity_slack: float = 0.0,
+) -> Dict[VertexId, Rank]:
+    """Grow balanced BFS regions; returns the assignment map.
+
+    ``capacity_slack`` relaxes each region's cap by the given fraction.
+    Unreached vertices (disconnected graphs) are swept into the smallest
+    regions afterwards.
+    """
+    if nparts < 1:
+        raise ValueError(f"nparts must be >= 1, got {nparts}")
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    cap = int(np.ceil(n / nparts * (1.0 + capacity_slack))) if n else 0
+    assignment: Dict[VertexId, Rank] = {}
+    seeds = _pick_seeds(graph, nparts, rng)
+    frontiers: List[deque] = [deque() for _ in range(nparts)]
+    sizes = [0] * nparts
+    for r, s in enumerate(seeds):
+        if r >= nparts:
+            break
+        if s not in assignment:
+            assignment[s] = r
+            sizes[r] += 1
+            frontiers[r].append(s)
+    active = True
+    while active:
+        active = False
+        for r in range(nparts):
+            if sizes[r] >= cap or not frontiers[r]:
+                continue
+            v = frontiers[r].popleft()
+            for u in graph.neighbors(v):
+                if u not in assignment and sizes[r] < cap:
+                    assignment[u] = r
+                    sizes[r] += 1
+                    frontiers[r].append(u)
+            if frontiers[r]:
+                active = True
+    # sweep leftovers (caps hit, or disconnected pieces) into smallest blocks
+    for v in graph.vertex_list():
+        if v not in assignment:
+            r = int(np.argmin(sizes))
+            assignment[v] = r
+            sizes[r] += 1
+    return assignment
+
+
+class BFSGrowingPartitioner(Partitioner):
+    """Greedy graph-growing partitioner with farthest-first seeding."""
+
+    def __init__(self, seed: Optional[int] = None, capacity_slack: float = 0.05):
+        self.seed = seed
+        self.capacity_slack = capacity_slack
+
+    def partition(self, graph: Graph, nparts: int) -> Partition:
+        return Partition(
+            nparts,
+            bfs_grow(
+                graph, nparts, seed=self.seed, capacity_slack=self.capacity_slack
+            ),
+        )

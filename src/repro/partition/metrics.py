@@ -1,0 +1,121 @@
+"""Partition quality metrics.
+
+Cut size and balance are the two quantities the paper's load-imbalance
+analysis revolves around (§IV: "the number of vertices and the number of
+cut-edges assigned to each processor").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..graph.graph import Graph
+from ..types import VertexId, WeightedEdge
+from .base import Partition
+
+__all__ = [
+    "cut_edges",
+    "edge_cut",
+    "weighted_edge_cut",
+    "cut_size_per_block",
+    "balance",
+    "imbalance",
+    "new_cut_edges",
+    "partition_report",
+]
+
+
+def cut_edges(graph: Graph, partition: Partition) -> List[WeightedEdge]:
+    """All edges whose endpoints live in different blocks (each once)."""
+    assign = partition.assignment
+    return [
+        (u, v, w) for u, v, w in graph.edges() if assign[u] != assign[v]
+    ]
+
+
+def edge_cut(graph: Graph, partition: Partition) -> int:
+    """Number of cut edges."""
+    assign = partition.assignment
+    return sum(1 for u, v, _w in graph.edges() if assign[u] != assign[v])
+
+
+def weighted_edge_cut(graph: Graph, partition: Partition) -> float:
+    """Total weight of cut edges."""
+    assign = partition.assignment
+    return float(
+        sum(w for u, v, w in graph.edges() if assign[u] != assign[v])
+    )
+
+
+def cut_size_per_block(graph: Graph, partition: Partition) -> List[int]:
+    """Per-block cut size: how many cut edges touch each block.
+
+    A cut edge contributes to *both* endpoint blocks (this is the paper's
+    per-processor "cut-size of a sub-graph").
+    """
+    counts = [0] * partition.nparts
+    assign = partition.assignment
+    for u, v, _w in graph.edges():
+        ru, rv = assign[u], assign[v]
+        if ru != rv:
+            counts[ru] += 1
+            counts[rv] += 1
+    return counts
+
+
+def balance(partition: Partition) -> float:
+    """Max block size over average block size (1.0 = perfectly balanced)."""
+    sizes = partition.block_sizes()
+    total = sum(sizes)
+    if total == 0:
+        return 1.0
+    avg = total / partition.nparts
+    return max(sizes) / avg
+
+
+def imbalance(values: Sequence[float]) -> float:
+    """Generic load-imbalance factor ``max/mean - 1`` (0 = balanced)."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    mean = sum(vals) / len(vals)
+    if mean == 0:
+        return 0.0
+    return max(vals) / mean - 1.0
+
+
+def new_cut_edges(
+    graph_after: Graph,
+    partition_after: Partition,
+    old_edges: set[Tuple[VertexId, VertexId]],
+) -> int:
+    """Cut edges of ``partition_after`` that did not exist before the change.
+
+    This is the quantity of Fig. 7: "Number of new cut-edges created by
+    different strategies".  ``old_edges`` holds the pre-change edge set as
+    canonical ``(min, max)`` pairs.  An edge counts as *new* if it was not
+    in the graph before the change (edges that became cut because their
+    endpoints migrated are measured separately by :func:`edge_cut` deltas).
+    """
+    assign = partition_after.assignment
+    count = 0
+    for u, v, _w in graph_after.edges():
+        key = (u, v) if u <= v else (v, u)
+        if key not in old_edges and assign[u] != assign[v]:
+            count += 1
+    return count
+
+
+def partition_report(graph: Graph, partition: Partition) -> Dict[str, object]:
+    """A summary dict used by benchmarks and the CLI."""
+    sizes = partition.block_sizes()
+    cuts = cut_size_per_block(graph, partition)
+    return {
+        "nparts": partition.nparts,
+        "block_sizes": sizes,
+        "balance": balance(partition),
+        "edge_cut": edge_cut(graph, partition),
+        "weighted_edge_cut": weighted_edge_cut(graph, partition),
+        "cut_per_block": cuts,
+        "cut_imbalance": imbalance([float(c) for c in cuts]),
+    }

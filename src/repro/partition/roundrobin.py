@@ -1,0 +1,67 @@
+"""Round-robin and related trivial partitioners.
+
+Round-robin is the paper's RoundRobin-PS placement rule: vertices are dealt
+to processors in a circular fashion, O(k) with no regard for edges.  It is
+both a baseline partitioner for the DD phase and the placement engine of
+the RoundRobin-PS processor-assignment strategy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..graph.graph import Graph
+from ..types import Rank, VertexId
+from .base import Partition, Partitioner
+
+__all__ = ["RoundRobinPartitioner", "round_robin_assign", "ContiguousPartitioner"]
+
+
+def round_robin_assign(
+    vertices: Iterable[VertexId], nparts: int, start: Rank = 0
+) -> dict[VertexId, Rank]:
+    """Assign vertices to ranks cyclically starting at ``start``.
+
+    The starting offset lets successive batches continue the rotation so
+    repeated small batches stay balanced overall (used by RoundRobin-PS
+    across recombination steps).
+    """
+    if nparts < 1:
+        raise ValueError(f"nparts must be >= 1, got {nparts}")
+    assignment: dict[VertexId, Rank] = {}
+    r = start % nparts
+    for v in sorted(vertices):
+        assignment[v] = r
+        r = (r + 1) % nparts
+    return assignment
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Deal vertices to blocks cyclically in sorted-id order."""
+
+    def partition(self, graph: Graph, nparts: int) -> Partition:
+        return Partition(nparts, round_robin_assign(graph.vertices(), nparts))
+
+
+class ContiguousPartitioner(Partitioner):
+    """Split the sorted vertex list into ``nparts`` contiguous ranges.
+
+    For generators that allocate ids in creation order this keeps
+    temporally-close vertices together — a cheap locality heuristic used as
+    another baseline.
+    """
+
+    def partition(self, graph: Graph, nparts: int) -> Partition:
+        order = graph.vertex_list()
+        n = len(order)
+        assignment: dict[VertexId, Rank] = {}
+        if n == 0:
+            return Partition(nparts, assignment)
+        base, extra = divmod(n, nparts)
+        idx = 0
+        for r in range(nparts):
+            size = base + (1 if r < extra else 0)
+            for v in order[idx : idx + size]:
+                assignment[v] = r
+            idx += size
+        return Partition(nparts, assignment)

@@ -1,0 +1,89 @@
+"""Linear Deterministic Greedy (LDG) streaming partitioner.
+
+Stanton & Kliot's one-pass heuristic: vertices arrive in a stream and each
+is placed on the block with the most already-placed neighbors, damped by a
+multiplicative capacity penalty ``1 - |block| / C``.  It is the standard
+baseline for *streaming* placement — the regime dynamic vertex additions
+live in — and doubles as a processor-assignment strategy comparison point
+for RoundRobin-PS / CutEdge-PS style decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..types import Rank, VertexId
+from .base import Partition, Partitioner
+
+__all__ = ["LDGPartitioner", "ldg_stream_assign"]
+
+
+def ldg_stream_assign(
+    graph: Graph,
+    nparts: int,
+    *,
+    order: Optional[Iterable[VertexId]] = None,
+    capacity_slack: float = 0.1,
+    initial_assignment: Optional[Dict[VertexId, Rank]] = None,
+    total_expected: Optional[int] = None,
+) -> Dict[VertexId, Rank]:
+    """Stream ``order`` (default: sorted ids) through the LDG rule.
+
+    ``initial_assignment`` lets the stream continue from an existing
+    placement (dynamic additions onto a partitioned graph);
+    ``total_expected`` sets the capacity ``C = total * (1 + slack) / P``
+    when the final size is known in advance.
+    """
+    if nparts < 1:
+        raise ValueError(f"nparts must be >= 1, got {nparts}")
+    assignment: Dict[VertexId, Rank] = dict(initial_assignment or {})
+    stream: List[VertexId] = list(order) if order is not None else sorted(
+        v for v in graph.vertices() if v not in assignment
+    )
+    total = total_expected if total_expected is not None else (
+        len(assignment) + len(stream)
+    )
+    capacity = max(total * (1.0 + capacity_slack) / nparts, 1.0)
+    sizes = [0] * nparts
+    for r in assignment.values():
+        sizes[r] += 1
+    for v in stream:
+        neighbor_counts = [0.0] * nparts
+        for u, w in graph.neighbor_items(v):
+            r = assignment.get(u)
+            if r is not None:
+                neighbor_counts[r] += w
+        best_r, best_score = 0, -np.inf
+        for r in range(nparts):
+            penalty = 1.0 - sizes[r] / capacity
+            score = neighbor_counts[r] * max(penalty, 0.0)
+            if score > best_score or (
+                score == best_score and sizes[r] < sizes[best_r]
+            ):
+                best_score, best_r = score, r
+        assignment[v] = best_r
+        sizes[best_r] += 1
+    return assignment
+
+
+class LDGPartitioner(Partitioner):
+    """One-pass streaming partitioner (Linear Deterministic Greedy)."""
+
+    def __init__(self, *, capacity_slack: float = 0.1, seed: Optional[int] = None):
+        self.capacity_slack = capacity_slack
+        self.seed = seed
+
+    def partition(self, graph: Graph, nparts: int) -> Partition:
+        order = graph.vertex_list()
+        if self.seed is not None:
+            rng = np.random.default_rng(self.seed)
+            rng.shuffle(order)
+        return Partition(
+            nparts,
+            ldg_stream_assign(
+                graph, nparts, order=order, capacity_slack=self.capacity_slack
+            ),
+        )

@@ -1,0 +1,27 @@
+"""Simulated distributed runtime: workers, cluster, tracing, messages."""
+
+from .cluster import Cluster
+from .debug import check_cluster_invariants
+from .faults import crash_and_recover, crash_worker, recover_worker
+from .index import GlobalIndex
+from .message import Message, MessageKind, dv_payload_words
+from .metrics import LoadSnapshot, snapshot_load
+from .tracing import PhaseRecord, Tracer
+from .worker import Worker
+
+__all__ = [
+    "Cluster",
+    "check_cluster_invariants",
+    "crash_worker",
+    "recover_worker",
+    "crash_and_recover",
+    "Worker",
+    "GlobalIndex",
+    "Tracer",
+    "PhaseRecord",
+    "Message",
+    "MessageKind",
+    "dv_payload_words",
+    "LoadSnapshot",
+    "snapshot_load",
+]

@@ -1,0 +1,307 @@
+"""The simulated SPMD cluster.
+
+Owns the global graph, the global vertex index, the workers, and the two
+clocks (modeled LogP time, wall time).  The cluster provides the
+*synchronization and communication primitives* that the core algorithm
+phases (``repro.core``) orchestrate:
+
+* :meth:`decompose` — DD: partition, build local sub-graphs, wire
+  boundary-DV subscriptions,
+* :meth:`exchange_boundary` — the personalized all-to-all boundary-DV
+  exchange of each RC step (Fig. 1 lines 9-15),
+* :meth:`broadcast_row` — binomial-tree DV-row broadcast (Fig. 3 line 22),
+* :meth:`sync_compute` — BSP-style barrier: charges the *max* of the
+  workers' metered compute to the modeled clock.
+
+Time accounting convention: any sequence of worker-side kernels between two
+:meth:`sync_compute` calls is one superstep; its modeled duration is the
+slowest worker's compute.  Communication is priced by the configured
+:class:`~repro.model.schedules.CommSchedule`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CommunicationError, ConfigurationError
+from ..graph.graph import Graph
+from ..graph.views import extract_local_subgraph
+from ..model.cost import DEFAULT_COST, CostModel
+from ..model.logp import DEFAULT_LOGP, LogPParams
+from ..model.schedules import (
+    CommSchedule,
+    SequentialAllToAll,
+    tree_broadcast_time,
+)
+from ..partition.base import Partition, Partitioner
+from ..types import Rank, VertexId
+from .index import GlobalIndex
+from .message import dv_payload_words
+from .tracing import Tracer
+from .worker import Worker
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A simulated cluster of ``nprocs`` workers around one global graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        nprocs: int,
+        *,
+        cost: CostModel = DEFAULT_COST,
+        logp: LogPParams = DEFAULT_LOGP,
+        schedule: Optional[CommSchedule] = None,
+        worker_speeds: Optional[Sequence[float]] = None,
+    ) -> None:
+        if nprocs < 1:
+            raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
+        if worker_speeds is not None:
+            if len(worker_speeds) != nprocs:
+                raise ConfigurationError(
+                    f"worker_speeds has {len(worker_speeds)} entries for"
+                    f" {nprocs} workers"
+                )
+            if any(sp <= 0 for sp in worker_speeds):
+                raise ConfigurationError("worker speeds must be positive")
+        self.graph = graph
+        self.nprocs = nprocs
+        self.cost = cost
+        self.logp = logp
+        self.schedule = schedule or SequentialAllToAll()
+        self.tracer = Tracer()
+        self.index = GlobalIndex(graph.vertex_list())
+        self.workers: List[Worker] = [
+            Worker(r, nprocs, self.index, cost) for r in range(nprocs)
+        ]
+        if worker_speeds is not None:
+            for w, sp in zip(self.workers, worker_speeds):
+                w.speed = float(sp)
+        self.partition: Optional[Partition] = None
+
+    # ------------------------------------------------------------------
+    # ownership
+    # ------------------------------------------------------------------
+    def owner_of(self, v: VertexId) -> Rank:
+        if self.partition is None:
+            raise CommunicationError("cluster has not been decomposed yet")
+        try:
+            return self.partition.assignment[v]
+        except KeyError:
+            raise CommunicationError(f"vertex {v} has no owner") from None
+
+    def worker_owning(self, v: VertexId) -> Worker:
+        return self.workers[self.owner_of(v)]
+
+    # ------------------------------------------------------------------
+    # time accounting primitives
+    # ------------------------------------------------------------------
+    def sync_compute(self) -> float:
+        """BSP barrier: charge the slowest worker's metered compute."""
+        times = [w.take_compute_seconds() for w in self.workers]
+        t = max(times) if times else 0.0
+        self.tracer.add_compute(t)
+        return t
+
+    def charge_serial_compute(self, seconds: float) -> None:
+        """Charge compute that runs on one processor (e.g. coordination)."""
+        self.tracer.add_compute(seconds)
+
+    def charge_comm_words(
+        self, messages: Sequence[Tuple[Rank, Rank, int]]
+    ) -> float:
+        """Price a batch of point-to-point messages given in *words*."""
+        priced = [
+            (s, d, w * self.logp.word_bytes) for s, d, w in messages if s != d
+        ]
+        t = self.schedule.exchange_time(priced, self.logp)
+        self.tracer.add_comm(
+            t, messages=len(priced), words=sum(w for _s, _d, w in messages)
+        )
+        return t
+
+    # ------------------------------------------------------------------
+    # DD phase
+    # ------------------------------------------------------------------
+    def decompose(self, partitioner: Partitioner) -> Partition:
+        """Partition the graph and install local sub-graphs on the workers.
+
+        ParMETIS in the paper is a *parallel* partitioner, so the modeled
+        partitioning compute is divided across the processors.
+        """
+        rec = self.tracer.begin("domain_decomposition")
+        part = partitioner.partition(self.graph, self.nprocs)
+        part.validate_against(self.graph)
+        self.partition = part
+        n, m = self.graph.num_vertices, self.graph.num_edges
+        self.tracer.add_compute(
+            self.cost.partition_time(n, 2 * m, self.nprocs) / self.nprocs
+        )
+        self.install_partition(part)
+        # distributing the sub-graphs: each edge/vertex shipped once
+        dist_msgs = []
+        for r in range(self.nprocs):
+            w = self.workers[r]
+            words = w.n_local + 3 * w.local_graph.num_edges
+            dist_msgs.append((0, r, words))
+        self.charge_comm_words(dist_msgs)
+        rec.info["edge_cut"] = float(
+            sum(len(d) for wk in self.workers for d in wk.cut_adj.values()) / 2
+        )
+        self.tracer.end()
+        return part
+
+    def install_partition(
+        self,
+        part: Partition,
+        *,
+        seed_rows: Optional[Dict[VertexId, np.ndarray]] = None,
+    ) -> None:
+        """(Re)build every worker's local sub-graph from ``part``.
+
+        ``seed_rows`` routes migrated DV rows to their new owners
+        (Repartition-S anytime reuse).
+        """
+        self.partition = part
+        owner = part.assignment
+        blocks = part.blocks()
+        for r in range(self.nprocs):
+            sub = extract_local_subgraph(self.graph, blocks[r], owner, r)
+            rows = None
+            if seed_rows:
+                rows = {
+                    v: seed_rows[v] for v in blocks[r] if v in seed_rows
+                }
+            self.workers[r].load_subgraph(sub, seed_rows=rows)
+        self._wire_subscriptions()
+
+    def _wire_subscriptions(self) -> None:
+        """Every worker subscribes to the owners of its external boundary."""
+        for w in self.workers:
+            for x in w.cut_by_ext:
+                self.workers[self.owner_of(x)].subscribe(x, w.rank)
+
+    # ------------------------------------------------------------------
+    # IA phase
+    # ------------------------------------------------------------------
+    def run_initial_approximation(self) -> None:
+        rec = self.tracer.begin("initial_approximation")
+        for w in self.workers:
+            w.run_initial_approximation()
+        self.sync_compute()
+        self.tracer.end()
+
+    # ------------------------------------------------------------------
+    # RC-step primitives
+    # ------------------------------------------------------------------
+    def exchange_boundary(self) -> int:
+        """Personalized all-to-all exchange of queued boundary-DV rows.
+
+        Returns the number of DV rows delivered.  Prices the exchange under
+        the configured schedule and charges pack/unpack compute.
+        """
+        payloads: Dict[Tuple[Rank, Rank], Dict[VertexId, np.ndarray]] = {}
+        messages: List[Tuple[Rank, Rank, int]] = []
+        delivered = 0
+        for src in range(self.nprocs):
+            w = self.workers[src]
+            for dst in range(self.nprocs):
+                if dst == src:
+                    continue
+                rows = w.build_payload(dst)
+                if not rows:
+                    continue
+                payloads[(src, dst)] = rows
+                messages.append(
+                    (src, dst, dv_payload_words(len(rows), self.n_columns))
+                )
+                delivered += len(rows)
+        self.charge_comm_words(messages)
+        for (src, dst), rows in payloads.items():
+            self.workers[dst].receive_rows(rows)
+        return delivered
+
+    def relax_and_propagate(self) -> bool:
+        """Cut-edge relaxation + local min-plus propagation on all workers."""
+        changed = False
+        for w in self.workers:
+            c1 = w.relax_cut_edges()
+            c2 = w.propagate_local()
+            changed = changed or c1 or c2
+        self.sync_compute()
+        return changed
+
+    def any_pending(self) -> bool:
+        """Convergence vote (modeled as a tiny all-reduce)."""
+        self.charge_comm_words([(r, 0, 1) for r in range(1, self.nprocs)])
+        return any(w.has_pending() for w in self.workers)
+
+    # ------------------------------------------------------------------
+    # broadcasts and column maintenance
+    # ------------------------------------------------------------------
+    def broadcast_row(self, v: VertexId) -> np.ndarray:
+        """Owner broadcasts ``v``'s DV row to all ranks (binomial tree)."""
+        row = self.worker_owning(v).dv_row(v)
+        t = tree_broadcast_time(
+            (row.size + 1) * self.logp.word_bytes, self.nprocs, self.logp
+        )
+        self.tracer.add_comm(t, messages=self.nprocs - 1, words=row.size + 1)
+        return row
+
+    def add_vertex_columns(self, vertices: Sequence[VertexId]) -> None:
+        """Register new vertices and grow every worker's DV (Fig. 3 l.11-18)."""
+        for v in vertices:
+            self.index.add(v)
+        n = len(self.index)
+        for w in self.workers:
+            w.grow_columns(n)
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.index)
+
+    # ------------------------------------------------------------------
+    # result collection
+    # ------------------------------------------------------------------
+    def gather_distance_matrix(self) -> Tuple[np.ndarray, List[VertexId]]:
+        """Assemble the full distance matrix (rows/cols in index order).
+
+        Models the result gather as each worker shipping its rows to rank 0.
+        """
+        n = self.n_columns
+        out = np.full((n, n), np.inf, dtype=np.float64)
+        messages = []
+        for w in self.workers:
+            for v in w.owned:
+                out[self.index.column(v)] = w.dv[w.row_of[v]]
+            if w.rank != 0:
+                messages.append(
+                    (w.rank, 0, dv_payload_words(w.n_local, n))
+                )
+        self.charge_comm_words(messages)
+        return out, list(self.index.ids)
+
+    def distance_rows(self) -> Dict[VertexId, np.ndarray]:
+        """Current DV row (copy) of every vertex, keyed by vertex id."""
+        return {
+            v: w.dv[w.row_of[v]].copy()
+            for w in self.workers
+            for v in w.owned
+        }
+
+    def converged_vote(self) -> bool:
+        return not any(w.has_pending() for w in self.workers)
+
+    def load_report(self) -> Dict[str, List[float]]:
+        """Per-worker load statistics (vertices, cut edges, compute ops)."""
+        return {
+            "vertices": [float(w.n_local) for w in self.workers],
+            "cut_edges": [
+                float(sum(len(d) for d in w.cut_adj.values()))
+                for w in self.workers
+            ],
+        }

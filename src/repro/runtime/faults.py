@@ -1,0 +1,104 @@
+"""Worker-failure injection and anytime recovery.
+
+The paper's future work (§VI): "investigate anytime anywhere methodologies
+to handle issues such as fault tolerance in the cloud".  The anytime
+framework makes warm recovery natural:
+
+* a crash destroys only *derived* state (the worker's DV matrix, local
+  APSP, received boundary rows) — the graph itself is durable input;
+* the surviving workers' DV entries are still **valid upper bounds**
+  (distances did not change), so nothing needs invalidation;
+* the recovered worker reloads its sub-graph, reruns its IA-phase local
+  APSP, and the normal RC iterations restore everything else: neighbors
+  re-send their subscribed boundary rows and relaxation re-derives the
+  crashed worker's remote distances.
+
+Recovery cost is charged honestly: sub-graph re-distribution words, a
+fresh local Dijkstra, and the boundary-row refresh traffic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import RuntimeSimulationError
+from ..graph.views import extract_local_subgraph
+from ..types import Rank
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Cluster
+
+__all__ = ["crash_worker", "recover_worker", "crash_and_recover"]
+
+
+def crash_worker(cluster: "Cluster", rank: Rank) -> None:
+    """Simulate a crash: all derived state on ``rank`` is destroyed.
+
+    The worker object survives as the "replacement process" slot, but its
+    DV matrix, local APSP, external rows, queues and subscriptions are
+    gone.  Peers' subscriptions *to* this rank also drop their queues
+    (messages to a dead process are lost).
+    """
+    if not 0 <= rank < cluster.nprocs:
+        raise RuntimeSimulationError(f"no worker with rank {rank}")
+    w = cluster.workers[rank]
+    n_cols = cluster.n_columns
+    w.dv = np.full((w.n_local, n_cols), np.inf, dtype=np.float64)
+    w.local_apsp = np.zeros((0, 0), dtype=np.float64)
+    w.ext_dvs.clear()
+    w._fresh_ext.clear()
+    w._changed_rows.clear()
+    w._dirty_cols = np.zeros(n_cols, dtype=bool)
+    w._pending = [set() for _ in range(cluster.nprocs)]
+    w.subscribers = {}
+    w.take_compute_seconds()  # drop any un-synced metering
+    for peer in cluster.workers:
+        if peer.rank != rank:
+            peer._pending[rank].clear()
+
+
+def recover_worker(cluster: "Cluster", rank: Rank) -> None:
+    """Warm-restart ``rank`` from durable inputs and anytime reuse.
+
+    1. the coordinator re-ships the sub-graph (comm charged),
+    2. the worker reloads it and reruns the IA local APSP,
+    3. boundary-DV subscriptions are re-wired in *both* directions and all
+       relevant rows are queued for refresh,
+    so a subsequent recombination run re-converges to the exact solution.
+    """
+    if cluster.partition is None:
+        raise RuntimeSimulationError("cluster has not been decomposed")
+    w = cluster.workers[rank]
+    owned = cluster.partition.block(rank)
+    sub = extract_local_subgraph(
+        cluster.graph, owned, cluster.partition.assignment, rank
+    )
+    # re-ship the sub-graph from the coordinator
+    words = len(owned) + 3 * sub.local_graph.num_edges + 3 * len(sub.cut_edges)
+    cluster.charge_comm_words([(0, rank, words)])
+    w.load_subgraph(sub)
+    w.run_initial_approximation()
+    # re-wire subscriptions: the recovered worker re-subscribes at the
+    # owners of its external boundary, and peers re-subscribe at it
+    for x in w.cut_by_ext:
+        cluster.workers[cluster.owner_of(x)].subscribe(x, rank)
+    for peer in cluster.workers:
+        if peer.rank == rank:
+            continue
+        for x in peer.cut_by_ext:
+            if cluster.owner_of(x) == rank:
+                w.subscribe(x, peer.rank)
+    cluster.sync_compute()
+
+
+def crash_and_recover(cluster: "Cluster", rank: Rank) -> None:
+    """Crash ``rank`` and immediately warm-restart it (one fault event)."""
+    rec_open = cluster.tracer._open is None
+    if rec_open:
+        cluster.tracer.begin("fault_recovery")
+    crash_worker(cluster, rank)
+    recover_worker(cluster, rank)
+    if rec_open:
+        cluster.tracer.end()

@@ -1,0 +1,52 @@
+"""Message types exchanged between simulated workers.
+
+Payloads are NumPy rows of distance values; the network only *prices* them
+(LogP model), delivery itself is an in-process handoff.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from ..types import Rank, VertexId
+
+__all__ = ["MessageKind", "Message", "dv_payload_words"]
+
+
+class MessageKind(enum.Enum):
+    """Wire-message categories, used for tracing and accounting."""
+
+    BOUNDARY_DV = "boundary_dv"      # RC-step boundary distance vectors
+    ROW_BROADCAST = "row_broadcast"  # edge/vertex addition DV-row broadcast
+    MIGRATION = "migration"          # Repartition-S partial-result movement
+    CONTROL = "control"              # notifications, convergence votes
+    GATHER = "gather"                # result collection
+
+
+@dataclass
+class Message:
+    """One logical message between two ranks."""
+
+    kind: MessageKind
+    src: Rank
+    dst: Rank
+    #: payload rows: vertex id -> distance row (may be empty for control)
+    rows: Dict[VertexId, np.ndarray] = field(default_factory=dict)
+    #: extra payload words beyond the rows (headers, scalars)
+    extra_words: int = 0
+
+    def payload_words(self) -> int:
+        """Number of 8-byte words on the wire."""
+        words = self.extra_words
+        for row in self.rows.values():
+            words += row.size + 1  # +1 for the vertex id header
+        return words
+
+
+def dv_payload_words(n_rows: int, n_cols: int) -> int:
+    """Wire words for ``n_rows`` DV rows of ``n_cols`` entries each."""
+    return n_rows * (n_cols + 1)

@@ -1,0 +1,145 @@
+"""Execution tracing and time accounting for the simulated cluster.
+
+The tracer records one :class:`PhaseRecord` per pipeline phase / RC step and
+accumulates the two clocks the benchmarks report:
+
+* **modeled time** — LogP communication time + cost-model compute time,
+  where each synchronized step costs ``max_p(compute_p) + comm``; this is
+  the clock that reproduces the paper's figures, and
+* **wall time** — actual Python execution time, reported for transparency.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["PhaseRecord", "Tracer"]
+
+
+@dataclass
+class PhaseRecord:
+    """Timing/volume record for one phase or RC step."""
+
+    name: str
+    step: Optional[int] = None
+    modeled_compute: float = 0.0
+    modeled_comm: float = 0.0
+    messages: int = 0
+    words: int = 0
+    wall_seconds: float = 0.0
+    info: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def modeled_total(self) -> float:
+        return self.modeled_compute + self.modeled_comm
+
+
+class Tracer:
+    """Collects phase records and aggregates the cluster clocks."""
+
+    def __init__(self) -> None:
+        self.records: List[PhaseRecord] = []
+        self.modeled_seconds = 0.0
+        self.wall_seconds = 0.0
+        self.total_messages = 0
+        self.total_words = 0
+        self._open: Optional[PhaseRecord] = None
+        self._open_wall_start = 0.0
+
+    # ------------------------------------------------------------------
+    def begin(self, name: str, step: Optional[int] = None) -> PhaseRecord:
+        """Open a phase record; nested phases are not supported."""
+        if self._open is not None:
+            raise RuntimeError(f"phase {self._open.name!r} is still open")
+        rec = PhaseRecord(name=name, step=step)
+        self._open = rec
+        self._open_wall_start = time.perf_counter()
+        return rec
+
+    def add_compute(self, seconds: float) -> None:
+        """Add modeled compute time (already max-reduced by the caller).
+
+        Outside any open phase the charge lands directly on the totals
+        (e.g. convergence votes between RC steps).
+        """
+        if self._open is None:
+            self.modeled_seconds += seconds
+        else:
+            self._open.modeled_compute += seconds
+
+    def add_comm(self, seconds: float, messages: int = 0, words: int = 0) -> None:
+        if self._open is None:
+            self.modeled_seconds += seconds
+            self.total_messages += messages
+            self.total_words += words
+        else:
+            self._open.modeled_comm += seconds
+            self._open.messages += messages
+            self._open.words += words
+
+    def note(self, key: str, value: float) -> None:
+        if self._open is not None:
+            self._open.info[key] = value
+
+    def end(self) -> PhaseRecord:
+        rec = self._require_open()
+        rec.wall_seconds = time.perf_counter() - self._open_wall_start
+        self.records.append(rec)
+        self.modeled_seconds += rec.modeled_total
+        self.wall_seconds += rec.wall_seconds
+        self.total_messages += rec.messages
+        self.total_words += rec.words
+        self._open = None
+        return rec
+
+    def _require_open(self) -> PhaseRecord:
+        if self._open is None:
+            raise RuntimeError("no open phase")
+        return self._open
+
+    # ------------------------------------------------------------------
+    def by_phase(self) -> Dict[str, float]:
+        """Total modeled seconds per phase name."""
+        acc: Dict[str, float] = {}
+        for rec in self.records:
+            acc[rec.name] = acc.get(rec.name, 0.0) + rec.modeled_total
+        return acc
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "modeled_seconds": self.modeled_seconds,
+            "wall_seconds": self.wall_seconds,
+            "messages": float(self.total_messages),
+            "words": float(self.total_words),
+            "phases": float(len(self.records)),
+        }
+
+    def to_json(self) -> dict:
+        """A JSON-serializable dump of the full trace (for plotting)."""
+        return {
+            "summary": self.summary(),
+            "records": [
+                {
+                    "name": r.name,
+                    "step": r.step,
+                    "modeled_compute": r.modeled_compute,
+                    "modeled_comm": r.modeled_comm,
+                    "messages": r.messages,
+                    "words": r.words,
+                    "wall_seconds": r.wall_seconds,
+                    "info": dict(r.info),
+                }
+                for r in self.records
+            ],
+        }
+
+    def save(self, path) -> None:
+        """Write :meth:`to_json` to ``path``."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(
+            json.dumps(self.to_json(), indent=2), encoding="utf-8"
+        )

@@ -1,0 +1,685 @@
+"""A simulated processor: local sub-graph, distance vectors, kernels.
+
+Each worker owns a block of vertices and maintains:
+
+* ``local_graph`` — the induced graph on its owned vertices,
+* ``cut_adj`` — cut edges to *external boundary* vertices owned elsewhere,
+* ``local_apsp`` — all-pairs shortest paths **within** the local sub-graph
+  (the IA-phase partial result, kept exact under incremental additions),
+* ``dv`` — the distance-vector matrix: ``dv[row_of[v], index.col[t]]`` is
+  the current upper bound on ``d(v, t)`` for every global target ``t``.
+
+All kernels are vectorized NumPy and meter their operation counts into the
+:class:`~repro.model.cost.CostModel`, which is how modeled per-step compute
+time is obtained.
+
+Monotonicity invariant: every ``dv`` entry only ever decreases (except for
+the explicit deletion-invalidation path), which is what gives the algorithm
+its *anytime* property — interrupted results are valid upper bounds whose
+error shrinks monotonically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+import scipy.sparse.csgraph as csgraph
+
+from ..errors import WorkerError
+from ..graph.graph import Graph
+from ..graph.views import LocalSubgraph
+from ..model.cost import CostModel
+from ..types import Rank, VertexId
+from .index import GlobalIndex
+
+__all__ = ["Worker"]
+
+
+class Worker:
+    """One simulated processor of the anytime-anywhere cluster."""
+
+    def __init__(
+        self,
+        rank: Rank,
+        nprocs: int,
+        index: GlobalIndex,
+        cost: CostModel,
+    ) -> None:
+        self.rank = rank
+        self.nprocs = nprocs
+        self.index = index
+        self.cost = cost
+        #: relative processor speed (2.0 = twice the reference core);
+        #: modeled compute charges divide by it — the heterogeneous-cloud
+        #: extension of the paper's load-balance analysis
+        self.speed = 1.0
+
+        self.owned: List[VertexId] = []
+        self.row_of: Dict[VertexId, int] = {}
+        self.local_graph = Graph()
+        #: local vertex -> {external vertex: weight}
+        self.cut_adj: Dict[VertexId, Dict[VertexId, float]] = {}
+        #: external vertex -> [(local vertex, weight), ...]
+        self.cut_by_ext: Dict[VertexId, List[Tuple[VertexId, float]]] = {}
+        #: ranks that need each owned vertex's DV row (it is in their
+        #: external boundary)
+        self.subscribers: Dict[VertexId, Set[Rank]] = {}
+
+        self.dv = np.zeros((0, 0), dtype=np.float64)
+        self.local_apsp = np.zeros((0, 0), dtype=np.float64)
+        #: last received DV rows of external boundary vertices
+        self.ext_dvs: Dict[VertexId, np.ndarray] = {}
+
+        # --- per-step change tracking ---------------------------------
+        self._pending: List[Set[VertexId]] = [set() for _ in range(nprocs)]
+        self._changed_rows: Set[int] = set()
+        self._dirty_cols = np.zeros(0, dtype=bool)
+        self._fresh_ext: Set[VertexId] = set()
+        self._full_repropagate = False
+
+        # --- metering --------------------------------------------------
+        self._seconds = 0.0
+        self.counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # metering helpers
+    # ------------------------------------------------------------------
+    def _charge(self, seconds: float, counter: Optional[str] = None, n: int = 1) -> None:
+        self._seconds += seconds / self.speed
+        if counter:
+            self.counters[counter] = self.counters.get(counter, 0) + n
+
+    def take_compute_seconds(self) -> float:
+        """Drain and return modeled compute seconds accrued since last call."""
+        s = self._seconds
+        self._seconds = 0.0
+        return s
+
+    @property
+    def n_local(self) -> int:
+        return len(self.owned)
+
+    @property
+    def n_cols(self) -> int:
+        return self.dv.shape[1]
+
+    # ------------------------------------------------------------------
+    # loading / domain decomposition
+    # ------------------------------------------------------------------
+    def load_subgraph(
+        self,
+        sub: LocalSubgraph,
+        *,
+        seed_rows: Optional[Dict[VertexId, np.ndarray]] = None,
+    ) -> None:
+        """Install a local sub-graph (DD phase, or Repartition-S rebuild).
+
+        ``seed_rows`` carries migrated partial results: DV rows computed by
+        previous owners, reused thanks to the anytime property.
+        """
+        self.owned = list(sub.owned)
+        self.row_of = {v: i for i, v in enumerate(self.owned)}
+        self.local_graph = sub.local_graph.copy()
+        self.cut_adj = {}
+        self.cut_by_ext = {}
+        for u, x, w in sub.cut_edges:
+            self.cut_adj.setdefault(u, {})[x] = w
+            self.cut_by_ext.setdefault(x, []).append((u, w))
+        self.subscribers = {}
+        n_cols = len(self.index)
+        self.dv = np.full((len(self.owned), n_cols), np.inf, dtype=np.float64)
+        for v, r in self.row_of.items():
+            self.dv[r, self.index.column(v)] = 0.0
+        if seed_rows:
+            for v, row in seed_rows.items():
+                r = self.row_of.get(v)
+                if r is None:
+                    raise WorkerError(f"seed row for non-owned vertex {v}")
+                if row.size != n_cols:
+                    raise WorkerError(
+                        f"seed row for {v} has {row.size} cols, expected {n_cols}"
+                    )
+                np.minimum(self.dv[r], row, out=self.dv[r])
+        self.ext_dvs = {}
+        self.local_apsp = np.zeros((0, 0), dtype=np.float64)
+        self._pending = [set() for _ in range(self.nprocs)]
+        self._changed_rows = set()
+        self._dirty_cols = np.zeros(n_cols, dtype=bool)
+        self._fresh_ext = set()
+        self._full_repropagate = False
+
+    # ------------------------------------------------------------------
+    # IA phase
+    # ------------------------------------------------------------------
+    def run_initial_approximation(self) -> None:
+        """Local APSP (multithreaded Dijkstra in the paper) on the sub-graph."""
+        n = self.n_local
+        if n == 0:
+            self.local_apsp = np.zeros((0, 0), dtype=np.float64)
+            return
+        view = self.local_graph.to_csr(self.owned)
+        self.local_apsp = csgraph.dijkstra(view.matrix, directed=False)
+        m_dir = int(view.matrix.nnz)
+        self._charge(
+            self.cost.dijkstra_time(n, n, m_dir), "dijkstra_sources", n
+        )
+        cols = np.fromiter(
+            (self.index.column(v) for v in self.owned), dtype=np.intp, count=n
+        )
+        # fancy indexing yields a copy, so an out= write would be lost;
+        # assign the minimum back explicitly
+        self.dv[:, cols] = np.minimum(self.dv[:, cols], self.local_apsp)
+        self._charge(self.cost.relax_time(n * n))
+        # everything we own changed: queue full boundary DVs for neighbors
+        self._changed_rows = set(range(n))
+        self._dirty_cols[:] = True
+        for v in self.owned:
+            self._queue_row(v)
+
+    def recompute_local_apsp(self) -> None:
+        """Full local APSP recomputation (deletions, repartition rebuilds)."""
+        n = self.n_local
+        if n == 0:
+            self.local_apsp = np.zeros((0, 0), dtype=np.float64)
+            return
+        view = self.local_graph.to_csr(self.owned)
+        self.local_apsp = csgraph.dijkstra(view.matrix, directed=False)
+        self._charge(
+            self.cost.dijkstra_time(n, n, int(view.matrix.nnz)),
+            "dijkstra_sources",
+            n,
+        )
+        cols = np.fromiter(
+            (self.index.column(v) for v in self.owned), dtype=np.intp, count=n
+        )
+        # fancy indexing yields a copy, so an out= write would be lost;
+        # assign the minimum back explicitly
+        self.dv[:, cols] = np.minimum(self.dv[:, cols], self.local_apsp)
+        self._charge(self.cost.relax_time(n * n))
+        self.request_full_repropagate()
+
+    # ------------------------------------------------------------------
+    # change tracking / messaging
+    # ------------------------------------------------------------------
+    def _queue_row(self, v: VertexId) -> None:
+        """Queue ``v``'s DV row for every subscriber rank."""
+        for dst in self.subscribers.get(v, ()):
+            self._pending[dst].add(v)
+
+    def _mark_row_changed(self, row: int) -> None:
+        self._changed_rows.add(row)
+        self._queue_row(self.owned[row])
+
+    def _mark_rows_changed(self, rows: "np.ndarray") -> None:
+        """Bulk version of :meth:`_mark_row_changed` for vectorized kernels."""
+        idx = rows.tolist()
+        self._changed_rows.update(idx)
+        if not self.subscribers:
+            return
+        for r in idx:
+            v = self.owned[r]
+            subs = self.subscribers.get(v)
+            if subs:
+                for dst in subs:
+                    self._pending[dst].add(v)
+
+    def subscribe(self, v: VertexId, dst: Rank) -> None:
+        """Rank ``dst`` wants updates of ``v``'s DV row from now on."""
+        if v not in self.row_of:
+            raise WorkerError(f"rank {self.rank} does not own vertex {v}")
+        self.subscribers.setdefault(v, set()).add(dst)
+        self._pending[dst].add(v)  # send the current row at the next exchange
+
+    def unsubscribe_rank(self, dst: Rank) -> None:
+        """Drop all subscriptions from ``dst`` (used on repartition)."""
+        for subs in self.subscribers.values():
+            subs.discard(dst)
+        self._pending[dst].clear()
+
+    def has_pending(self) -> bool:
+        """True while this worker still has work that could change results:
+        rows queued to peers, unprocessed received rows, or unpropagated
+        local changes."""
+        return (
+            any(self._pending)
+            or bool(self._changed_rows)
+            or bool(self._fresh_ext)
+            or self._full_repropagate
+        )
+
+    def build_payload(self, dst: Rank) -> Dict[VertexId, np.ndarray]:
+        """DV rows queued for ``dst``; clears the queue."""
+        out = {
+            v: self.dv[self.row_of[v]].copy() for v in sorted(self._pending[dst])
+        }
+        self._pending[dst].clear()
+        return out
+
+    def receive_rows(self, rows: Dict[VertexId, np.ndarray]) -> None:
+        """Store freshly received external boundary DV rows."""
+        for v, row in rows.items():
+            if row.size != self.n_cols:
+                raise WorkerError(
+                    f"received row of {row.size} cols, expected {self.n_cols}"
+                )
+            self.ext_dvs[v] = row
+            self._fresh_ext.add(v)
+
+    # ------------------------------------------------------------------
+    # RC-step kernels
+    # ------------------------------------------------------------------
+    def relax_cut_edges(self) -> bool:
+        """Relax cut edges against freshly received external rows.
+
+        ``d(u, t) <- min(d(u, t), w(u, x) + d(x, t))`` for each cut edge
+        ``(u, x)`` whose external row arrived since the last call.
+        """
+        improved_any = False
+        fresh = self._fresh_ext
+        self._fresh_ext = set()
+        for x in fresh:
+            pairs = self.cut_by_ext.get(x)
+            if not pairs:
+                continue
+            row_x = self.ext_dvs.get(x)
+            if row_x is None:
+                continue
+            for u, w in pairs:
+                r = self.row_of[u]
+                cand = row_x + w
+                mask = cand < self.dv[r]
+                self._charge(self.cost.relax_time(self.n_cols))
+                if mask.any():
+                    self.dv[r][mask] = cand[mask]
+                    self._dirty_cols |= mask
+                    self._mark_row_changed(r)
+                    improved_any = True
+        return improved_any
+
+    def propagate_local(self) -> bool:
+        """Min-plus propagation through the local sub-graph (paper's local
+        Floyd–Warshall update).
+
+        Because ``local_apsp`` is transitively closed, a single pass from
+        the rows that changed since the last propagation is complete: for
+        any target ``t``, ``d(x,t) <- min_k apsp(x,k) + d(k,t)`` over the
+        changed sources ``k`` cannot be improved by chaining two local hops.
+        """
+        n = self.n_local
+        if n == 0:
+            # nothing to fold, but pending flags must still clear or an
+            # empty worker would block the convergence vote forever
+            self._full_repropagate = False
+            self._changed_rows.clear()
+            if self._dirty_cols.size:
+                self._dirty_cols[:] = False
+            return False
+        if self._full_repropagate:
+            rows = list(range(n))
+            col_mask = np.ones(self.n_cols, dtype=bool)
+            self._full_repropagate = False
+        else:
+            rows = sorted(self._changed_rows)
+            col_mask = self._dirty_cols
+        if not rows or not col_mask.any():
+            self._changed_rows.clear()
+            self._dirty_cols[:] = False
+            return False
+        cols = np.flatnonzero(col_mask)
+        a = self.local_apsp[:, rows]            # (n, k)
+        b = self.dv[np.asarray(rows)][:, cols]  # (k, c)
+        # The paper's recombination strategy performs the full local
+        # Floyd–Warshall-style DV update each active RC step; the modeled
+        # cost charges that dense fold.  The simulation computes only the
+        # changed-rows x dirty-columns restriction — a pure wall-clock
+        # optimization (sources that did not change cannot improve anything
+        # through a transitively-closed local APSP).
+        self._charge(self.cost.minplus_time(n, n, self.n_cols))
+        # fold one source at a time: bounded memory, vectorized inner loop
+        cand = np.full((n, len(cols)), np.inf, dtype=np.float64)
+        for j in range(len(rows)):
+            aj = a[:, j]
+            finite = np.isfinite(aj)
+            if not finite.any():
+                continue
+            np.minimum(cand, aj[:, None] + b[j][None, :], out=cand)
+        sub = self.dv[:, cols]
+        improved = cand < sub
+        self._changed_rows.clear()
+        self._dirty_cols[:] = False
+        if not improved.any():
+            return False
+        sub[improved] = cand[improved]
+        self.dv[:, cols] = sub
+        improved_rows = np.flatnonzero(improved.any(axis=1))
+        # Improved rows need only be *sent* to subscribers, not re-used as
+        # local sources: local_apsp is transitively closed, so chaining two
+        # local hops can never beat the single-hop fold just performed.
+        for r in improved_rows:
+            self._queue_row(self.owned[int(r)])
+        return True
+
+    def request_full_repropagate(self) -> None:
+        """Force the next :meth:`propagate_local` to use all rows/columns
+        (called after local structural changes invalidate the incremental
+        change tracking)."""
+        self._full_repropagate = True
+
+    # ------------------------------------------------------------------
+    # dynamic changes: columns and vertices
+    # ------------------------------------------------------------------
+    def grow_columns(self, new_n_cols: int) -> None:
+        """Extend DV (and stored external rows) to ``new_n_cols`` columns.
+
+        Mirrors paper Fig. 3 lines 14/16: "ADD new column to DV and
+        initialize to infinity".
+        """
+        added = new_n_cols - self.n_cols
+        if added < 0:
+            raise WorkerError("columns cannot shrink via grow_columns")
+        if added == 0:
+            return
+        pad = np.full((self.n_local, added), np.inf, dtype=np.float64)
+        self.dv = np.hstack([self.dv, pad])
+        self._dirty_cols = np.concatenate(
+            [self._dirty_cols, np.zeros(added, dtype=bool)]
+        )
+        for x, row in list(self.ext_dvs.items()):
+            self.ext_dvs[x] = np.concatenate(
+                [row, np.full(added, np.inf, dtype=np.float64)]
+            )
+        self._charge(
+            self.cost.resize_time(self.n_local + len(self.ext_dvs), added),
+            "dv_resizes",
+        )
+
+    def add_local_vertex(self, v: VertexId) -> int:
+        """Add an owned vertex (paper Fig. 3 lines 12-14); returns its row."""
+        if v in self.row_of:
+            raise WorkerError(f"vertex {v} already owned by rank {self.rank}")
+        if v not in self.index.col:
+            raise WorkerError(f"vertex {v} missing from global index")
+        r = self.n_local
+        self.owned.append(v)
+        self.row_of[v] = r
+        self.local_graph.add_vertex(v)
+        row = np.full((1, self.n_cols), np.inf, dtype=np.float64)
+        row[0, self.index.column(v)] = 0.0
+        self.dv = np.vstack([self.dv, row])
+        # extend local APSP with an isolated vertex
+        n = r + 1
+        apsp = np.full((n, n), np.inf, dtype=np.float64)
+        if r:
+            apsp[:r, :r] = self.local_apsp
+        np.fill_diagonal(apsp, 0.0)
+        self.local_apsp = apsp
+        self._charge(self.cost.vertex_time(1) + self.cost.resize_time(1, n))
+        self._mark_row_changed(r)
+        return r
+
+    def add_local_edge(self, u: VertexId, v: VertexId, w: float) -> None:
+        """Add an intra-partition edge; incrementally repair ``local_apsp``.
+
+        The classic incremental-APSP relaxation: paths may now route
+        through the new edge in either direction.
+        """
+        self.local_graph.add_edge(u, v, w)
+        ru, rv = self.row_of[u], self.row_of[v]
+        a = self.local_apsp
+        n = a.shape[0]
+        cand = np.minimum(
+            a[:, ru][:, None] + w + a[rv][None, :],
+            a[:, rv][:, None] + w + a[ru][None, :],
+        )
+        self._charge(self.cost.minplus_time(n, 2, n))
+        improved = cand < a
+        if improved.any():
+            a[improved] = cand[improved]
+            self.request_full_repropagate()
+        # the new edge also immediately improves DV rows through it
+        self._relax_dv_with_local_edge(ru, rv, w)
+
+    def _relax_dv_with_local_edge(self, ru: int, rv: int, w: float) -> None:
+        for src, dst in ((ru, rv), (rv, ru)):
+            cand = self.dv[src] + w
+            mask = cand < self.dv[dst]
+            self._charge(self.cost.relax_time(self.n_cols))
+            if mask.any():
+                self.dv[dst][mask] = cand[mask]
+                self._dirty_cols |= mask
+                self._mark_row_changed(dst)
+
+    def add_cut_edge(self, u: VertexId, x: VertexId, w: float) -> None:
+        """Register a new cut edge from owned ``u`` to external ``x``."""
+        if u not in self.row_of:
+            raise WorkerError(f"rank {self.rank} does not own {u}")
+        self.cut_adj.setdefault(u, {})[x] = w
+        lst = self.cut_by_ext.setdefault(x, [])
+        lst[:] = [(a, ww) for a, ww in lst if a != u]  # re-add replaces
+        lst.append((u, w))
+        self._charge(self.cost.vertex_time(1))
+        if x in self.ext_dvs:
+            self._fresh_ext.add(x)  # relax against the stored row next step
+
+    def remove_cut_edge(self, u: VertexId, x: VertexId) -> None:
+        nbrs = self.cut_adj.get(u, {})
+        nbrs.pop(x, None)
+        if not nbrs:
+            self.cut_adj.pop(u, None)
+        lst = self.cut_by_ext.get(x)
+        if lst is not None:
+            self.cut_by_ext[x] = [(a, w) for a, w in lst if a != u]
+            if not self.cut_by_ext[x]:
+                del self.cut_by_ext[x]
+                self.ext_dvs.pop(x, None)
+                self._fresh_ext.discard(x)
+
+    # ------------------------------------------------------------------
+    # edge-addition / deletion relaxations (distributed, row broadcasts)
+    # ------------------------------------------------------------------
+    def relax_with_edge_rows(
+        self,
+        a: VertexId,
+        row_a: np.ndarray,
+        b: VertexId,
+        row_b: np.ndarray,
+        w: float,
+    ) -> bool:
+        """Edge-addition relaxation from broadcast endpoint rows [paper 9].
+
+        ``d(x,t) <- min(d(x,t), d(x,a) + w + d(b,t), d(x,b) + w + d(a,t))``
+        for every owned ``x`` and every target ``t`` (Fig. 3 lines 26-34).
+        """
+        if self.n_local == 0:
+            return False
+        col_a = self.index.column(a)
+        col_b = self.index.column(b)
+        improved_any = False
+        for col_src, row in ((col_a, row_b), (col_b, row_a)):
+            # The paper's relaxation is dense (every owned row x every
+            # target), and the modeled cost charges that.  The simulation
+            # skips +inf rows/columns — a pure wall-clock optimization that
+            # cannot change any result (inf + w never improves anything).
+            self._charge(self.cost.relax_time(self.n_local * self.n_cols))
+            src_col = self.dv[:, col_src]
+            rows_f = np.flatnonzero(np.isfinite(src_col))
+            cols_f = np.flatnonzero(np.isfinite(row))
+            if rows_f.size == 0 or cols_f.size == 0:
+                continue
+            sub = self.dv[np.ix_(rows_f, cols_f)]
+            through = src_col[rows_f][:, None] + (w + row[cols_f])[None, :]
+            mask = through < sub
+            if mask.any():
+                sub[mask] = through[mask]
+                self.dv[np.ix_(rows_f, cols_f)] = sub
+                self._dirty_cols[cols_f[mask.any(axis=0)]] = True
+                self._mark_rows_changed(rows_f[mask.any(axis=1)])
+                improved_any = True
+        return improved_any
+
+    def invalidate_for_deleted_edge(
+        self,
+        u: VertexId,
+        row_u: np.ndarray,
+        v: VertexId,
+        row_v: np.ndarray,
+        w: float,
+    ) -> int:
+        """Reset DV entries whose shortest path may have used edge (u, v).
+
+        An entry ``d(x,t)`` is *suspect* iff ``d(x,u) + w + d(v,t) == d(x,t)``
+        (either orientation): some shortest path crossed the deleted edge.
+        Suspect entries are reset to +inf (except exact local distances and
+        the diagonal, which are restored by the caller's local-APSP
+        recomputation) and rebuilt by subsequent RC steps.  Entries that are
+        not suspect are untouched — their witnessing paths avoid the edge.
+        """
+        if self.n_local == 0:
+            return 0
+        col_u = self.index.column(u)
+        col_v = self.index.column(v)
+        # witnessed == the through-path length matches the stored distance.
+        # Compare with a relative tolerance: float sums accumulate in
+        # different orders on different workers, so exact equality can miss
+        # a genuine witness by one ulp and leave a stale (too small)
+        # distance alive.  `<=` also catches not-yet-relaxed entries, and
+        # over-invalidating is always safe (the entry is just recomputed).
+        bound = self.dv * (1.0 + 1e-12) + 1e-12
+        suspect = (
+            self.dv[:, col_u][:, None] + (w + row_v)[None, :] <= bound
+        ) | (self.dv[:, col_v][:, None] + (w + row_u)[None, :] <= bound)
+        self._charge(self.cost.relax_time(2 * self.n_local * self.n_cols))
+        suspect &= np.isfinite(self.dv)
+        # never reset the trivial diagonal
+        for vtx, r in self.row_of.items():
+            suspect[r, self.index.column(vtx)] = False
+        count = int(suspect.sum())
+        if count:
+            self.dv[suspect] = np.inf
+        return count
+
+    def restore_local_baseline(self) -> None:
+        """Re-apply ``local_apsp`` to the owned columns of ``dv``.
+
+        Used after an invalidation pass that may have wiped entries that
+        are exact within the local sub-graph; also forces the next
+        propagation to be full.  Unlike :meth:`recompute_local_apsp` it
+        does not re-run Dijkstra — the local structure did not change.
+        """
+        n = self.n_local
+        if n == 0:
+            return
+        cols = np.fromiter(
+            (self.index.column(v) for v in self.owned), dtype=np.intp, count=n
+        )
+        # fancy indexing yields a copy, so an out= write would be lost;
+        # assign the minimum back explicitly
+        self.dv[:, cols] = np.minimum(self.dv[:, cols], self.local_apsp)
+        self._charge(self.cost.relax_time(n * n))
+        self.request_full_repropagate()
+
+    def invalidate_through_vertex(self, x: VertexId, row_x: np.ndarray) -> int:
+        """Reset DV entries whose shortest path may route through ``x``.
+
+        Used by vertex deletion: ``d(a,b)`` is suspect iff
+        ``d(a,x) + d(x,b) == d(a,b)``.  Entries *to* and *from* ``x`` itself
+        are left alone — the caller removes that row/column entirely.
+        """
+        if self.n_local == 0:
+            return 0
+        col_x = self.index.column(x)
+        # same tolerant witness test as invalidate_for_deleted_edge
+        suspect = (
+            self.dv[:, col_x][:, None] + row_x[None, :]
+            <= self.dv * (1.0 + 1e-12) + 1e-12
+        )
+        self._charge(self.cost.relax_time(self.n_local * self.n_cols))
+        suspect &= np.isfinite(self.dv)
+        suspect[:, col_x] = False
+        if x in self.row_of:
+            suspect[self.row_of[x], :] = False  # the row disappears anyway
+        for vtx, r in self.row_of.items():
+            suspect[r, self.index.column(vtx)] = False
+        count = int(suspect.sum())
+        if count:
+            self.dv[suspect] = np.inf
+        return count
+
+    def clear_external_rows(self) -> None:
+        """Drop all stored external boundary rows (stale after deletions)."""
+        self.ext_dvs.clear()
+        self._fresh_ext.clear()
+
+    def queue_all_boundary_rows(self) -> None:
+        """Queue every subscribed row for a full refresh."""
+        for v in self.subscribers:
+            self._queue_row(v)
+
+    # ------------------------------------------------------------------
+    # vertex deletion support
+    # ------------------------------------------------------------------
+    def remove_column(self, col: int) -> None:
+        """Compact away a deleted vertex's DV column."""
+        self.dv = np.delete(self.dv, col, axis=1)
+        self._dirty_cols = np.delete(self._dirty_cols, col)
+        for x, row in list(self.ext_dvs.items()):
+            self.ext_dvs[x] = np.delete(row, col)
+        self._charge(self.cost.resize_time(self.n_local + len(self.ext_dvs), 1))
+
+    def remove_local_vertex(self, v: VertexId) -> None:
+        """Remove an owned vertex's row and local structure."""
+        r = self.row_of.pop(v)
+        self.owned.pop(r)
+        for vv in self.owned[r:]:
+            self.row_of[vv] -= 1
+        self.dv = np.delete(self.dv, r, axis=0)
+        self.local_apsp = np.delete(
+            np.delete(self.local_apsp, r, axis=0), r, axis=1
+        )
+        self.local_graph.remove_vertex(v)
+        self.cut_adj.pop(v, None)
+        for x in list(self.cut_by_ext):
+            self.cut_by_ext[x] = [(a, w) for a, w in self.cut_by_ext[x] if a != v]
+            if not self.cut_by_ext[x]:
+                del self.cut_by_ext[x]
+                self.ext_dvs.pop(x, None)
+                self._fresh_ext.discard(x)
+        self.subscribers.pop(v, None)
+        for pend in self._pending:
+            pend.discard(v)
+        # row indices shifted: conservatively re-propagate everything
+        self._changed_rows = set()
+        self.request_full_repropagate()
+        self._charge(self.cost.vertex_time(1))
+
+    def drop_external_vertex(self, x: VertexId) -> None:
+        """Forget a deleted external vertex entirely."""
+        self.ext_dvs.pop(x, None)
+        self._fresh_ext.discard(x)
+        self.cut_by_ext.pop(x, None)
+        for u in list(self.cut_adj):
+            self.cut_adj[u].pop(x, None)
+            if not self.cut_adj[u]:
+                del self.cut_adj[u]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def dv_row(self, v: VertexId) -> np.ndarray:
+        """A copy of the authoritative DV row of owned vertex ``v``."""
+        return self.dv[self.row_of[v]].copy()
+
+    def extract_rows(self, vertices: Iterable[VertexId]) -> Dict[VertexId, np.ndarray]:
+        """Copies of DV rows for migration (Repartition-S)."""
+        return {v: self.dv[self.row_of[v]].copy() for v in vertices}
+
+    def local_boundary_vertices(self) -> List[VertexId]:
+        """Owned vertices incident to at least one cut edge."""
+        return sorted(self.cut_adj)
+
+    def __repr__(self) -> str:
+        return (
+            f"Worker(rank={self.rank}, owned={self.n_local},"
+            f" cut={sum(len(d) for d in self.cut_adj.values())})"
+        )

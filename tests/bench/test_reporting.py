@@ -1,0 +1,60 @@
+"""Tests for result-table formatting."""
+
+from repro.bench import format_table, pivot, to_markdown
+
+ROWS = [
+    {"size": 10, "strategy": "rr", "minutes": 1.5},
+    {"size": 10, "strategy": "ce", "minutes": 1.25},
+    {"size": 20, "strategy": "rr", "minutes": 3.0},
+]
+
+
+def test_format_table_alignment():
+    out = format_table(ROWS)
+    lines = out.splitlines()
+    assert lines[0].startswith("size")
+    assert len(lines) == 5  # header + rule + 3 rows
+    assert all(len(l) == len(lines[0]) for l in lines[1:2])
+
+
+def test_format_table_column_selection():
+    out = format_table(ROWS, ["strategy", "minutes"])
+    assert "size" not in out
+    assert "rr" in out
+
+
+def test_format_table_empty():
+    assert format_table([]) == "(no rows)"
+
+
+def test_number_formatting():
+    out = format_table([{"a": 1234567.0, "b": 0.00012, "c": 5.5}])
+    assert "1,234,567" in out
+    assert "0.0001" in out
+    assert "5.50" in out
+
+
+def test_to_markdown():
+    md = to_markdown(ROWS, ["size", "strategy"])
+    lines = md.splitlines()
+    assert lines[0] == "| size | strategy |"
+    assert lines[1] == "|---|---|"
+    assert len(lines) == 5
+    assert to_markdown([]) == "(no rows)"
+
+
+def test_pivot_wide_shape():
+    wide = pivot(ROWS, index="size", columns="strategy", values="minutes")
+    assert wide == [
+        {"size": 10, "rr": 1.5, "ce": 1.25},
+        {"size": 20, "rr": 3.0},
+    ]
+
+
+def test_pivot_preserves_index_order():
+    rows = [
+        {"k": "b", "s": "x", "v": 1},
+        {"k": "a", "s": "x", "v": 2},
+    ]
+    wide = pivot(rows, "k", "s", "v")
+    assert [r["k"] for r in wide] == ["b", "a"]

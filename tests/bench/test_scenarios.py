@@ -1,0 +1,98 @@
+"""Smoke and shape tests for the figure scenarios (small scale)."""
+
+import pytest
+
+from repro.bench import (
+    ScenarioScale,
+    figure4,
+    figure5,
+    figure7,
+    figure8,
+    run_workload,
+    community_workload,
+)
+
+SMALL = ScenarioScale.small()
+
+
+@pytest.fixture(scope="module")
+def fig4_rows():
+    return figure4(SMALL)
+
+
+@pytest.fixture(scope="module")
+def fig5_rows():
+    return figure5(SMALL)
+
+
+def test_figure4_structure(fig4_rows):
+    assert len(fig4_rows) == 2 * len(SMALL.inject_steps)
+    strategies = {r["strategy"] for r in fig4_rows}
+    assert strategies == {"anytime_roundrobin", "baseline_restart"}
+    assert all(r["modeled_minutes"] > 0 for r in fig4_rows)
+
+
+def test_figure4_baseline_grows_with_inject_step(fig4_rows):
+    baseline = [
+        r["modeled_minutes"]
+        for r in fig4_rows
+        if r["strategy"] == "baseline_restart"
+    ]
+    assert baseline[-1] >= baseline[0]
+
+
+def test_figure5_structure(fig5_rows):
+    sizes = {r["batch_size"] for r in fig5_rows}
+    assert sizes == set(SMALL.batch_sizes)
+    assert {r["strategy"] for r in fig5_rows} == {
+        "repartition",
+        "cutedge",
+        "roundrobin",
+    }
+
+
+def test_figure7_cut_edge_ordering(fig5_rows):
+    """Paper Fig. 7: Repartition-S <= CutEdge-PS <= RoundRobin-PS on new
+    cut edges, at least for the largest batch."""
+    rows = figure7(rows=fig5_rows)
+    largest = max(r["batch_size"] for r in rows)
+    by_strategy = {
+        r["strategy"]: r["new_cut_edges"]
+        for r in rows
+        if r["batch_size"] == largest
+    }
+    assert by_strategy["repartition"] <= by_strategy["cutedge"]
+    assert by_strategy["cutedge"] <= by_strategy["roundrobin"]
+
+
+def test_figure8_baseline_dominates():
+    rows = figure8(
+        ScenarioScale.small(), strategies=("baseline", "roundrobin")
+    )
+    for per_step in {r["per_step"] for r in rows}:
+        sub = {r["strategy"]: r["modeled_minutes"] for r in rows
+               if r["per_step"] == per_step}
+        assert sub["baseline"] > sub["roundrobin"]
+
+
+def test_run_workload_verify_flag():
+    wl = community_workload(60, 8, seed=0, inject_step=1)
+    out = run_workload(wl, "roundrobin", SMALL, verify=True)
+    assert out.max_error == pytest.approx(0.0, abs=1e-9)
+    assert out.rc_steps >= 1
+    assert out.new_cut_edges >= 0
+
+
+def test_run_workload_baseline():
+    wl = community_workload(60, 8, seed=1, inject_step=1)
+    out = run_workload(wl, "baseline", SMALL, verify=True)
+    assert out.restarts == 1
+    assert out.max_error == pytest.approx(0.0, abs=1e-9)
+
+
+def test_paper_scale_documented():
+    paper = ScenarioScale.paper()
+    assert paper.n_base == 50_000
+    assert paper.nprocs == 16
+    assert paper.fig4_batch == 512
+    assert paper.per_step_sizes == (51, 187, 383, 561)

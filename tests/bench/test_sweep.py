@@ -1,0 +1,91 @@
+"""Tests for the grid-sweep utility."""
+
+import pytest
+
+from repro.bench import grid_points, grid_sweep
+
+
+def test_grid_points_product():
+    pts = grid_points({"a": [1, 2], "b": ["x", "y", "z"]})
+    assert len(pts) == 6
+    assert pts[0] == {"a": 1, "b": "x"}
+    assert pts[-1] == {"a": 2, "b": "z"}
+
+
+def test_grid_points_last_axis_fastest():
+    pts = grid_points({"a": [1, 2], "b": [10, 20]})
+    assert [p["b"] for p in pts] == [10, 20, 10, 20]
+
+
+def test_empty_grid_single_point():
+    assert grid_points({}) == [{}]
+
+
+def test_empty_axis_rejected():
+    with pytest.raises(ValueError):
+        grid_points({"a": []})
+
+
+def test_non_sequence_rejected():
+    with pytest.raises(TypeError):
+        grid_points({"a": 5})
+
+
+def test_sweep_merges_params_and_results():
+    rows = grid_sweep(
+        lambda a, b: {"sum": a + b}, {"a": [1, 2], "b": [10]}
+    )
+    assert rows == [
+        {"a": 1, "b": 10, "sum": 11},
+        {"a": 2, "b": 10, "sum": 12},
+    ]
+
+
+def test_sweep_error_raise():
+    def boom(a):
+        raise RuntimeError("nope")
+
+    with pytest.raises(RuntimeError):
+        grid_sweep(boom, {"a": [1]})
+
+
+def test_sweep_error_skip():
+    def sometimes(a):
+        if a == 2:
+            raise RuntimeError("nope")
+        return {"ok": True}
+
+    rows = grid_sweep(sometimes, {"a": [1, 2, 3]}, on_error="skip")
+    assert [r["a"] for r in rows] == [1, 3]
+
+
+def test_sweep_error_record():
+    def boom(a):
+        raise RuntimeError("nope")
+
+    rows = grid_sweep(boom, {"a": [1]}, on_error="record")
+    assert "RuntimeError" in rows[0]["error"]
+
+
+def test_sweep_invalid_mode():
+    with pytest.raises(ValueError):
+        grid_sweep(lambda: {}, {}, on_error="explode")
+
+
+def test_sweep_with_real_scenario():
+    """End-to-end: sweep the engine over (nprocs, seed)."""
+    from repro import AnytimeAnywhereCloseness, AnytimeConfig
+    from repro.graph import barabasi_albert
+
+    def run(nprocs, seed):
+        g = barabasi_albert(40, 2, seed=seed)
+        engine = AnytimeAnywhereCloseness(
+            g, AnytimeConfig(nprocs=nprocs, collect_snapshots=False)
+        )
+        engine.setup()
+        result = engine.run()
+        return {"modeled": result.modeled_seconds, "steps": result.rc_steps}
+
+    rows = grid_sweep(run, {"nprocs": [2, 4], "seed": [0, 1]})
+    assert len(rows) == 4
+    assert all(r["modeled"] > 0 for r in rows)

@@ -1,0 +1,130 @@
+"""Tests for the experiment workload builders."""
+
+import pytest
+
+from repro.bench import (
+    Workload,
+    community_workload,
+    incremental_stream,
+    louvain_carved_workload,
+    scale_free_workload,
+    split_sizes,
+)
+from repro.errors import ConfigurationError
+from repro.graph import is_connected, louvain_communities, modularity
+
+
+class TestSplitSizes:
+    def test_even(self):
+        assert split_sizes(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_spread(self):
+        assert split_sizes(10, 4) == [3, 3, 2, 2]
+
+    def test_more_parts_than_total(self):
+        assert split_sizes(2, 5) == [1, 1]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            split_sizes(5, 0)
+
+
+def _validate(wl: Workload):
+    """A workload's batches must apply cleanly and yield its final graph."""
+    g = wl.base.copy()
+    for _step, batch in wl.stream:
+        batch.validate(g)
+        batch.apply_to(g)
+    assert g == wl.final
+
+
+class TestScaleFreeWorkload:
+    def test_sizes(self):
+        wl = scale_free_workload(100, 20, seed=0)
+        assert wl.base.num_vertices == 100
+        assert wl.total_added == 20
+        assert wl.final.num_vertices == 120
+
+    def test_valid_and_consistent(self):
+        _validate(scale_free_workload(80, 30, seed=1))
+
+    def test_inject_step(self):
+        wl = scale_free_workload(50, 10, seed=0, inject_step=7)
+        assert wl.stream.steps() == [7]
+
+    def test_batch_attaches_to_base(self):
+        wl = scale_free_workload(60, 15, seed=2)
+        batch = wl.single_batch()
+        attach = sum(
+            1
+            for va in batch.vertex_additions
+            for t, _w in va.edges
+            if t < 60
+        )
+        assert attach > 0
+
+    def test_deterministic(self):
+        a = scale_free_workload(60, 15, seed=3)
+        b = scale_free_workload(60, 15, seed=3)
+        assert a.final == b.final
+
+
+class TestCommunityWorkload:
+    def test_valid_and_consistent(self):
+        _validate(community_workload(80, 24, seed=0))
+
+    def test_batch_has_community_structure(self):
+        wl = community_workload(100, 40, n_communities=4, seed=1)
+        newg = wl.single_batch().new_vertex_graph()
+        comms = louvain_communities(newg, seed=0)
+        assert modularity(newg, comms) > 0.3
+
+    def test_every_new_vertex_attached(self):
+        wl = community_workload(80, 16, seed=2, attach_per_vertex=2)
+        batch = wl.single_batch()
+        for va in batch.vertex_additions:
+            attached = [t for t, _w in va.edges if t < 80]
+            # attachments recorded on this vertex (intra edges may be on
+            # the partner); every vertex got attach_per_vertex anchors
+            assert len(attached) >= 2
+
+    def test_kind_string(self):
+        wl = community_workload(50, 10, seed=0)
+        assert "community" in wl.kind
+
+
+class TestLouvainCarvedWorkload:
+    def test_valid_and_consistent(self):
+        wl = louvain_carved_workload(150, 30, seed=0)
+        _validate(wl)
+
+    def test_realized_sizes_near_targets(self):
+        wl = louvain_carved_workload(150, 30, seed=1)
+        assert 1 <= wl.total_added <= 70
+        assert wl.final.num_vertices == 180
+
+
+class TestIncrementalStream:
+    def test_schedule_shape(self):
+        wl = incremental_stream(60, 6, 5, seed=0)
+        assert wl.stream.steps() == [0, 1, 2, 3, 4]
+        assert wl.total_added == 30
+
+    def test_valid_and_consistent(self):
+        _validate(incremental_stream(60, 8, 4, seed=1))
+
+    def test_later_batches_may_attach_to_earlier_ones(self):
+        wl = incremental_stream(40, 10, 4, seed=2, attach_per_vertex=2)
+        found = False
+        for step, batch in wl.stream:
+            if step == 0:
+                continue
+            for va in batch.vertex_additions:
+                if any(40 <= t < va.vertex for t, _w in va.edges):
+                    found = True
+        assert found
+
+    def test_single_batch_raises_for_multi(self):
+        wl = incremental_stream(40, 5, 3, seed=0)
+        with pytest.raises(ConfigurationError):
+            wl.single_batch()

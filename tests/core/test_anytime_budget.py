@@ -1,0 +1,114 @@
+"""Budgeted (interruptible) runs and the cluster invariant checker."""
+
+import pytest
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
+from repro.bench import community_workload
+from repro.centrality import apsp_dijkstra, exact_closeness
+from repro.graph import barabasi_albert
+from repro.runtime import check_cluster_invariants
+
+
+def test_zero_budget_returns_ia_estimate():
+    g = barabasi_albert(80, 2, seed=0)
+    engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=4))
+    engine.setup()
+    result = engine.run(budget_modeled_seconds=0.0)
+    assert result.rc_steps == 0
+    assert not result.converged
+    assert set(result.closeness) == set(g.vertices())
+
+
+def test_budget_interrupts_then_resumes_to_exact():
+    g = barabasi_albert(120, 3, seed=1)
+    engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=8))
+    engine.setup()
+    # find a budget that stops mid-run: one full run's cost, halved
+    probe = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=8))
+    probe.setup()
+    full = probe.run()
+    budget = (full.modeled_seconds - engine.modeled_seconds) / 2
+    partial = engine.run(budget_modeled_seconds=budget)
+    assert not partial.converged
+    assert 0 < partial.rc_steps < full.rc_steps
+    final = engine.run()
+    assert final.converged
+    exact = exact_closeness(g)
+    for v, c in exact.items():
+        assert final.closeness[v] == pytest.approx(c, abs=1e-9)
+
+
+def test_partial_results_are_upper_bounds():
+    g = barabasi_albert(80, 2, seed=2)
+    dist, ids = apsp_dijkstra(g)
+    col = {v: i for i, v in enumerate(ids)}
+    engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=4))
+    engine.setup()
+    engine.run(budget_modeled_seconds=1e-5)
+    cluster = engine.cluster
+    for w in cluster.workers:
+        for v in w.owned:
+            row = w.dv[w.row_of[v]]
+            for t in ids:
+                assert row[cluster.index.column(t)] >= dist[col[v], col[t]] - 1e-9
+
+
+def test_converged_flag_with_pending_changes():
+    wl = community_workload(80, 10, seed=3, inject_step=5)
+    engine = AnytimeAnywhereCloseness(wl.base, AnytimeConfig(nprocs=4))
+    engine.setup()
+    partial = engine.run(
+        changes=wl.stream, strategy="roundrobin", budget_modeled_seconds=0.0
+    )
+    assert not partial.converged  # the scheduled batch never landed
+    final = engine.run(changes=wl.stream, strategy="roundrobin")
+    assert final.converged
+    exact = exact_closeness(wl.final)
+    for v, c in exact.items():
+        assert final.closeness[v] == pytest.approx(c, abs=1e-9)
+
+
+class TestInvariantChecker:
+    def test_passes_after_complex_history(self):
+        wl = community_workload(100, 20, seed=4, inject_step=1)
+        engine = AnytimeAnywhereCloseness(wl.base, AnytimeConfig(nprocs=4))
+        engine.setup()
+        engine.run(changes=wl.stream, strategy="cutedge")
+        engine.crash_worker(1)
+        engine.run()
+        checks = check_cluster_invariants(engine.cluster)
+        assert "cut-edges-bidirectional" in checks
+
+    def test_detects_corruption(self):
+        g = barabasi_albert(40, 2, seed=5)
+        engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=4))
+        engine.setup()
+        w = engine.cluster.workers[0]
+        if w.owned:
+            w.dv[0, engine.cluster.index.column(w.owned[0])] = 1.0  # break diag
+            with pytest.raises(AssertionError):
+                check_cluster_invariants(engine.cluster)
+
+    def test_requires_decomposition(self):
+        from repro.runtime import Cluster
+
+        cluster = Cluster(barabasi_albert(10, 2, seed=0), 2)
+        with pytest.raises(AssertionError):
+            check_cluster_invariants(cluster)
+
+
+def test_tracer_json_roundtrip(tmp_path):
+    import json
+
+    g = barabasi_albert(40, 2, seed=6)
+    engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=4))
+    engine.setup()
+    engine.run()
+    tracer = engine.cluster.tracer
+    dump = tracer.to_json()
+    assert dump["summary"]["modeled_seconds"] == tracer.modeled_seconds
+    assert any(r["name"] == "rc_step" for r in dump["records"])
+    path = tmp_path / "trace.json"
+    tracer.save(path)
+    loaded = json.loads(path.read_text())
+    assert loaded == dump

@@ -1,0 +1,97 @@
+"""Betweenness centrality: exact Brandes and pivot sampling."""
+
+import pytest
+
+from repro.centrality import approximate_betweenness, exact_betweenness
+from repro.errors import ConfigurationError
+from repro.graph import Graph, barabasi_albert, random_weights
+
+from ..conftest import complete_graph, cycle_graph, path_graph, star_graph
+
+
+class TestExact:
+    def test_path_middle_dominates(self):
+        b = exact_betweenness(path_graph(5), normalized=False)
+        # vertex 2 lies on all 4 pairs crossing it: (0,3),(0,4),(1,3),(1,4)
+        assert b[2] == pytest.approx(4.0)
+        assert b[0] == 0.0
+
+    def test_star_hub(self):
+        b = exact_betweenness(star_graph(5), normalized=False)
+        assert b[0] == pytest.approx(4 * 5 / 2)  # all C(5,2)=10 leaf pairs
+        assert all(b[i] == 0.0 for i in range(1, 6))
+
+    def test_complete_graph_zero(self):
+        b = exact_betweenness(complete_graph(6))
+        assert all(v == 0.0 for v in b.values())
+
+    def test_normalization(self):
+        raw = exact_betweenness(path_graph(6), normalized=False)
+        norm = exact_betweenness(path_graph(6), normalized=True)
+        scale = 2.0 / (5 * 4)
+        for v in raw:
+            assert norm[v] == pytest.approx(raw[v] * scale)
+
+    def test_matches_networkx_unweighted(self):
+        nx = pytest.importorskip("networkx")
+        g = barabasi_albert(60, 2, seed=1)
+        ng = nx.Graph()
+        ng.add_edges_from((u, v) for u, v, _w in g.edges())
+        ref = nx.betweenness_centrality(ng, normalized=True)
+        ours = exact_betweenness(g)
+        for v in ref:
+            assert ours[v] == pytest.approx(ref[v], abs=1e-9)
+
+    def test_matches_networkx_weighted(self):
+        nx = pytest.importorskip("networkx")
+        g = random_weights(barabasi_albert(40, 2, seed=2), 1.0, 9.0, seed=3)
+        ng = nx.Graph()
+        ng.add_weighted_edges_from(g.edges())
+        ref = nx.betweenness_centrality(ng, weight="weight", normalized=True)
+        ours = exact_betweenness(g)
+        for v in ref:
+            assert ours[v] == pytest.approx(ref[v], abs=1e-9)
+
+    def test_disconnected(self):
+        g = path_graph(3)
+        g.add_edges([(10, 11), (11, 12)])
+        b = exact_betweenness(g, normalized=False)
+        assert b[1] == 1.0
+        assert b[11] == 1.0
+
+    def test_empty_and_singleton(self):
+        assert exact_betweenness(Graph()) == {}
+        g = Graph()
+        g.add_vertex(0)
+        assert exact_betweenness(g) == {0: 0.0}
+
+
+class TestApproximate:
+    def test_all_pivots_is_exact(self):
+        g = barabasi_albert(30, 2, seed=4)
+        exact = exact_betweenness(g)
+        approx = approximate_betweenness(g, 30, seed=0)
+        for v in exact:
+            assert approx[v] == pytest.approx(exact[v], abs=1e-12)
+
+    def test_more_pivots_more_accurate(self):
+        g = barabasi_albert(100, 2, seed=5)
+        exact = exact_betweenness(g)
+
+        def err(k):
+            approx = approximate_betweenness(g, k, seed=6)
+            return sum(abs(approx[v] - exact[v]) for v in exact)
+
+        assert err(60) < err(5)
+
+    def test_top_vertex_found_with_few_pivots(self):
+        g = star_graph(20)
+        approx = approximate_betweenness(g, 4, seed=7)
+        assert max(approx, key=approx.get) == 0
+
+    def test_invalid_pivots(self):
+        with pytest.raises(ConfigurationError):
+            approximate_betweenness(path_graph(4), 0)
+
+    def test_empty_graph(self):
+        assert approximate_betweenness(Graph(), 3) == {}

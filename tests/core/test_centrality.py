@@ -1,0 +1,149 @@
+"""Tests for the centrality subpackage (closeness, exact refs, errors)."""
+
+import numpy as np
+import pytest
+
+from repro.centrality import (
+    apsp_dijkstra,
+    apsp_floyd_warshall,
+    closeness_error,
+    closeness_from_matrix,
+    closeness_from_row,
+    distance_error,
+    exact_closeness,
+    rank_correlation,
+    rank_vertices,
+    sssp_dijkstra,
+    top_k_overlap,
+)
+from repro.graph import barabasi_albert, random_weights
+
+from ..conftest import cycle_graph, path_graph, star_graph
+
+
+class TestExactAPSP:
+    def test_dijkstra_vs_floyd_warshall(self):
+        g = random_weights(barabasi_albert(40, 2, seed=0), 1.0, 5.0, seed=1)
+        d1, ids1 = apsp_dijkstra(g)
+        d2, ids2 = apsp_floyd_warshall(g)
+        assert ids1 == ids2
+        np.testing.assert_allclose(d1, d2)
+
+    def test_path_distances(self):
+        d, ids = apsp_dijkstra(path_graph(5))
+        assert d[ids.index(0), ids.index(4)] == 4.0
+
+    def test_disconnected_inf(self):
+        g = path_graph(3)
+        g.add_vertex(9)
+        d, ids = apsp_dijkstra(g)
+        assert np.isinf(d[ids.index(0), ids.index(9)])
+
+    def test_empty_graph(self):
+        from repro.graph import Graph
+
+        d, ids = apsp_dijkstra(Graph())
+        assert d.shape == (0, 0) and ids == []
+        d, ids = apsp_floyd_warshall(Graph())
+        assert d.shape == (0, 0)
+
+    def test_sssp(self):
+        dist = sssp_dijkstra(path_graph(4), 0)
+        assert dist == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0}
+
+
+class TestCloseness:
+    def test_paper_formula_star_center(self):
+        # C(hub) = 1 / sum(d) = 1 / n_leaves
+        c = exact_closeness(star_graph(6))
+        assert c[0] == pytest.approx(1 / 6)
+        assert c[1] == pytest.approx(1 / (1 + 5 * 2))
+
+    def test_cycle_symmetry(self):
+        c = exact_closeness(cycle_graph(8))
+        vals = set(round(v, 12) for v in c.values())
+        assert len(vals) == 1
+
+    def test_closeness_from_row_unreachable(self):
+        row = np.array([0.0, 1.0, np.inf])
+        c = closeness_from_row(row, self_col=0)
+        assert c == pytest.approx(1.0)
+
+    def test_closeness_isolated(self):
+        row = np.array([0.0, np.inf])
+        assert closeness_from_row(row, self_col=0) == 0.0
+
+    def test_single_vertex(self):
+        assert closeness_from_row(np.array([0.0]), self_col=0) == 0.0
+
+    def test_wf_improved_scaling(self):
+        # path 0-1, isolated 2: wf scales by reached fraction
+        row = np.array([0.0, 1.0, np.inf])
+        plain = closeness_from_row(row, self_col=0)
+        wf = closeness_from_row(row, self_col=0, wf_improved=True)
+        assert wf == pytest.approx(plain * 1 / 2)
+
+    def test_matches_networkx_convention(self):
+        nx = pytest.importorskip("networkx")
+        g = barabasi_albert(60, 2, seed=2)
+        ng = nx.Graph()
+        ng.add_weighted_edges_from(g.edges())
+        # for a connected graph: networkx wf closeness = (n-1)/sum(d),
+        # ours wf = reached/total * reached/(n-1) = (n-1)/sum(d) — identical
+        ref = nx.closeness_centrality(ng, distance="weight", wf_improved=True)
+        ours = exact_closeness(g, wf_improved=True)
+        for v in ref:
+            assert ours[v] == pytest.approx(ref[v], rel=1e-9)
+
+    def test_matrix_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            closeness_from_matrix(np.zeros((2, 3)), [0, 1])
+
+    def test_rank_vertices(self):
+        assert rank_vertices({1: 0.5, 2: 0.9, 3: 0.5}) == [2, 1, 3]
+
+
+class TestErrorMetrics:
+    def test_distance_error_perfect(self):
+        d = np.array([[0.0, 1.0], [1.0, 0.0]])
+        err = distance_error(d, d)
+        assert err["mae"] == 0.0 and err["unresolved"] == 0.0
+
+    def test_distance_error_unresolved(self):
+        exact = np.array([[0.0, 1.0], [1.0, 0.0]])
+        approx = np.array([[0.0, np.inf], [2.0, 0.0]])
+        err = distance_error(approx, exact)
+        assert err["unresolved"] == 1.0
+        assert err["mae"] == pytest.approx(1.0 / 3.0)
+        assert err["min_signed"] >= 0.0
+
+    def test_distance_error_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            distance_error(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_closeness_error(self):
+        err = closeness_error({1: 0.5, 2: 0.7}, {1: 0.5, 2: 0.9})
+        assert err["max"] == pytest.approx(0.2)
+        assert err["mae"] == pytest.approx(0.1)
+        assert closeness_error({}, {}) == {"mae": 0.0, "max": 0.0}
+
+    def test_rank_correlation_perfect(self):
+        a = {i: i * 0.1 for i in range(10)}
+        assert rank_correlation(a, a) == pytest.approx(1.0)
+
+    def test_rank_correlation_reversed(self):
+        a = {i: i * 0.1 for i in range(10)}
+        b = {i: -i * 0.1 for i in range(10)}
+        assert rank_correlation(a, b) == pytest.approx(-1.0)
+
+    def test_rank_correlation_constant(self):
+        a = {1: 0.5, 2: 0.5}
+        assert rank_correlation(a, a) == 1.0
+
+    def test_top_k_overlap(self):
+        a = {1: 0.9, 2: 0.8, 3: 0.1}
+        b = {1: 0.9, 3: 0.8, 2: 0.1}
+        assert top_k_overlap(a, b, 1) == 1.0
+        assert top_k_overlap(a, b, 2) == 0.5
+        with pytest.raises(ValueError):
+            top_k_overlap(a, b, 0)

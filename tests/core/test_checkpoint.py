@@ -1,0 +1,117 @@
+"""Checkpoint save / restore."""
+
+import pytest
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
+from repro.bench import community_workload
+from repro.centrality import exact_closeness
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.errors import ConfigurationError
+from repro.graph import barabasi_albert
+from repro.runtime import check_cluster_invariants
+
+
+def make_engine(n=80, nprocs=4, seed=1):
+    g = barabasi_albert(n, 2, seed=seed)
+    engine = AnytimeAnywhereCloseness(
+        g, AnytimeConfig(nprocs=nprocs, collect_snapshots=False)
+    )
+    engine.setup()
+    return g, engine
+
+
+def test_requires_setup(tmp_path):
+    g = barabasi_albert(20, 2, seed=0)
+    engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=2))
+    with pytest.raises(ConfigurationError):
+        save_checkpoint(engine, tmp_path / "c.npz")
+
+
+def test_roundtrip_converged_state(tmp_path):
+    g, engine = make_engine()
+    engine.run()
+    path = tmp_path / "c.npz"
+    save_checkpoint(engine, path)
+    restored = load_checkpoint(path)
+    check_cluster_invariants(restored.cluster)
+    # immediate read matches without any further steps
+    exact = exact_closeness(g)
+    got = restored.current_closeness()
+    for v, c in exact.items():
+        assert got[v] == pytest.approx(c, abs=1e-9)
+    # resuming converges quickly (only the conservative refresh drains)
+    result = restored.run()
+    assert result.converged
+
+
+def test_roundtrip_mid_computation_with_pending_changes(tmp_path):
+    wl = community_workload(120, 24, seed=2, inject_step=3)
+    engine = AnytimeAnywhereCloseness(
+        wl.base, AnytimeConfig(nprocs=4, collect_snapshots=False)
+    )
+    engine.setup()
+    engine.run(
+        changes=wl.stream, strategy="cutedge", budget_modeled_seconds=1e-4
+    )
+    path = tmp_path / "mid.npz"
+    save_checkpoint(engine, path)
+    restored = load_checkpoint(path)
+    result = restored.run(changes=wl.stream, strategy="cutedge")
+    assert result.converged
+    exact = exact_closeness(wl.final)
+    for v, c in exact.items():
+        assert result.closeness[v] == pytest.approx(c, abs=1e-9)
+
+
+def test_clock_survives(tmp_path):
+    _g, engine = make_engine()
+    engine.run()
+    before = engine.modeled_seconds
+    path = tmp_path / "c.npz"
+    save_checkpoint(engine, path)
+    restored = load_checkpoint(path)
+    assert restored.modeled_seconds == pytest.approx(before)
+
+
+def test_nprocs_mismatch_rejected(tmp_path):
+    _g, engine = make_engine(nprocs=4)
+    path = tmp_path / "c.npz"
+    save_checkpoint(engine, path)
+    with pytest.raises(ConfigurationError):
+        load_checkpoint(path, AnytimeConfig(nprocs=8))
+
+
+def test_weighted_graph_roundtrip(tmp_path):
+    from repro.graph import random_weights
+
+    g = random_weights(barabasi_albert(50, 2, seed=3), 1.0, 9.0, seed=4)
+    engine = AnytimeAnywhereCloseness(
+        g, AnytimeConfig(nprocs=3, collect_snapshots=False)
+    )
+    engine.setup()
+    engine.run()
+    path = tmp_path / "w.npz"
+    save_checkpoint(engine, path)
+    restored = load_checkpoint(path)
+    assert restored.graph == g
+    exact = exact_closeness(g)
+    got = restored.current_closeness()
+    for v, c in exact.items():
+        assert got[v] == pytest.approx(c, abs=1e-9)
+
+
+def test_worker_speeds_survive(tmp_path):
+    g = barabasi_albert(60, 2, seed=6)
+    engine = AnytimeAnywhereCloseness(
+        g,
+        AnytimeConfig(
+            nprocs=4, worker_speeds=[2.0, 1.0, 1.0, 1.0],
+            collect_snapshots=False,
+        ),
+    )
+    engine.setup()
+    engine.run()
+    path = tmp_path / "het.npz"
+    save_checkpoint(engine, path)
+    restored = load_checkpoint(path)
+    assert [w.speed for w in restored.cluster.workers] == [2.0, 1.0, 1.0, 1.0]

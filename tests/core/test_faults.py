@@ -1,0 +1,116 @@
+"""Fault tolerance: crash + warm recovery (paper §VI future work)."""
+
+import numpy as np
+import pytest
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
+from repro.centrality import exact_closeness
+from repro.errors import RuntimeSimulationError
+from repro.graph import barabasi_albert
+from repro.runtime.faults import crash_and_recover, crash_worker, recover_worker
+
+from ..conftest import run_and_verify
+
+
+def converged_engine(n=80, nprocs=4, seed=1):
+    g = barabasi_albert(n, 2, seed=seed)
+    engine = AnytimeAnywhereCloseness(
+        g, AnytimeConfig(nprocs=nprocs, collect_snapshots=False)
+    )
+    engine.setup()
+    engine.run()
+    return g, engine
+
+
+class TestCrash:
+    def test_crash_wipes_derived_state(self):
+        _g, engine = converged_engine()
+        cluster = engine.cluster
+        crash_worker(cluster, 1)
+        w = cluster.workers[1]
+        assert np.isinf(w.dv).all()
+        assert w.local_apsp.size == 0
+        assert w.ext_dvs == {}
+        assert w.subscribers == {}
+
+    def test_crash_invalid_rank(self):
+        _g, engine = converged_engine()
+        with pytest.raises(RuntimeSimulationError):
+            crash_worker(engine.cluster, 99)
+
+    def test_peers_drop_queues_to_dead_rank(self):
+        _g, engine = converged_engine()
+        cluster = engine.cluster
+        # force something into peers' queues for rank 1
+        for w in cluster.workers:
+            if w.rank != 1 and w.owned:
+                w._pending[1].add(w.owned[0])
+        crash_worker(cluster, 1)
+        for w in cluster.workers:
+            if w.rank != 1:
+                assert not w._pending[1]
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("victim", [0, 2, 3])
+    def test_exact_after_recovery(self, victim):
+        g, engine = converged_engine()
+        crash_and_recover(engine.cluster, victim)
+        result = engine.run()
+        exact = exact_closeness(g)
+        for v, c in exact.items():
+            assert result.closeness[v] == pytest.approx(c, abs=1e-9)
+
+    def test_exact_after_crash_during_dynamic_run(self):
+        from repro.bench import community_workload
+
+        wl = community_workload(100, 20, seed=2, inject_step=1)
+        engine = AnytimeAnywhereCloseness(
+            wl.base, AnytimeConfig(nprocs=4, collect_snapshots=False)
+        )
+        engine.setup()
+        engine.run(changes=wl.stream, strategy="roundrobin")
+        engine.crash_worker(2)
+        result = engine.run()
+        exact = exact_closeness(wl.final)
+        for v, c in exact.items():
+            assert result.closeness[v] == pytest.approx(c, abs=1e-9)
+
+    def test_multiple_sequential_failures(self):
+        g, engine = converged_engine(nprocs=4)
+        for victim in (0, 1, 2, 3):
+            crash_and_recover(engine.cluster, victim)
+            engine.run()
+        exact = exact_closeness(g)
+        for v, c in exact.items():
+            assert engine.current_closeness()[v] == pytest.approx(c, abs=1e-9)
+
+    def test_recovery_charges_time(self):
+        _g, engine = converged_engine()
+        before = engine.modeled_seconds
+        crash_and_recover(engine.cluster, 1)
+        assert engine.modeled_seconds > before
+
+    def test_recovery_rewires_subscriptions_both_ways(self):
+        _g, engine = converged_engine()
+        cluster = engine.cluster
+        crash_and_recover(cluster, 1)
+        w = cluster.workers[1]
+        # recovered worker is re-subscribed at its boundary owners
+        for x in w.cut_by_ext:
+            assert 1 in cluster.workers[cluster.owner_of(x)].subscribers[x]
+        # and peers are re-subscribed at the recovered worker
+        for peer in cluster.workers:
+            if peer.rank == 1:
+                continue
+            for x in peer.cut_by_ext:
+                if cluster.owner_of(x) == 1:
+                    assert peer.rank in w.subscribers[x]
+
+    def test_recover_requires_decomposed_cluster(self):
+        from repro.runtime import Cluster
+
+        g = barabasi_albert(20, 2, seed=0)
+        cluster = Cluster(g, 2)
+        with pytest.raises(RuntimeSimulationError):
+            recover_worker(cluster, 0)

@@ -1,0 +1,136 @@
+"""Heterogeneous clusters: worker speeds, weighted targets, speed-aware
+placement and rebalancing."""
+
+import pytest
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
+from repro.bench import community_workload
+from repro.centrality import exact_closeness
+from repro.core.strategies import LeastLoadedPS
+from repro.errors import ConfigurationError
+from repro.graph import ChangeBatch, barabasi_albert
+from repro.graph.changes import VertexAddition
+from repro.partition import MultilevelPartitioner, edge_cut
+from repro.runtime import Cluster
+
+
+class TestConfig:
+    def test_speed_length_validated(self):
+        with pytest.raises(ConfigurationError):
+            AnytimeConfig(nprocs=4, worker_speeds=[1.0, 2.0])
+
+    def test_speed_positive(self):
+        with pytest.raises(ConfigurationError):
+            AnytimeConfig(nprocs=2, worker_speeds=[1.0, 0.0])
+
+    def test_cluster_validates_too(self):
+        g = barabasi_albert(20, 2, seed=0)
+        with pytest.raises(ConfigurationError):
+            Cluster(g, 2, worker_speeds=[1.0])
+
+
+class TestWeightedTargets:
+    def test_block_sizes_proportional_to_weights(self):
+        g = barabasi_albert(400, 3, seed=1)
+        p = MultilevelPartitioner(
+            seed=1, target_weights=[2, 2, 1, 1]
+        ).partition(g, 4)
+        sizes = p.block_sizes()
+        assert sizes[0] > 1.5 * sizes[2]
+        assert sizes[1] > 1.5 * sizes[3]
+        assert sum(sizes) == 400
+
+    def test_weight_count_validated(self):
+        g = barabasi_albert(40, 2, seed=2)
+        with pytest.raises(ValueError):
+            MultilevelPartitioner(target_weights=[1, 1]).partition(g, 4)
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ValueError):
+            MultilevelPartitioner(target_weights=[1.0, -1.0])
+
+    def test_cut_still_reasonable(self):
+        from repro.partition import RoundRobinPartitioner
+
+        g = barabasi_albert(300, 3, seed=3)
+        weighted = MultilevelPartitioner(
+            seed=3, target_weights=[3, 1, 1, 1]
+        ).partition(g, 4)
+        rr = RoundRobinPartitioner().partition(g, 4)
+        assert edge_cut(g, weighted) < edge_cut(g, rr)
+
+
+class TestSpeedAwareExecution:
+    def test_exact_results_on_heterogeneous_cluster(self):
+        wl = community_workload(120, 20, seed=4, inject_step=1)
+        engine = AnytimeAnywhereCloseness(
+            wl.base,
+            AnytimeConfig(
+                nprocs=4,
+                worker_speeds=[2.0, 2.0, 1.0, 1.0],
+                collect_snapshots=False,
+            ),
+        )
+        engine.setup()
+        result = engine.run(changes=wl.stream, strategy="cutedge")
+        exact = exact_closeness(wl.final)
+        for v, c in exact.items():
+            assert result.closeness[v] == pytest.approx(c, abs=1e-9)
+
+    def test_faster_workers_charge_less(self):
+        g = barabasi_albert(80, 2, seed=5)
+
+        def superstep_time(speeds):
+            cluster = Cluster(g, 2, worker_speeds=speeds)
+            cluster.decompose(MultilevelPartitioner(seed=5))
+            for w in cluster.workers:
+                w.run_initial_approximation()
+            return max(w.take_compute_seconds() for w in cluster.workers)
+
+        assert superstep_time([4.0, 4.0]) < superstep_time([1.0, 1.0])
+
+    def test_speed_matched_partition_beats_uniform(self):
+        """On a 2/2/1/1 cluster, a speed-proportional DD makes the pipeline
+        faster than a uniform split (the slowest worker governs)."""
+        g = barabasi_albert(300, 3, seed=6)
+        speeds = [2.0, 2.0, 1.0, 1.0]
+
+        def pipeline(partitioner):
+            engine = AnytimeAnywhereCloseness(
+                g,
+                AnytimeConfig(
+                    nprocs=4,
+                    worker_speeds=speeds,
+                    partitioner=partitioner,
+                    collect_snapshots=False,
+                ),
+            )
+            engine.setup()
+            return engine.run().modeled_seconds
+
+        uniform = pipeline(MultilevelPartitioner(seed=6))
+        matched = pipeline(
+            MultilevelPartitioner(seed=6, target_weights=speeds)
+        )
+        assert matched < uniform
+
+    def test_leastloaded_prefers_fast_workers(self):
+        g = barabasi_albert(40, 2, seed=7)
+        engine = AnytimeAnywhereCloseness(
+            g,
+            AnytimeConfig(
+                nprocs=4,
+                worker_speeds=[4.0, 1.0, 1.0, 1.0],
+                collect_snapshots=False,
+            ),
+        )
+        engine.setup()
+        batch = ChangeBatch(
+            vertex_additions=[VertexAddition(100 + i) for i in range(8)]
+        )
+        placement = LeastLoadedPS().assign(batch, engine.cluster)
+        counts = [0] * 4
+        for r in placement.values():
+            counts[r] += 1
+        # the 4x worker absorbs the bulk of the batch
+        assert counts[0] == max(counts)

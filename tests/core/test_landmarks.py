@@ -1,0 +1,96 @@
+"""Landmark approximate closeness and Okamoto-style top-k ranking."""
+
+import pytest
+
+from repro.centrality import (
+    exact_closeness,
+    landmark_closeness,
+    rank_correlation,
+    rank_vertices,
+    top_k_closeness,
+)
+from repro.errors import ConfigurationError
+from repro.graph import Graph, barabasi_albert
+
+from ..conftest import path_graph, star_graph
+
+
+class TestLandmarkEstimate:
+    def test_all_landmarks_is_exact_scaled(self):
+        g = path_graph(6)
+        exact = exact_closeness(g)
+        est = landmark_closeness(g, 6, seed=0)
+        # with every vertex a landmark the estimate equals (n-1)/sum scaled:
+        # avg = sum/(n-1) ... estimate = 1/(avg*(n-1)) = 1/sum = exact
+        for v, c in exact.items():
+            assert est[v] == pytest.approx(c, rel=1e-9)
+
+    def test_correlates_with_exact(self):
+        g = barabasi_albert(300, 3, seed=1)
+        exact = exact_closeness(g)
+        est = landmark_closeness(g, 30, seed=2)
+        assert rank_correlation(est, exact) > 0.8
+
+    def test_more_landmarks_better(self):
+        g = barabasi_albert(300, 3, seed=3)
+        exact = exact_closeness(g)
+        lo = rank_correlation(landmark_closeness(g, 4, seed=4), exact)
+        hi = rank_correlation(landmark_closeness(g, 100, seed=4), exact)
+        assert hi >= lo
+
+    def test_isolated_vertex_zero(self):
+        g = path_graph(4)
+        g.add_vertex(99)
+        est = landmark_closeness(g, 5, seed=0)
+        assert est[99] == 0.0
+
+    def test_empty_graph(self):
+        assert landmark_closeness(Graph(), 3) == {}
+
+    def test_invalid_landmark_count(self):
+        with pytest.raises(ConfigurationError):
+            landmark_closeness(path_graph(3), 0)
+
+    def test_deterministic(self):
+        g = barabasi_albert(80, 2, seed=5)
+        assert landmark_closeness(g, 10, seed=6) == landmark_closeness(
+            g, 10, seed=6
+        )
+
+
+class TestTopK:
+    def test_star_hub_found(self):
+        ranked = top_k_closeness(star_graph(12), 1, seed=0)
+        assert ranked[0][0] == 0
+
+    def test_values_are_exact(self):
+        g = barabasi_albert(150, 3, seed=7)
+        exact = exact_closeness(g)
+        for v, c in top_k_closeness(g, 5, seed=8):
+            assert c == pytest.approx(exact[v], abs=1e-12)
+
+    def test_matches_exact_topk_with_enough_padding(self):
+        g = barabasi_albert(300, 3, seed=9)
+        exact_top = rank_vertices(exact_closeness(g))[:10]
+        got = [v for v, _c in top_k_closeness(
+            g, 10, n_landmarks=40, padding_factor=3.0, seed=10
+        )]
+        assert got == exact_top
+
+    def test_k_larger_than_graph(self):
+        g = path_graph(4)
+        ranked = top_k_closeness(g, 10, seed=0)
+        assert len(ranked) == 4
+
+    def test_sorted_descending(self):
+        g = barabasi_albert(100, 2, seed=11)
+        vals = [c for _v, c in top_k_closeness(g, 8, seed=12)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_empty_graph(self):
+        assert top_k_closeness(Graph(), 3) == []
+
+    @pytest.mark.parametrize("kwargs", [{"k": 0}, {"k": 3, "padding_factor": 0.5}])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            top_k_closeness(path_graph(4), **kwargs)

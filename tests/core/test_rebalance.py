@@ -1,0 +1,141 @@
+"""Load rebalancing by targeted migration (paper §VI future work)."""
+
+import pytest
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
+from repro.bench import community_workload, incremental_stream
+from repro.centrality import exact_closeness
+from repro.core.strategies import (
+    NeighborMajorityPS,
+    RebalancedStrategy,
+    VertexAdditionStrategy,
+    apply_migration,
+    plan_rebalance,
+)
+from repro.graph import barabasi_albert
+from repro.runtime.metrics import snapshot_load
+
+from ..conftest import run_and_verify
+
+
+def skewed_engine(n=100, nprocs=4, seed=1):
+    """An engine whose rank 0 is overloaded by a skewed batch."""
+    wl = community_workload(n, n // 4, seed=seed, inject_step=0,
+                            n_communities=1)
+    engine = AnytimeAnywhereCloseness(
+        wl.base, AnytimeConfig(nprocs=nprocs, collect_snapshots=False)
+    )
+    engine.setup()
+
+    class PinToZero(NeighborMajorityPS):
+        def assign(self, batch, cluster):
+            return {v: 0 for v in batch.new_vertex_ids()}
+
+    engine.run(
+        changes=wl.stream, strategy=VertexAdditionStrategy(PinToZero())
+    )
+    return wl, engine
+
+
+class TestPlan:
+    def test_no_moves_when_balanced(self):
+        g = barabasi_albert(80, 2, seed=0)
+        engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=4))
+        engine.setup()
+        assert plan_rebalance(engine.cluster, imbalance_threshold=0.3) == {}
+
+    def test_moves_reduce_imbalance(self):
+        _wl, engine = skewed_engine()
+        before = snapshot_load(engine.cluster).vertex_imbalance
+        moves = plan_rebalance(engine.cluster, imbalance_threshold=0.1)
+        assert moves
+        apply_migration(engine.cluster, moves)
+        after = snapshot_load(engine.cluster).vertex_imbalance
+        assert after < before
+
+    def test_moves_come_from_overloaded_worker(self):
+        _wl, engine = skewed_engine()
+        moves = plan_rebalance(engine.cluster, imbalance_threshold=0.1)
+        old = engine.cluster.partition.assignment
+        # plan is computed against a snapshot, so every moved vertex must
+        # start on the (initially) most loaded rank 0 or become balanced
+        assert all(old[v] != dst for v, dst in moves.items())
+
+    def test_max_moves_cap(self):
+        _wl, engine = skewed_engine()
+        moves = plan_rebalance(
+            engine.cluster, imbalance_threshold=0.0, max_moves=3
+        )
+        assert len(moves) <= 3
+
+
+class TestApply:
+    def test_exact_after_migration(self):
+        wl, engine = skewed_engine()
+        moves = plan_rebalance(engine.cluster, imbalance_threshold=0.1)
+        apply_migration(engine.cluster, moves)
+        result = engine.run()
+        exact = exact_closeness(wl.final)
+        for v, c in exact.items():
+            assert result.closeness[v] == pytest.approx(c, abs=1e-9)
+
+    def test_empty_migration_is_noop(self):
+        g = barabasi_albert(40, 2, seed=2)
+        engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=4))
+        engine.setup()
+        before = engine.modeled_seconds
+        apply_migration(engine.cluster, {})
+        assert engine.modeled_seconds == before
+
+    def test_migration_charges_comm(self):
+        _wl, engine = skewed_engine()
+        tracer = engine.cluster.tracer
+        words_before = tracer.total_words
+        moves = plan_rebalance(engine.cluster, imbalance_threshold=0.1)
+        apply_migration(engine.cluster, moves)
+        assert tracer.total_words > words_before
+
+
+class TestRebalancedStrategy:
+    def test_exact_and_balanced_under_skewed_stream(self):
+        wl = incremental_stream(120, 10, 4, seed=3)
+        strategy = RebalancedStrategy(
+            VertexAdditionStrategy(NeighborMajorityPS()), threshold=0.15
+        )
+        closeness = run_and_verify(
+            wl.base,
+            changes=wl.stream,
+            strategy=strategy,
+            final=wl.final,
+            nprocs=4,
+        )
+        assert closeness  # converged exactly (checked inside)
+        assert strategy.total_moves >= 0
+
+    def test_rebalancing_controls_imbalance(self):
+        wl = incremental_stream(120, 12, 4, seed=4)
+
+        def final_imbalance(strategy):
+            engine = AnytimeAnywhereCloseness(
+                wl.base, AnytimeConfig(nprocs=4, collect_snapshots=False)
+            )
+            engine.setup()
+            result = engine.run(changes=wl.stream, strategy=strategy)
+            return result.load.vertex_imbalance
+
+        plain = VertexAdditionStrategy(NeighborMajorityPS())
+        balanced = RebalancedStrategy(
+            VertexAdditionStrategy(NeighborMajorityPS()), threshold=0.10
+        )
+        assert final_imbalance(balanced) <= final_imbalance(plain) + 1e-9
+        assert final_imbalance(balanced) <= 0.25
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            RebalancedStrategy(
+                VertexAdditionStrategy(NeighborMajorityPS()), threshold=-1.0
+            )
+
+    def test_name_reflects_inner(self):
+        s = RebalancedStrategy(VertexAdditionStrategy(NeighborMajorityPS()))
+        assert "rebalanced" in s.name and "neighbormajority" in s.name

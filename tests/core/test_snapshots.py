@@ -1,0 +1,86 @@
+"""The anytime property: snapshots are valid and monotonically improving."""
+
+import numpy as np
+import pytest
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.bench import community_workload
+from repro.centrality import apsp_dijkstra
+from repro.graph import barabasi_albert
+
+
+def run_with_snapshots(graph, nprocs=4, changes=None, strategy="roundrobin"):
+    engine = AnytimeAnywhereCloseness(
+        graph, AnytimeConfig(nprocs=nprocs, collect_snapshots=True)
+    )
+    engine.setup()
+    result = engine.run(changes=changes, strategy=strategy)
+    return engine, result
+
+
+def test_snapshot_per_step_plus_ia():
+    g = barabasi_albert(50, 2, seed=0)
+    _engine, result = run_with_snapshots(g)
+    assert len(result.snapshots) == result.rc_steps + 1
+    assert result.snapshots[0].step == -1
+
+
+def test_resolved_fraction_monotone_static():
+    g = barabasi_albert(60, 3, seed=1)
+    _engine, result = run_with_snapshots(g)
+    fractions = [s.resolved_fraction for s in result.snapshots]
+    assert all(b >= a - 1e-12 for a, b in zip(fractions, fractions[1:]))
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+def test_modeled_time_monotone():
+    g = barabasi_albert(60, 3, seed=2)
+    _engine, result = run_with_snapshots(g)
+    times = [s.modeled_seconds for s in result.snapshots]
+    assert all(b >= a for a, b in zip(times, times[1:]))
+
+
+def test_snapshots_are_upper_bounds():
+    """Every intermediate DV entry must over-approximate the true distance
+    (the anytime guarantee: interruption yields valid bounds)."""
+    g = barabasi_albert(50, 2, seed=3)
+    dist, ids = apsp_dijkstra(g)
+    col = {v: i for i, v in enumerate(ids)}
+
+    engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=4))
+    engine.setup()
+    cluster = engine.cluster
+    from repro.core.recombination import run_recombination
+
+    def check(step):
+        for w in cluster.workers:
+            for v in w.owned:
+                row = w.dv[w.row_of[v]]
+                for t in ids:
+                    assert (
+                        row[cluster.index.column(t)]
+                        >= dist[col[v], col[t]] - 1e-9
+                    )
+
+    run_recombination(cluster, max_steps=100, on_step=check)
+
+
+def test_closeness_error_monotone_under_additions():
+    """Distance estimates only decrease toward the truth, so per-pair error
+    is monotone; we assert the aggregate unresolved count never grows
+    except when the vertex set itself grows."""
+    wl = community_workload(80, 16, seed=4, inject_step=2)
+    _engine, result = run_with_snapshots(wl.base, changes=wl.stream)
+    prev = None
+    for snap in result.snapshots:
+        if prev is not None and snap.n_vertices == prev.n_vertices:
+            assert snap.unresolved_pairs <= prev.unresolved_pairs
+        prev = snap
+    assert result.snapshots[-1].unresolved_pairs == 0
+
+
+def test_snapshot_closeness_matches_engine_read():
+    g = barabasi_albert(40, 2, seed=5)
+    engine, result = run_with_snapshots(g)
+    final_snap = result.snapshots[-1]
+    assert final_snap.closeness == engine.current_closeness()

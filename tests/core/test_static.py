@@ -1,0 +1,108 @@
+"""Static-graph correctness: the pipeline must converge to exact closeness."""
+
+import pytest
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.centrality import exact_closeness
+from repro.graph import Graph, barabasi_albert, random_weights
+from repro.partition import (
+    BFSGrowingPartitioner,
+    HashPartitioner,
+    MultilevelPartitioner,
+    RoundRobinPartitioner,
+    SpectralPartitioner,
+)
+
+from ..conftest import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    run_and_verify,
+    star_graph,
+)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 4, 8])
+def test_ba_graph_converges_exact(nprocs):
+    run_and_verify(barabasi_albert(60, 2, seed=1), nprocs=nprocs)
+
+
+@pytest.mark.parametrize(
+    "maker",
+    [
+        lambda: path_graph(17),
+        lambda: cycle_graph(16),
+        lambda: star_graph(12),
+        lambda: complete_graph(9),
+        lambda: grid_graph(5, 6),
+    ],
+    ids=["path", "cycle", "star", "complete", "grid"],
+)
+def test_structured_graphs(maker):
+    run_and_verify(maker(), nprocs=4)
+
+
+def test_weighted_graph():
+    g = random_weights(barabasi_albert(50, 2, seed=2), 1.0, 9.0, seed=3)
+    run_and_verify(g, nprocs=4, tol=1e-9)
+
+
+def test_disconnected_graph():
+    g = path_graph(6)
+    g.add_edges([(10, 11), (11, 12)])
+    run_and_verify(g, nprocs=3)
+
+
+@pytest.mark.parametrize(
+    "partitioner",
+    [
+        MultilevelPartitioner(seed=0),
+        SpectralPartitioner(seed=0),
+        BFSGrowingPartitioner(seed=0),
+        HashPartitioner(),
+        RoundRobinPartitioner(),
+    ],
+    ids=lambda p: p.name,
+)
+def test_any_partitioner_converges(partitioner):
+    g = barabasi_albert(50, 2, seed=4)
+    engine = AnytimeAnywhereCloseness(
+        g, AnytimeConfig(nprocs=4, partitioner=partitioner)
+    )
+    engine.setup()
+    result = engine.run()
+    exact = exact_closeness(g)
+    for v, c in exact.items():
+        assert result.closeness[v] == pytest.approx(c, abs=1e-9)
+
+
+def test_static_rc_steps_small_and_scale_free():
+    """Paper §IV.C bounds static refinement by the longest processor chain
+    (≈ P-1 when shortest paths never revisit a partition).  Paths may
+    zigzag between two partitions, so the hard invariant we assert is
+    convergence in a handful of rounds — the number of partition-boundary
+    crossings of the worst shortest path — independent of P."""
+    steps = []
+    for nprocs in (2, 4, 8):
+        g = barabasi_albert(80, 3, seed=5)
+        engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=nprocs))
+        engine.setup()
+        result = engine.run()
+        steps.append(result.rc_steps)
+    assert all(s <= 8 for s in steps), steps
+
+
+def test_single_vertex_graph():
+    g = Graph()
+    g.add_vertex(0)
+    engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=2))
+    engine.setup()
+    result = engine.run()
+    assert result.closeness == {0: 0.0}
+
+
+def test_two_vertex_graph():
+    g = Graph.from_edges([(0, 1, 2.0)])
+    closeness = run_and_verify(g, nprocs=2)
+    assert closeness[0] == pytest.approx(0.5)

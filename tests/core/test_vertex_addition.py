@@ -1,0 +1,168 @@
+"""Correctness and behavior of the anywhere vertex-addition strategy."""
+
+import pytest
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
+from repro.centrality import exact_closeness
+from repro.errors import ChangeStreamError
+from repro.graph import ChangeBatch, barabasi_albert
+from repro.graph.changes import EdgeDeletion, VertexAddition
+from repro.bench import community_workload, scale_free_workload
+from repro.core.strategies import (
+    CutEdgePS,
+    LeastLoadedPS,
+    NeighborMajorityPS,
+    RoundRobinPS,
+    VertexAdditionStrategy,
+)
+
+from ..conftest import run_and_verify
+
+PLACEMENTS = ["roundrobin", "cutedge", "leastloaded", "neighbormajority"]
+
+
+@pytest.mark.parametrize("strategy", PLACEMENTS)
+@pytest.mark.parametrize("inject_step", [0, 2, 5])
+def test_exact_after_addition(strategy, inject_step):
+    wl = community_workload(120, 24, seed=3, inject_step=inject_step, n_communities=2)
+    run_and_verify(
+        wl.base,
+        changes=wl.stream,
+        strategy=strategy,
+        final=wl.final,
+        nprocs=4,
+    )
+
+
+@pytest.mark.parametrize("strategy", ["roundrobin", "cutedge"])
+def test_exact_scale_free_growth(strategy):
+    wl = scale_free_workload(100, 30, seed=5, inject_step=1)
+    run_and_verify(
+        wl.base, changes=wl.stream, strategy=strategy, final=wl.final, nprocs=4
+    )
+
+
+def test_isolated_new_vertex():
+    g = barabasi_albert(40, 2, seed=1)
+    batch = ChangeBatch(vertex_additions=[VertexAddition(100)])
+    final = g.copy()
+    batch.apply_to(final)
+    closeness = run_and_verify(
+        g, changes=ChangeStream({1: batch}), final=final, nprocs=4
+    )
+    assert closeness[100] == 0.0  # unreachable vertex
+
+
+def test_multiple_batches_different_steps():
+    g = barabasi_albert(60, 2, seed=2)
+    final = g.copy()
+    stream = ChangeStream()
+    nxt = 60
+    for step in (0, 2, 4):
+        batch = ChangeBatch(
+            vertex_additions=[
+                VertexAddition(nxt, edges=((step, 1.0), (step + 1, 1.0))),
+                VertexAddition(nxt + 1, edges=((nxt, 1.0),)),
+            ]
+        )
+        stream.schedule(step, batch)
+        batch.apply_to(final)
+        nxt += 2
+    run_and_verify(g, changes=stream, final=final, nprocs=4)
+
+
+def test_rejects_deletions():
+    g = barabasi_albert(30, 2, seed=0)
+    strategy = VertexAdditionStrategy(RoundRobinPS())
+    stream = ChangeStream(
+        {0: ChangeBatch(edge_deletions=[EdgeDeletion(0, 1)])}
+    )
+    engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=2))
+    engine.setup()
+    with pytest.raises(ChangeStreamError):
+        engine.run(changes=stream, strategy=strategy)
+
+
+class TestPlacementDistributions:
+    def make(self, n_new=16, seed=0, n_communities=2):
+        wl = community_workload(80, n_new, seed=seed, n_communities=n_communities)
+        engine = AnytimeAnywhereCloseness(wl.base, AnytimeConfig(nprocs=4))
+        engine.setup()
+        return wl.single_batch(), engine.cluster
+
+    def test_roundrobin_even_spread(self):
+        batch, cluster = self.make()
+        placement = RoundRobinPS().assign(batch, cluster)
+        counts = [0] * 4
+        for r in placement.values():
+            counts[r] += 1
+        assert max(counts) - min(counts) <= 1
+
+    def test_roundrobin_rotation_persists(self):
+        batch, cluster = self.make(n_new=3)
+        ps = RoundRobinPS()
+        first = ps.assign(batch, cluster)
+        second = ps.assign(batch, cluster)
+        # the second batch continues the rotation instead of restarting at
+        # rank 0, keeping the union balanced
+        combined = list(first.values()) + list(second.values())
+        counts = [combined.count(r) for r in range(4)]
+        assert max(counts) - min(counts) <= 1
+        assert sorted(first.values()) == [0, 1, 2]
+        assert sorted(second.values()) == [0, 1, 3]
+
+    def test_cutedge_groups_communities(self):
+        # one community per processor: CutEdge-PS can keep each whole
+        batch, cluster = self.make(n_new=20, seed=4, n_communities=4)
+        placement = CutEdgePS().assign(batch, cluster)
+        new_graph = batch.new_vertex_graph()
+        intra_same = sum(
+            1
+            for u, v, _w in new_graph.edges()
+            if placement[u] == placement[v]
+        )
+        # CutEdge-PS keeps most intra-batch edges inside one processor
+        assert intra_same >= 0.5 * new_graph.num_edges
+
+    def test_cutedge_cuts_fewer_than_roundrobin(self):
+        batch, cluster = self.make(n_new=24, seed=5)
+        new_graph = batch.new_vertex_graph()
+
+        def cut(placement):
+            return sum(
+                1
+                for u, v, _w in new_graph.edges()
+                if placement[u] != placement[v]
+            )
+
+        assert cut(CutEdgePS().assign(batch, cluster)) <= cut(
+            RoundRobinPS().assign(batch, cluster)
+        )
+
+    def test_leastloaded_targets_lightest(self):
+        batch, cluster = self.make(n_new=4)
+        loads = [w.n_local for w in cluster.workers]
+        lightest = min(range(4), key=lambda r: loads[r])
+        placement = LeastLoadedPS().assign(batch, cluster)
+        assert lightest in set(placement.values())
+
+    def test_neighbormajority_follows_neighbors(self):
+        g = barabasi_albert(40, 2, seed=6)
+        engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=4))
+        engine.setup()
+        cluster = engine.cluster
+        anchor_rank = cluster.owner_of(0)
+        batch = ChangeBatch(
+            vertex_additions=[
+                VertexAddition(100, edges=((0, 1.0),))
+            ]
+        )
+        placement = NeighborMajorityPS().assign(batch, cluster)
+        assert placement[100] == anchor_rank
+
+    def test_all_strategies_cover_batch(self):
+        batch, cluster = self.make(n_new=10)
+        for ps in (RoundRobinPS(), CutEdgePS(), LeastLoadedPS(), NeighborMajorityPS()):
+            placement = ps.assign(batch, cluster)
+            assert set(placement) == set(batch.new_vertex_ids())
+            assert all(0 <= r < 4 for r in placement.values())

@@ -1,0 +1,96 @@
+"""Maximal clique enumeration tests."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    barabasi_albert,
+    degeneracy_ordering,
+    holme_kim,
+    max_clique,
+    maximal_cliques,
+)
+
+from ..conftest import complete_graph, cycle_graph, path_graph
+
+
+def cliques_set(g):
+    return {tuple(c) for c in maximal_cliques(g)}
+
+
+def test_complete_graph_single_clique():
+    assert cliques_set(complete_graph(5)) == {(0, 1, 2, 3, 4)}
+
+
+def test_path_cliques_are_edges():
+    assert cliques_set(path_graph(4)) == {(0, 1), (1, 2), (2, 3)}
+
+
+def test_cycle_cliques():
+    assert len(cliques_set(cycle_graph(5))) == 5
+
+
+def test_triangle_with_tail():
+    g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    assert cliques_set(g) == {(0, 1, 2), (2, 3)}
+
+
+def test_isolated_vertex_singleton():
+    g = path_graph(3)
+    g.add_vertex(9)
+    assert (9,) in cliques_set(g)
+
+
+def test_empty_graph():
+    assert cliques_set(Graph()) == set()
+    assert max_clique(Graph()) == []
+
+
+def test_matches_networkx():
+    nx = pytest.importorskip("networkx")
+    for seed in (1, 2):
+        g = holme_kim(80, 3, 0.7, seed=seed)
+        ng = nx.Graph()
+        ng.add_edges_from((u, v) for u, v, _w in g.edges())
+        ours = cliques_set(g)
+        ref = {tuple(sorted(c)) for c in nx.find_cliques(ng)}
+        assert ours == ref
+
+
+def test_max_clique_size():
+    g = complete_graph(4)
+    g.add_edges([(3, 10), (10, 11)])
+    assert max_clique(g) == [0, 1, 2, 3]
+
+
+def test_every_clique_is_maximal_and_complete():
+    g = barabasi_albert(60, 3, seed=3)
+    adj = {v: set(g.neighbors(v)) for v in g.vertices()}
+    for c in maximal_cliques(g):
+        cs = set(c)
+        # complete
+        for v in c:
+            assert cs - {v} <= adj[v]
+        # maximal: no vertex adjacent to all members
+        for v in g.vertices():
+            if v not in cs:
+                assert not cs <= adj[v]
+
+
+def test_degeneracy_ordering_covers_all():
+    g = barabasi_albert(50, 3, seed=4)
+    order = degeneracy_ordering(g)
+    assert sorted(order) == g.vertex_list()
+
+
+def test_degeneracy_bound():
+    """In degeneracy order each vertex has few later neighbors (<= the
+    degeneracy, which is m for BA graphs)."""
+    g = barabasi_albert(80, 3, seed=5)
+    order = degeneracy_ordering(g)
+    pos = {v: i for i, v in enumerate(order)}
+    worst = max(
+        sum(1 for u in g.neighbors(v) if pos[u] > pos[v])
+        for v in g.vertices()
+    )
+    assert worst <= 3 + 2  # degeneracy of BA(m=3) is m (small slack)

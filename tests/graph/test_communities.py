@@ -1,0 +1,84 @@
+"""Tests for the Louvain implementation."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    barabasi_albert,
+    louvain_communities,
+    modularity,
+    planted_partition,
+)
+
+
+def test_partition_covers_all_vertices():
+    g = barabasi_albert(100, 3, seed=0)
+    comms = louvain_communities(g, seed=0)
+    flat = sorted(v for c in comms for v in c)
+    assert flat == g.vertex_list()
+
+
+def test_planted_communities_recovered():
+    g, truth = planted_partition([25, 25, 25], 0.6, 0.01, seed=3)
+    comms = louvain_communities(g, seed=3)
+    # every detected community should be (nearly) a subset of one block
+    block = {v: i for i, c in enumerate(truth) for v in c}
+    for c in comms:
+        owners = {block[v] for v in c}
+        assert len(owners) == 1, f"community mixes blocks: {c}"
+    assert len(comms) == 3
+
+
+def test_modularity_positive_on_clustered_graph():
+    g, _ = planted_partition([20, 20], 0.5, 0.02, seed=1)
+    comms = louvain_communities(g, seed=1)
+    assert modularity(g, comms) > 0.3
+
+
+def test_modularity_of_all_in_one_partition_is_zero():
+    # Q(single community) = m/m - (2m/2m)^2 = 0 by definition
+    g, _ = planted_partition([10, 10], 0.8, 0.05, seed=0)
+    assert modularity(g, [g.vertex_list()]) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_empty_graph():
+    g = Graph()
+    assert louvain_communities(g) == []
+    assert modularity(g, []) == 0.0
+
+
+def test_edgeless_graph_singletons():
+    g = Graph()
+    g.add_vertices(range(5))
+    comms = louvain_communities(g, seed=0)
+    assert sorted(comms) == [[0], [1], [2], [3], [4]]
+
+
+def test_deterministic_for_seed():
+    g = barabasi_albert(120, 3, seed=7)
+    assert louvain_communities(g, seed=5) == louvain_communities(g, seed=5)
+
+
+def test_weighted_edges_respected():
+    # two triangles joined by a light bridge: heavy weights keep them apart
+    g = Graph.from_edges(
+        [(0, 1, 10.0), (1, 2, 10.0), (0, 2, 10.0),
+         (3, 4, 10.0), (4, 5, 10.0), (3, 5, 10.0),
+         (2, 3, 0.1)]
+    )
+    comms = louvain_communities(g, seed=0)
+    assert sorted(map(sorted, comms)) == [[0, 1, 2], [3, 4, 5]]
+
+
+def test_resolution_parameter():
+    g, _ = planted_partition([12, 12, 12, 12], 0.7, 0.05, seed=2)
+    fine = louvain_communities(g, seed=2, resolution=2.0)
+    coarse = louvain_communities(g, seed=2, resolution=0.2)
+    assert len(fine) >= len(coarse)
+
+
+def test_communities_sorted_by_first_member():
+    g, _ = planted_partition([8, 8], 0.9, 0.0, seed=0)
+    comms = louvain_communities(g, seed=0)
+    firsts = [c[0] for c in comms]
+    assert firsts == sorted(firsts)

@@ -1,0 +1,89 @@
+"""diff_graphs: derive a change batch from two snapshots."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, barabasi_albert, diff_graphs
+
+from ..conftest import path_graph
+
+
+def roundtrip(old, new):
+    batch = diff_graphs(old, new)
+    work = old.copy()
+    batch.validate(work)
+    batch.apply_to(work)
+    assert work == new
+    return batch
+
+
+def test_identical_graphs_empty_batch():
+    g = barabasi_albert(30, 2, seed=0)
+    batch = diff_graphs(g, g.copy())
+    assert not batch
+
+
+def test_vertex_addition_with_edges():
+    old = path_graph(3)
+    new = old.copy()
+    new.add_vertex(10)
+    new.add_edge(10, 0, 2.0)
+    batch = roundtrip(old, new)
+    assert batch.new_vertex_ids() == [10]
+    assert not batch.edge_additions  # carried by the vertex addition
+
+
+def test_intra_new_edges_once():
+    old = path_graph(2)
+    new = old.copy()
+    new.add_vertices([10, 11])
+    new.add_edge(10, 11, 3.0)
+    new.add_edge(10, 0, 1.0)
+    batch = roundtrip(old, new)
+    recorded = sum(len(va.edges) for va in batch.vertex_additions)
+    assert recorded == 2
+
+
+def test_edge_changes():
+    old = path_graph(4)
+    new = old.copy()
+    new.remove_edge(1, 2)
+    new.add_edge(0, 3, 5.0)
+    new.add_edge(0, 1, 9.0)  # reweight
+    batch = roundtrip(old, new)
+    assert len(batch.edge_deletions) == 1
+    assert len(batch.edge_additions) == 1
+    assert len(batch.edge_reweights) == 1
+
+
+def test_vertex_deletion_absorbs_incident_edges():
+    old = path_graph(4)
+    new = old.copy()
+    new.remove_vertex(1)
+    batch = roundtrip(old, new)
+    assert len(batch.vertex_deletions) == 1
+    assert not batch.edge_deletions  # (0,1),(1,2) go with the vertex
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000), data=st.data())
+def test_roundtrip_random_mutations(seed, data):
+    old = barabasi_albert(20, 2, seed=seed)
+    new = old.copy()
+    # random mutations
+    if data.draw(st.booleans()):
+        v = new.next_vertex_id()
+        new.add_vertex(v)
+        t = data.draw(st.integers(0, 19))
+        new.add_edge(v, t, float(data.draw(st.integers(1, 5))))
+    if data.draw(st.booleans()):
+        edges = new.edge_list()
+        u, vv, _w = edges[data.draw(st.integers(0, len(edges) - 1))]
+        new.remove_edge(u, vv)
+    if data.draw(st.booleans()):
+        victim = data.draw(st.integers(0, 19))
+        if new.has_vertex(victim):
+            new.remove_vertex(victim)
+    roundtrip(old, new)

@@ -1,0 +1,161 @@
+"""Tests for the random graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import (
+    barabasi_albert,
+    erdos_renyi,
+    holme_kim,
+    is_connected,
+    planted_partition,
+    powerlaw_exponent_estimate,
+    random_weights,
+    watts_strogatz,
+)
+
+
+class TestBarabasiAlbert:
+    def test_size_and_edge_count(self):
+        g = barabasi_albert(100, 3, seed=0)
+        assert g.num_vertices == 100
+        # star seed contributes m edges; each of the n-m-1 later vertices m
+        assert g.num_edges == 3 + 3 * 96
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert(200, 2, seed=1))
+
+    def test_deterministic(self):
+        a = barabasi_albert(80, 3, seed=5)
+        b = barabasi_albert(80, 3, seed=5)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = barabasi_albert(80, 3, seed=5)
+        b = barabasi_albert(80, 3, seed=6)
+        assert a != b
+
+    def test_offset(self):
+        g = barabasi_albert(10, 2, seed=0, offset=100)
+        assert g.vertex_list() == list(range(100, 110))
+
+    def test_scale_free_degree_tail(self):
+        g = barabasi_albert(2000, 3, seed=2)
+        gamma = powerlaw_exponent_estimate(g, dmin=3)
+        assert gamma is not None
+        assert 1.8 < gamma < 4.5  # BA asymptotics: gamma ~ 3
+
+    @pytest.mark.parametrize("n,m", [(5, 5), (5, 6), (3, 0)])
+    def test_invalid_params(self, n, m):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert(n, m)
+
+
+class TestHolmeKim:
+    def test_size(self):
+        g = holme_kim(100, 3, 0.5, seed=0)
+        assert g.num_vertices == 100
+        assert g.num_edges == 3 + 3 * 96
+
+    def test_deterministic(self):
+        assert holme_kim(60, 2, 0.7, seed=3) == holme_kim(60, 2, 0.7, seed=3)
+
+    def test_triads_raise_clustering(self):
+        """Triad formation should create more triangles than plain BA."""
+
+        def triangles(g):
+            count = 0
+            for u, v, _ in g.edges():
+                nu = set(g.neighbors(u))
+                count += len(nu & set(g.neighbors(v)))
+            return count
+
+        hk = holme_kim(400, 3, 0.9, seed=7)
+        ba = barabasi_albert(400, 3, seed=7)
+        assert triangles(hk) > triangles(ba)
+
+    def test_invalid_p_triad(self):
+        with pytest.raises(ConfigurationError):
+            holme_kim(10, 2, 1.5)
+
+
+class TestErdosRenyi:
+    def test_p_zero(self):
+        g = erdos_renyi(20, 0.0, seed=0)
+        assert g.num_edges == 0
+        assert g.num_vertices == 20
+
+    def test_p_one_complete(self):
+        g = erdos_renyi(10, 1.0, seed=0)
+        assert g.num_edges == 45
+
+    def test_expected_density(self):
+        g = erdos_renyi(300, 0.05, seed=1)
+        expected = 0.05 * 300 * 299 / 2
+        assert abs(g.num_edges - expected) < 0.25 * expected
+
+    def test_deterministic(self):
+        assert erdos_renyi(50, 0.1, seed=9) == erdos_renyi(50, 0.1, seed=9)
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi(10, 1.5)
+
+
+class TestWattsStrogatz:
+    def test_no_rewire_is_ring_lattice(self):
+        g = watts_strogatz(12, 4, 0.0, seed=0)
+        assert g.num_edges == 12 * 2
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_rewire_preserves_edge_count_upper_bound(self):
+        g = watts_strogatz(50, 4, 0.5, seed=1)
+        assert g.num_edges <= 100
+        assert g.num_edges >= 80  # bounded retries may drop a few
+
+    @pytest.mark.parametrize("n,k", [(10, 3), (10, 0), (5, 6)])
+    def test_invalid_k(self, n, k):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz(n, k, 0.1)
+
+
+class TestPlantedPartition:
+    def test_communities_returned(self):
+        g, comms = planted_partition([10, 15, 5], 0.5, 0.01, seed=0)
+        assert [len(c) for c in comms] == [10, 15, 5]
+        assert g.num_vertices == 30
+
+    def test_intra_denser_than_inter(self):
+        g, comms = planted_partition([30, 30], 0.4, 0.02, seed=1)
+        block = {v: i for i, c in enumerate(comms) for v in c}
+        intra = sum(1 for u, v, _ in g.edges() if block[u] == block[v])
+        inter = g.num_edges - intra
+        assert intra > 3 * inter
+
+    def test_offset(self):
+        g, comms = planted_partition([4, 4], 0.9, 0.0, seed=0, offset=50)
+        assert min(g.vertices()) == 50
+        assert comms[0][0] == 50
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            planted_partition([5, 5], 0.1, 0.5)  # p_out > p_in
+
+
+class TestRandomWeights:
+    def test_weights_in_range(self):
+        g = random_weights(barabasi_albert(50, 2, seed=0), 2.0, 7.0, seed=1)
+        for _u, _v, w in g.edges():
+            assert 2.0 <= w < 7.0
+
+    def test_topology_preserved(self):
+        base = barabasi_albert(50, 2, seed=0)
+        g = random_weights(base, seed=1)
+        assert {(u, v) for u, v, _ in g.edges()} == {
+            (u, v) for u, v, _ in base.edges()
+        }
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigurationError):
+            random_weights(barabasi_albert(10, 2, seed=0), 5.0, 2.0)

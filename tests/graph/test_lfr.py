@@ -1,0 +1,92 @@
+"""Tests for the LFR benchmark generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import lfr_benchmark, louvain_communities, modularity
+
+
+def realized_mixing(g, comms):
+    block = {v: i for i, c in enumerate(comms) for v in c}
+    inter = sum(1 for u, v, _w in g.edges() if block[u] != block[v])
+    return inter / max(g.num_edges, 1)
+
+
+def test_covers_all_vertices():
+    g, comms = lfr_benchmark(300, seed=0)
+    flat = sorted(v for c in comms for v in c)
+    assert flat == g.vertex_list()
+    assert g.num_vertices == 300
+
+
+def test_average_degree_near_target():
+    g, _ = lfr_benchmark(500, avg_degree=8.0, seed=1)
+    avg = 2 * g.num_edges / g.num_vertices
+    assert 6.0 <= avg <= 9.0
+
+
+@pytest.mark.parametrize("mu", [0.05, 0.2, 0.4])
+def test_mixing_tracks_target(mu):
+    g, comms = lfr_benchmark(500, mu=mu, avg_degree=8.0, seed=3)
+    realized = realized_mixing(g, comms)
+    assert abs(realized - mu) < 0.08
+
+
+def test_planted_modularity_high_for_low_mixing():
+    g, comms = lfr_benchmark(400, mu=0.1, seed=4)
+    assert modularity(g, comms) > 0.45
+
+
+def test_louvain_recovers_low_mixing_structure():
+    g, comms = lfr_benchmark(400, mu=0.05, avg_degree=10.0, seed=5)
+    detected = louvain_communities(g, seed=5)
+    q_detected = modularity(g, detected)
+    q_planted = modularity(g, comms)
+    assert q_detected >= 0.8 * q_planted
+
+
+def test_degree_distribution_heavy_tailed():
+    g, _ = lfr_benchmark(800, tau1=2.5, avg_degree=8.0, seed=6)
+    degs = np.array([g.degree(v) for v in g.vertices()])
+    assert degs.max() >= 3 * degs.mean()
+
+
+def test_deterministic():
+    a, ca = lfr_benchmark(200, seed=7)
+    b, cb = lfr_benchmark(200, seed=7)
+    assert a == b and ca == cb
+
+
+def test_offset():
+    g, comms = lfr_benchmark(50, seed=0, offset=1000)
+    assert min(g.vertices()) == 1000
+    assert comms[0][0] >= 1000
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n": 2},
+        {"n": 100, "mu": 1.5},
+        {"n": 100, "tau1": 0.9},
+        {"n": 100, "tau2": 1.0},
+    ],
+)
+def test_invalid_params(kwargs):
+    n = kwargs.pop("n")
+    with pytest.raises(ConfigurationError):
+        lfr_benchmark(n, **kwargs)
+
+
+def test_lfr_workload_valid():
+    from repro.bench import lfr_workload
+
+    wl = lfr_workload(250, 50, seed=8, inject_step=2)
+    work = wl.base.copy()
+    for _s, batch in wl.stream:
+        batch.validate(work)
+        batch.apply_to(work)
+    assert work == wl.final
+    assert wl.total_added > 0
+    assert "lfr" in wl.kind

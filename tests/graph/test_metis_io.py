@@ -1,0 +1,98 @@
+"""METIS .graph format round-trips and error handling."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    barabasi_albert,
+    random_weights,
+    read_metis,
+    write_metis,
+)
+
+from ..conftest import path_graph
+
+
+def test_unweighted_roundtrip(tmp_path):
+    g = barabasi_albert(50, 2, seed=0)
+    p = tmp_path / "g.graph"
+    write_metis(g, p)
+    assert read_metis(p) == g
+
+
+def test_weighted_roundtrip(tmp_path):
+    g = random_weights(barabasi_albert(40, 2, seed=1), 1.0, 5.0, seed=2)
+    p = tmp_path / "g.graph"
+    write_metis(g, p)
+    assert read_metis(p) == g
+
+
+def test_header_contents(tmp_path):
+    g = path_graph(4)
+    p = tmp_path / "g.graph"
+    write_metis(g, p)
+    header = p.read_text().splitlines()[0]
+    assert header == "4 3"
+
+
+def test_weighted_header_has_fmt(tmp_path):
+    from repro.graph import Graph
+
+    g = Graph.from_edges([(0, 1, 2.5)])
+    p = tmp_path / "g.graph"
+    write_metis(g, p)
+    assert p.read_text().splitlines()[0] == "2 1 001"
+
+
+def test_comment_lines_skipped(tmp_path):
+    p = tmp_path / "g.graph"
+    p.write_text("% a comment\n3 2\n2\n1 3\n2\n")
+    g = read_metis(p)
+    assert g.num_edges == 2
+    assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+
+def test_empty_file_rejected(tmp_path):
+    p = tmp_path / "empty.graph"
+    p.write_text("")
+    with pytest.raises(GraphError):
+        read_metis(p)
+
+
+def test_vertex_count_mismatch(tmp_path):
+    p = tmp_path / "bad.graph"
+    p.write_text("3 1\n2\n1\n")  # claims 3 vertices, 2 lines
+    with pytest.raises(GraphError):
+        read_metis(p)
+
+
+def test_edge_count_mismatch(tmp_path):
+    p = tmp_path / "bad.graph"
+    p.write_text("3 5\n2\n1 3\n2\n")
+    with pytest.raises(GraphError):
+        read_metis(p)
+
+
+def test_out_of_range_neighbor(tmp_path):
+    p = tmp_path / "bad.graph"
+    p.write_text("2 1\n9\n1\n")
+    with pytest.raises(GraphError):
+        read_metis(p)
+
+
+def test_unsupported_fmt(tmp_path):
+    p = tmp_path / "bad.graph"
+    p.write_text("2 1 011\n2 1\n1 1\n")
+    with pytest.raises(GraphError):
+        read_metis(p)
+
+
+def test_isolated_vertices_roundtrip(tmp_path):
+    from repro.graph import Graph
+
+    g = Graph.from_edges([(0, 1)], vertices=[2])
+    p = tmp_path / "iso.graph"
+    write_metis(g, p)
+    h = read_metis(p)
+    assert h.num_vertices == 3
+    assert h.degree(2) == 0

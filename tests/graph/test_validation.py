@@ -1,0 +1,58 @@
+"""Tests for structural graph analyses."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    barabasi_albert,
+    connected_components,
+    degree_histogram,
+    is_connected,
+    largest_component,
+)
+from repro.graph.validation import check_symmetry, powerlaw_exponent_estimate
+
+from ..conftest import cycle_graph, path_graph
+
+
+def two_component_graph():
+    g = path_graph(4)
+    g.add_edges([(10, 11), (11, 12)])
+    return g
+
+
+def test_connected_components_sorted_by_size():
+    comps = connected_components(two_component_graph())
+    assert len(comps) == 2
+    assert comps[0] == [0, 1, 2, 3]
+    assert comps[1] == [10, 11, 12]
+
+
+def test_is_connected():
+    assert is_connected(cycle_graph(5))
+    assert not is_connected(two_component_graph())
+    assert is_connected(Graph())  # vacuous
+
+
+def test_largest_component():
+    assert largest_component(two_component_graph()) == [0, 1, 2, 3]
+    assert largest_component(Graph()) == []
+
+
+def test_degree_histogram():
+    hist = degree_histogram(path_graph(4))
+    assert hist == {1: 2, 2: 2}
+
+
+def test_check_symmetry_passes():
+    check_symmetry(barabasi_albert(30, 2, seed=0))
+
+
+def test_powerlaw_estimate_none_for_tiny_graph():
+    assert powerlaw_exponent_estimate(path_graph(4)) is None
+
+
+def test_powerlaw_estimate_reasonable():
+    g = barabasi_albert(1500, 3, seed=0)
+    gamma = powerlaw_exponent_estimate(g, dmin=3)
+    assert gamma is not None and gamma > 1.5

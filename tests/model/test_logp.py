@@ -1,0 +1,71 @@
+"""Tests for the LogP/LogGP network model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model import DEFAULT_LOGP, LogPParams
+
+
+def test_defaults_valid():
+    assert DEFAULT_LOGP.latency > 0
+    assert DEFAULT_LOGP.word_bytes == 8
+
+
+def test_message_time_monotone_in_size():
+    p = LogPParams()
+    times = [p.message_time(b) for b in (0, 100, 10_000, 10_000_000)]
+    assert times == sorted(times)
+    assert times[0] > 0  # even empty messages pay header cost
+
+
+def test_empty_message_costs_header():
+    p = LogPParams()
+    assert p.message_time(0) == pytest.approx(2 * p.overhead + p.latency)
+
+
+def test_bandwidth_term():
+    p = LogPParams(latency=0.0, overhead=0.0, gap=0.0, byte_gap=1e-9)
+    assert p.message_time(1000) == pytest.approx(1e-6)
+
+
+def test_chunking():
+    p = LogPParams(max_message_bytes=100)
+    assert p.chunks(0) == 1
+    assert p.chunks(100) == 1
+    assert p.chunks(101) == 2
+    assert p.chunks(1000) == 10
+
+
+def test_chunked_message_pays_per_chunk_header():
+    p = LogPParams(max_message_bytes=100, gap=0.0)
+    one = p.message_time(100)
+    ten = p.message_time(1000)
+    header = 2 * p.overhead + p.latency
+    assert ten == pytest.approx(10 * header + 1000 * p.byte_gap)
+    assert ten > 9 * one
+
+
+def test_words_time():
+    p = LogPParams()
+    assert p.words_time(10) == p.message_time(80)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"latency": -1.0},
+        {"overhead": -0.1},
+        {"byte_gap": -1e-9},
+        {"max_message_bytes": 4},
+        {"word_bytes": 0},
+    ],
+)
+def test_invalid_params(kwargs):
+    with pytest.raises(ConfigurationError):
+        LogPParams(**kwargs)
+
+
+def test_frozen():
+    p = LogPParams()
+    with pytest.raises(Exception):
+        p.latency = 1.0  # type: ignore[misc]

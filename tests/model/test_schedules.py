@@ -1,0 +1,90 @@
+"""Tests for communication schedules."""
+
+import math
+
+import pytest
+
+from repro.model import (
+    SCHEDULES,
+    FloodAllToAll,
+    LogPParams,
+    PairwiseRounds,
+    SequentialAllToAll,
+    tree_broadcast_time,
+)
+
+P = LogPParams()
+
+
+def all_to_all_messages(nprocs: int, nbytes: int):
+    return [
+        (s, d, nbytes)
+        for s in range(nprocs)
+        for d in range(nprocs)
+        if s != d
+    ]
+
+
+def test_sequential_is_sum():
+    msgs = all_to_all_messages(4, 1000)
+    t = SequentialAllToAll().exchange_time(msgs, P)
+    assert t == pytest.approx(12 * P.message_time(1000))
+
+
+def test_pairwise_faster_than_sequential():
+    msgs = all_to_all_messages(8, 10_000)
+    seq = SequentialAllToAll().exchange_time(msgs, P)
+    pair = PairwiseRounds().exchange_time(msgs, P)
+    assert pair < seq / 4  # 7 rounds vs 56 serialized messages
+
+
+def test_pairwise_power_of_two_rounds():
+    # uniform messages: time = (P-1) * message_time
+    msgs = all_to_all_messages(8, 500)
+    t = PairwiseRounds().exchange_time(msgs, P)
+    assert t == pytest.approx(7 * P.message_time(500))
+
+
+def test_pairwise_non_power_of_two():
+    msgs = all_to_all_messages(6, 500)
+    t = PairwiseRounds().exchange_time(msgs, P)
+    assert t == pytest.approx(5 * P.message_time(500))
+
+
+def test_empty_exchange_free():
+    for sched in SCHEDULES.values():
+        assert sched.exchange_time([], P) == 0.0
+
+
+def test_self_messages_free():
+    t = SequentialAllToAll().exchange_time([(0, 0, 10**6)], P)
+    assert t == 0.0
+    assert PairwiseRounds().exchange_time([(2, 2, 10**6)], P) == 0.0
+
+
+def test_flood_contention_penalty():
+    msgs = all_to_all_messages(8, 1_000_000)
+    flood = FloodAllToAll(contention_factor=2.0).exchange_time(msgs, P)
+    payload = 56 * 1_000_000 * P.byte_gap
+    assert flood >= 2.0 * payload
+
+
+def test_flood_headers_overlap():
+    # tiny messages: flood beats sequential because headers overlap
+    msgs = all_to_all_messages(8, 8)
+    flood = FloodAllToAll().exchange_time(msgs, P)
+    seq = SequentialAllToAll().exchange_time(msgs, P)
+    assert flood < seq
+
+
+def test_tree_broadcast_log_depth():
+    t2 = tree_broadcast_time(1000, 2, P)
+    t16 = tree_broadcast_time(1000, 16, P)
+    assert t16 == pytest.approx(4 * t2)
+    assert tree_broadcast_time(1000, 1, P) == 0.0
+
+
+def test_registry_names():
+    assert set(SCHEDULES) == {"sequential", "pairwise", "flood"}
+    for name, sched in SCHEDULES.items():
+        assert sched.name == name

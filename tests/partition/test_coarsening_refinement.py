@@ -1,0 +1,125 @@
+"""Tests for the multilevel building blocks: matching, contraction, FM."""
+
+import numpy as np
+import pytest
+
+from repro.graph import barabasi_albert
+from repro.partition.coarsening import (
+    contract,
+    heavy_edge_matching,
+    level_from_graph,
+)
+from repro.partition.refinement import block_weights, compute_cut, refine_level
+
+from ..conftest import complete_graph, path_graph
+
+
+def make_level(n=60, m=3, seed=0):
+    return level_from_graph(barabasi_albert(n, m, seed=seed))
+
+
+class TestMatching:
+    def test_matching_is_symmetric(self):
+        level = make_level()
+        mate = heavy_edge_matching(level, np.random.default_rng(0), 1e9)
+        for v, u in mate.items():
+            assert mate[u] == v
+
+    def test_matching_covers_all_vertices(self):
+        level = make_level()
+        mate = heavy_edge_matching(level, np.random.default_rng(0), 1e9)
+        assert set(mate) == set(level.adj)
+
+    def test_matched_pairs_are_adjacent(self):
+        level = make_level()
+        mate = heavy_edge_matching(level, np.random.default_rng(0), 1e9)
+        for v, u in mate.items():
+            if u != v:
+                assert u in level.adj[v]
+
+    def test_weight_cap_respected(self):
+        level = make_level()
+        # cap = 1.0 forbids all matches (every vertex weighs 1)
+        mate = heavy_edge_matching(level, np.random.default_rng(0), 1.0)
+        assert all(u == v for v, u in mate.items())
+
+    def test_prefers_heavy_edge(self):
+        from repro.graph import Graph
+
+        g = Graph.from_edges([(0, 1, 1.0), (0, 2, 10.0)])
+        level = level_from_graph(g)
+        mate = heavy_edge_matching(level, np.random.default_rng(0), 1e9)
+        assert mate[0] == 2 or mate[2] == 0
+
+
+class TestContraction:
+    def test_vertex_weight_conserved(self):
+        level = make_level()
+        mate = heavy_edge_matching(level, np.random.default_rng(1), 1e9)
+        coarse = contract(level, mate)
+        assert coarse.total_vertex_weight() == level.total_vertex_weight()
+
+    def test_shrinks_graph(self):
+        level = make_level()
+        mate = heavy_edge_matching(level, np.random.default_rng(1), 1e9)
+        coarse = contract(level, mate)
+        assert coarse.num_vertices < level.num_vertices
+
+    def test_fine_to_coarse_total(self):
+        level = make_level()
+        mate = heavy_edge_matching(level, np.random.default_rng(1), 1e9)
+        coarse = contract(level, mate)
+        assert set(coarse.fine_to_coarse) == set(level.adj)
+        assert set(coarse.fine_to_coarse.values()) == set(coarse.adj)
+
+    def test_cut_weight_preserved_under_projection(self):
+        """Any partition of the coarse graph has the same cut weight as its
+        projection to the fine graph (self-collapsed edges excluded)."""
+        level = make_level(40, 2, seed=2)
+        mate = heavy_edge_matching(level, np.random.default_rng(2), 1e9)
+        coarse = contract(level, mate)
+        assign_c = {v: v % 3 for v in coarse.adj}
+        assign_f = {v: assign_c[coarse.fine_to_coarse[v]] for v in level.adj}
+        assert compute_cut(coarse, assign_c) == pytest.approx(
+            compute_cut(level, assign_f)
+        )
+
+
+class TestRefinement:
+    def test_never_increases_cut(self):
+        level = make_level(80, 3, seed=3)
+        rng = np.random.default_rng(3)
+        assign = {v: int(rng.integers(4)) for v in level.adj}
+        before = compute_cut(level, assign)
+        _refined, after = refine_level(
+            level, assign, 4, max_load=1e9, rng=np.random.default_rng(0)
+        )
+        assert after <= before
+
+    def test_respects_max_load(self):
+        level = make_level(60, 2, seed=4)
+        assign = {v: v % 4 for v in level.adj}
+        max_load = 60 / 4 * 1.2
+        refined, _cut = refine_level(
+            level, assign, 4, max_load=max_load, rng=np.random.default_rng(0)
+        )
+        loads = block_weights(level, refined, 4)
+        assert max(loads) <= max_load + 1e-9
+
+    def test_fixes_obvious_misplacement(self):
+        # path 0-1-2-3-4-5 split as {0,2,4},{1,3,5} (awful); refinement
+        # should find a contiguous split
+        level = level_from_graph(path_graph(6))
+        assign = {v: v % 2 for v in level.adj}
+        refined, cut = refine_level(
+            level, assign, 2, max_load=4.0, rng=np.random.default_rng(0)
+        )
+        assert cut <= 2.0
+
+    def test_clique_stays_together_when_balance_allows(self):
+        level = level_from_graph(complete_graph(6))
+        assign = {v: v % 2 for v in level.adj}
+        _refined, cut = refine_level(
+            level, assign, 2, max_load=6.0, rng=np.random.default_rng(0)
+        )
+        assert cut == 0.0  # all six vertices fit in one block

@@ -1,0 +1,92 @@
+"""Tests for partition quality metrics."""
+
+import pytest
+
+from repro.graph import Graph
+from repro.partition import (
+    Partition,
+    balance,
+    cut_edges,
+    cut_size_per_block,
+    edge_cut,
+    imbalance,
+    new_cut_edges,
+    partition_report,
+    weighted_edge_cut,
+)
+
+from ..conftest import path_graph
+
+
+def split_path():
+    g = path_graph(4)
+    p = Partition(2, {0: 0, 1: 0, 2: 1, 3: 1})
+    return g, p
+
+
+def test_cut_edges_listed_once():
+    g, p = split_path()
+    assert cut_edges(g, p) == [(1, 2, 1.0)]
+
+
+def test_edge_cut_count():
+    g, p = split_path()
+    assert edge_cut(g, p) == 1
+
+
+def test_weighted_edge_cut():
+    g = Graph.from_edges([(0, 1, 5.0), (1, 2, 3.0)])
+    p = Partition(2, {0: 0, 1: 1, 2: 1})
+    assert weighted_edge_cut(g, p) == 5.0
+
+
+def test_cut_size_per_block_counts_both_sides():
+    g, p = split_path()
+    assert cut_size_per_block(g, p) == [1, 1]
+
+
+def test_balance_perfect():
+    _g, p = split_path()
+    assert balance(p) == 1.0
+
+
+def test_balance_skewed():
+    p = Partition(2, {0: 0, 1: 0, 2: 0, 3: 1})
+    assert balance(p) == pytest.approx(1.5)
+
+
+def test_balance_empty():
+    assert balance(Partition(4, {})) == 1.0
+
+
+def test_imbalance():
+    assert imbalance([10, 10, 10]) == 0.0
+    assert imbalance([20, 10, 0]) == pytest.approx(1.0)
+    assert imbalance([]) == 0.0
+    assert imbalance([0, 0]) == 0.0
+
+
+def test_new_cut_edges_only_counts_new():
+    g, p = split_path()
+    old_edges = {(0, 1), (1, 2), (2, 3)}
+    # add one new cut edge (0, 3) and one new internal edge (0, 1 exists)
+    g.add_edge(0, 3)
+    p2 = Partition(2, dict(p.assignment))
+    assert new_cut_edges(g, p2, old_edges) == 1
+
+
+def test_new_cut_edges_ignores_migrated_old_edges():
+    g, _p = split_path()
+    old_edges = {(0, 1), (1, 2), (2, 3)}
+    # repartition moved vertex 1: edge (0,1) is now cut but is NOT new
+    p2 = Partition(2, {0: 0, 1: 1, 2: 1, 3: 1})
+    assert new_cut_edges(g, p2, old_edges) == 0
+
+
+def test_partition_report_keys():
+    g, p = split_path()
+    rep = partition_report(g, p)
+    assert rep["nparts"] == 2
+    assert rep["edge_cut"] == 1
+    assert rep["block_sizes"] == [2, 2]
+    assert 0 <= rep["cut_imbalance"] < 10

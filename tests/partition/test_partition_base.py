@@ -1,0 +1,77 @@
+"""Tests for the Partition value object."""
+
+import pytest
+
+from repro.errors import InvalidPartition
+from repro.graph import Graph
+from repro.partition import Partition
+
+from ..conftest import path_graph
+
+
+def make_partition():
+    return Partition(2, {0: 0, 1: 0, 2: 1, 3: 1})
+
+
+class TestConstruction:
+    def test_valid(self):
+        p = make_partition()
+        assert p.nparts == 2
+        assert p.num_vertices == 4
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(InvalidPartition):
+            Partition(2, {0: 2})
+
+    def test_negative_rank(self):
+        with pytest.raises(InvalidPartition):
+            Partition(2, {0: -1})
+
+    def test_nparts_positive(self):
+        with pytest.raises(InvalidPartition):
+            Partition(0, {})
+
+
+class TestAccessors:
+    def test_block(self):
+        assert make_partition().block(0) == [0, 1]
+        assert make_partition().block(1) == [2, 3]
+
+    def test_blocks(self):
+        assert make_partition().blocks() == [[0, 1], [2, 3]]
+
+    def test_block_sizes(self):
+        p = Partition(3, {0: 0, 1: 0, 2: 2})
+        assert p.block_sizes() == [2, 0, 1]
+
+    def test_owner(self):
+        assert make_partition().owner(2) == 1
+
+    def test_copy_independent(self):
+        p = make_partition()
+        q = p.copy()
+        q.assignment[0] = 1
+        assert p.owner(0) == 0
+
+
+class TestValidationAndMerge:
+    def test_validate_against_matching_graph(self):
+        make_partition().validate_against(path_graph(4))
+
+    def test_validate_against_mismatched_graph(self):
+        with pytest.raises(InvalidPartition):
+            make_partition().validate_against(path_graph(3))
+
+    def test_merge_assignments(self):
+        p = make_partition().merge_assignments({10: 1})
+        assert p.owner(10) == 1
+        assert p.num_vertices == 5
+
+    def test_merge_rejects_reassignment(self):
+        with pytest.raises(InvalidPartition):
+            make_partition().merge_assignments({0: 1})
+
+    def test_merge_is_pure(self):
+        p = make_partition()
+        p.merge_assignments({10: 0})
+        assert 10 not in p.assignment

@@ -1,0 +1,75 @@
+"""Tests for the LDG streaming partitioner and streaming assignment."""
+
+import pytest
+
+from repro.graph import barabasi_albert, planted_partition
+from repro.partition import (
+    LDGPartitioner,
+    RoundRobinPartitioner,
+    balance,
+    edge_cut,
+    ldg_stream_assign,
+)
+
+
+def test_covers_all_vertices():
+    g = barabasi_albert(100, 3, seed=0)
+    p = LDGPartitioner().partition(g, 4)
+    p.validate_against(g)
+
+
+def test_capacity_respected():
+    g = barabasi_albert(120, 3, seed=1)
+    p = LDGPartitioner(capacity_slack=0.1).partition(g, 4)
+    assert max(p.block_sizes()) <= 120 * 1.1 / 4 + 1
+
+
+def test_beats_roundrobin_on_cut():
+    g, _ = planted_partition([40, 40, 40], 0.3, 0.01, seed=2)
+    ldg = LDGPartitioner().partition(g, 3)
+    rr = RoundRobinPartitioner().partition(g, 3)
+    assert edge_cut(g, ldg) < edge_cut(g, rr)
+
+
+def test_deterministic_without_seed():
+    g = barabasi_albert(60, 2, seed=3)
+    a = LDGPartitioner().partition(g, 4)
+    b = LDGPartitioner().partition(g, 4)
+    assert a.assignment == b.assignment
+
+
+def test_seeded_shuffle_changes_stream_order():
+    g = barabasi_albert(60, 2, seed=3)
+    a = LDGPartitioner(seed=1).partition(g, 4)
+    b = LDGPartitioner(seed=2).partition(g, 4)
+    # different arrival orders generally give different placements
+    assert a.assignment != b.assignment
+
+
+def test_stream_assign_continues_existing_placement():
+    g, comms = planted_partition([20, 20], 0.5, 0.01, seed=4)
+    existing = {v: 0 for v in comms[0]}
+    existing.update({v: 1 for v in comms[1]})
+    # add a new vertex adjacent to community 0 only
+    new = g.next_vertex_id()
+    g.add_vertex(new)
+    for t in comms[0][:4]:
+        g.add_edge(new, t)
+    out = ldg_stream_assign(
+        g, 2, order=[new], initial_assignment=existing
+    )
+    assert out[new] == 0
+
+
+def test_stream_assign_neighborless_goes_to_lightest():
+    g = barabasi_albert(20, 2, seed=5)
+    g.add_vertex(999)
+    existing = {v: 0 for v in range(20)}
+    out = ldg_stream_assign(g, 2, order=[999], initial_assignment=existing)
+    assert out[999] == 1  # block 1 is empty -> highest capacity headroom
+
+
+def test_invalid_nparts():
+    g = barabasi_albert(10, 2, seed=0)
+    with pytest.raises(ValueError):
+        ldg_stream_assign(g, 0)

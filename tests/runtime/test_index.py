@@ -1,0 +1,59 @@
+"""Tests for the global vertex index."""
+
+import pytest
+
+from repro.errors import VertexNotFound
+from repro.runtime import GlobalIndex
+
+
+def test_insertion_order_columns():
+    idx = GlobalIndex([5, 2, 9])
+    assert idx.column(5) == 0
+    assert idx.column(2) == 1
+    assert idx.column(9) == 2
+    assert len(idx) == 3
+
+
+def test_add_idempotent():
+    idx = GlobalIndex([1])
+    assert idx.add(1) == 0
+    assert len(idx) == 1
+
+
+def test_add_many():
+    idx = GlobalIndex()
+    assert idx.add_many([3, 4, 3]) == [0, 1, 0]
+
+
+def test_vertex_at_roundtrip():
+    idx = GlobalIndex([10, 20, 30])
+    for v in (10, 20, 30):
+        assert idx.vertex_at(idx.column(v)) == v
+
+
+def test_missing_vertex():
+    with pytest.raises(VertexNotFound):
+        GlobalIndex().column(7)
+
+
+def test_contains():
+    idx = GlobalIndex([1])
+    assert 1 in idx
+    assert 2 not in idx
+
+
+def test_remove_compacts():
+    idx = GlobalIndex([10, 20, 30, 40])
+    col = idx.remove(20)
+    assert col == 1
+    assert idx.column(30) == 1
+    assert idx.column(40) == 2
+    assert 20 not in idx
+    assert len(idx) == 3
+
+
+def test_remove_then_add():
+    idx = GlobalIndex([1, 2])
+    idx.remove(1)
+    assert idx.add(99) == 1
+    assert idx.vertex_at(1) == 99

@@ -1,0 +1,77 @@
+"""Tests for the tracer's time accounting."""
+
+import pytest
+
+from repro.runtime import Tracer
+
+
+def test_phase_lifecycle():
+    t = Tracer()
+    t.begin("ia")
+    t.add_compute(1.0)
+    t.add_comm(0.5, messages=3, words=100)
+    rec = t.end()
+    assert rec.modeled_total == pytest.approx(1.5)
+    assert rec.messages == 3
+    assert t.modeled_seconds == pytest.approx(1.5)
+    assert t.total_words == 100
+    assert rec.wall_seconds >= 0.0
+
+
+def test_nested_phase_rejected():
+    t = Tracer()
+    t.begin("a")
+    with pytest.raises(RuntimeError):
+        t.begin("b")
+
+
+def test_end_without_begin():
+    with pytest.raises(RuntimeError):
+        Tracer().end()
+
+
+def test_ambient_charges_land_on_totals():
+    t = Tracer()
+    t.add_compute(2.0)
+    t.add_comm(1.0, messages=1, words=5)
+    assert t.modeled_seconds == pytest.approx(3.0)
+    assert t.total_messages == 1
+    assert t.records == []
+
+
+def test_note_inside_phase():
+    t = Tracer()
+    t.begin("x")
+    t.note("k", 7.0)
+    rec = t.end()
+    assert rec.info == {"k": 7.0}
+
+
+def test_note_outside_phase_is_noop():
+    Tracer().note("k", 1.0)  # must not raise
+
+
+def test_by_phase_aggregation():
+    t = Tracer()
+    for name, secs in (("rc_step", 1.0), ("rc_step", 2.0), ("ia", 4.0)):
+        t.begin(name)
+        t.add_compute(secs)
+        t.end()
+    agg = t.by_phase()
+    assert agg["rc_step"] == pytest.approx(3.0)
+    assert agg["ia"] == pytest.approx(4.0)
+
+
+def test_summary_keys():
+    t = Tracer()
+    t.begin("p")
+    t.end()
+    s = t.summary()
+    assert set(s) == {
+        "modeled_seconds",
+        "wall_seconds",
+        "messages",
+        "words",
+        "phases",
+    }
+    assert s["phases"] == 1.0

@@ -1,0 +1,68 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["figure5", "--small"])
+    assert args.command == "figure5"
+    assert args.small
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_figure4_small(capsys):
+    assert main(["figure4", "--small"]) == 0
+    out = capsys.readouterr().out
+    assert "figure4" in out
+    assert "anytime_roundrobin" in out
+    assert "baseline_restart" in out
+
+
+def test_figure7_small_markdown(capsys):
+    assert main(["figure7", "--small", "--markdown"]) == 0
+    out = capsys.readouterr().out
+    assert "| batch_size |" in out
+
+
+def test_out_file(tmp_path, capsys):
+    target = tmp_path / "report.txt"
+    assert main(["figure7", "--small", "--out", str(target)]) == 0
+    assert target.exists()
+    assert "new_cut_edges" in target.read_text()
+
+
+def test_partition_command(capsys):
+    assert main(["partition", "--n", "120", "--nparts", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "MultilevelPartitioner" in out
+    assert "edge_cut" in out
+
+
+def test_scale_overrides(capsys):
+    assert main(["figure7", "--small", "--n-base", "120", "--nprocs", "2"]) == 0
+    assert "figure7" in capsys.readouterr().out
+
+
+def test_trace_command(capsys, tmp_path):
+    out_json = tmp_path / "trace.json"
+    assert main([
+        "trace", "--n-base", "120", "--batch", "10", "--nprocs", "4",
+        "--json", str(out_json),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "rc_step" in out
+    assert "total modeled" in out
+    assert out_json.exists()
+
+
+def test_scaling_command(capsys):
+    assert main(["scaling", "--small"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out

@@ -1,0 +1,90 @@
+"""Error hierarchy and shared-type utilities."""
+
+import pytest
+
+from repro import ReproError
+from repro.errors import (
+    BalanceConstraintError,
+    ChangeStreamError,
+    CommunicationError,
+    ConfigurationError,
+    ConvergenceError,
+    DuplicateVertex,
+    EdgeNotFound,
+    GraphError,
+    InvalidPartition,
+    InvalidWeight,
+    PartitionError,
+    RuntimeSimulationError,
+    VertexNotFound,
+    WorkerError,
+)
+from repro.types import as_vertex_list, check_ranks, normalize_edge
+
+
+def test_everything_is_a_repro_error():
+    for exc in (
+        GraphError,
+        VertexNotFound,
+        EdgeNotFound,
+        DuplicateVertex,
+        InvalidWeight,
+        PartitionError,
+        InvalidPartition,
+        BalanceConstraintError,
+        RuntimeSimulationError,
+        WorkerError,
+        CommunicationError,
+        ConvergenceError,
+        ConfigurationError,
+        ChangeStreamError,
+    ):
+        assert issubclass(exc, ReproError), exc
+
+
+def test_lookup_errors_are_keyerrors():
+    assert issubclass(VertexNotFound, KeyError)
+    assert issubclass(EdgeNotFound, KeyError)
+
+
+def test_value_errors_are_valueerrors():
+    for exc in (DuplicateVertex, InvalidWeight, InvalidPartition,
+                ConfigurationError, ChangeStreamError):
+        assert issubclass(exc, ValueError)
+
+
+def test_vertex_not_found_message():
+    e = VertexNotFound(42)
+    assert "42" in str(e)
+    assert e.vertex == 42
+
+
+def test_edge_not_found_message():
+    e = EdgeNotFound(1, 2)
+    assert "(1, 2)" in str(e)
+    assert (e.u, e.v) == (1, 2)
+
+
+def test_single_except_catches_library_failures():
+    from repro.graph import Graph
+
+    with pytest.raises(ReproError):
+        Graph().remove_vertex(1)
+
+
+def test_as_vertex_list():
+    assert as_vertex_list([3, 1, 3, 2]) == [1, 2, 3]
+    assert as_vertex_list([]) == []
+
+
+def test_normalize_edge():
+    assert normalize_edge(5, 2) == (2, 5)
+    assert normalize_edge(2, 5) == (2, 5)
+
+
+def test_check_ranks():
+    check_ranks([0, 1, 2], 3)
+    with pytest.raises(ValueError):
+        check_ranks([3], 3)
+    with pytest.raises(ValueError):
+        check_ranks([-1], 3)

@@ -1,0 +1,43 @@
+"""Mid-scale soak tests (marked slow; run with ``-m slow``).
+
+The regular suite runs on tiny graphs for speed; these verify nothing
+breaks structurally at a few thousand vertices and 16 workers — the shape
+of the paper's configuration, reduced ~25x.
+"""
+
+import pytest
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.bench import community_workload
+from repro.centrality import exact_closeness
+from repro.runtime import check_cluster_invariants
+
+pytestmark = pytest.mark.slow
+
+
+def test_midscale_dynamic_exact():
+    wl = community_workload(2000, 200, seed=99, inject_step=3)
+    engine = AnytimeAnywhereCloseness(
+        wl.base, AnytimeConfig(nprocs=16, collect_snapshots=False)
+    )
+    engine.setup()
+    result = engine.run(changes=wl.stream, strategy="cutedge")
+    check_cluster_invariants(engine.cluster)
+    exact = exact_closeness(wl.final)
+    for v, c in exact.items():
+        assert result.closeness[v] == pytest.approx(c, abs=1e-9)
+
+
+def test_midscale_repartition_and_fault():
+    wl = community_workload(1500, 400, seed=98, inject_step=2)
+    engine = AnytimeAnywhereCloseness(
+        wl.base, AnytimeConfig(nprocs=16, collect_snapshots=False)
+    )
+    engine.setup()
+    engine.run(changes=wl.stream, strategy="repartition")
+    engine.crash_worker(7)
+    result = engine.run()
+    check_cluster_invariants(engine.cluster)
+    exact = exact_closeness(wl.final)
+    for v, c in exact.items():
+        assert result.closeness[v] == pytest.approx(c, abs=1e-9)
