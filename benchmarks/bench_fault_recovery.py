@@ -4,13 +4,34 @@ The anytime warm recovery (crash a worker, re-ship its sub-graph, rerun
 its local IA, let RC re-converge) is compared with the only alternative a
 static system has: restarting the whole computation.  Recovery should cost
 a small fraction of the restart.
+
+The second sweep compares the supervised recovery *policies* (warm /
+checkpoint / redistribute) across checkpoint intervals and fault steps,
+reporting the modeled time spent inside the ``fault_recovery`` phase — the
+simulation's MTTR analogue — plus the steady-state checkpoint overhead the
+policy pays even when nothing fails.  Single-threaded IA cost is used so
+the recompute-vs-restore trade-off is visible: with many cost-model
+threads the warm Dijkstra rerun is nearly free and checkpointing can only
+lose.
 """
 
-from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro import AnytimeAnywhereCloseness, AnytimeConfig, FaultPlan
 from repro.graph import barabasi_albert
+from repro.model.cost import DEFAULT_COST
+from repro.runtime.chaos import RECOVERY_POLICIES
 from repro.runtime.faults import crash_and_recover
 
 COLUMNS = ["variant", "modeled_minutes", "rc_steps"]
+
+SWEEP_COLUMNS = [
+    "policy",
+    "ckpt_interval",
+    "fault_step",
+    "mttr_modeled_ms",
+    "ckpt_overhead_ms",
+    "total_modeled_minutes",
+    "converged",
+]
 
 
 def run_all(scale):
@@ -52,3 +73,77 @@ def test_fault_recovery_ablation(benchmark, scale, emit):
     restart, recovery = rows
     # recovering one of P workers costs well under a full restart
     assert recovery["modeled_minutes"] < 0.8 * restart["modeled_minutes"]
+
+
+def run_policy_sweep(scale):
+    graph = barabasi_albert(scale.n_base, scale.m, seed=scale.seed)
+    victim = scale.nprocs // 2
+    cost = DEFAULT_COST.with_threads(1)
+    rows = []
+    for policy in RECOVERY_POLICIES:
+        intervals = (1, 4, 8) if policy == "checkpoint" else (8,)
+        for interval in intervals:
+            for fault_step in (0, 2, 4):
+                engine = AnytimeAnywhereCloseness(
+                    graph.copy(),
+                    AnytimeConfig(
+                        nprocs=scale.nprocs, seed=scale.seed,
+                        collect_snapshots=False, cost=cost,
+                    ),
+                )
+                engine.setup()
+                res = engine.run(
+                    fault_plan=FaultPlan.single_crash(fault_step, victim),
+                    recovery=policy,
+                    checkpoint_interval=interval,
+                )
+                ckpt = sum(
+                    p.modeled_total
+                    for p in engine.cluster.tracer.phases("checkpoint")
+                )
+                rows.append(
+                    {
+                        "policy": policy,
+                        "ckpt_interval": (
+                            interval if policy == "checkpoint" else "-"
+                        ),
+                        "fault_step": fault_step,
+                        "mttr_modeled_ms": res.recovery_modeled_seconds * 1e3,
+                        "ckpt_overhead_ms": ckpt * 1e3,
+                        "total_modeled_minutes": engine.modeled_seconds / 60.0,
+                        "converged": res.converged,
+                    }
+                )
+    return rows
+
+
+def test_recovery_policy_sweep(benchmark, scale, emit):
+    rows = benchmark.pedantic(
+        lambda: run_policy_sweep(scale), rounds=1, iterations=1
+    )
+    emit("ablation_fault_recovery_policies", rows, SWEEP_COLUMNS)
+    assert all(r["converged"] for r in rows)
+
+    def mean_mttr(policy, interval=None):
+        sel = [
+            r["mttr_modeled_ms"]
+            for r in rows
+            if r["policy"] == policy
+            and (interval is None or r["ckpt_interval"] == interval)
+        ]
+        return sum(sel) / len(sel)
+
+    # a fresh checkpoint (interval 1) makes restore cheaper than the warm
+    # Dijkstra rerun in the single-threaded IA cost regime
+    assert mean_mttr("checkpoint", 1) < mean_mttr("warm")
+    # checkpointing every step costs more steady-state overhead than every
+    # 8 steps (the MTTR-vs-overhead dial the interval controls)
+    over = {
+        i: sum(
+            r["ckpt_overhead_ms"]
+            for r in rows
+            if r["policy"] == "checkpoint" and r["ckpt_interval"] == i
+        )
+        for i in (1, 8)
+    }
+    assert over[1] > over[8]

@@ -7,7 +7,7 @@ qualitative claims: the cut-edge ordering and Repartition-S's win for
 large batches.
 """
 
-from repro.bench import ScenarioScale, lfr_workload, run_workload
+from repro.bench import lfr_workload, run_workload
 
 COLUMNS = [
     "batch",

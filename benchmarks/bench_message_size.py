@@ -7,7 +7,6 @@ messages; large S approaches one-shot transfers.  This sweep quantifies
 the header-amortization curve.
 """
 
-from dataclasses import replace
 
 from repro import AnytimeAnywhereCloseness, AnytimeConfig
 from repro.graph import barabasi_albert

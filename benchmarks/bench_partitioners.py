@@ -6,7 +6,6 @@ ParMETIS; this ablation quantifies why a cut-minimizing partitioner is the
 right default (boundary-DV traffic scales with the cut).
 """
 
-import pytest
 
 from repro import AnytimeAnywhereCloseness, AnytimeConfig
 from repro.graph import holme_kim

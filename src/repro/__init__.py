@@ -25,6 +25,7 @@ from .core.engine import AnytimeAnywhereCloseness, RunResult
 from .errors import ReproError
 from .graph.changes import ChangeBatch, ChangeStream
 from .graph.graph import Graph
+from .runtime.chaos import FaultPlan
 
 __version__ = "1.0.0"
 
@@ -32,6 +33,7 @@ __all__ = [
     "AnytimeAnywhereCloseness",
     "AnytimeConfig",
     "RunResult",
+    "FaultPlan",
     "Graph",
     "ChangeBatch",
     "ChangeStream",

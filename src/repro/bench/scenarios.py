@@ -23,12 +23,7 @@ from ..core.config import AnytimeConfig
 from ..core.engine import AnytimeAnywhereCloseness
 from ..partition.metrics import new_cut_edges
 from ..types import Edge
-from .workloads import (
-    Workload,
-    community_workload,
-    incremental_stream,
-    scale_free_workload,
-)
+from .workloads import Workload, community_workload, incremental_stream
 
 __all__ = [
     "ScenarioScale",

@@ -102,7 +102,9 @@ def top_k_overlap(
     """|top-k(approx) ∩ top-k(exact)| / k — headline-actor agreement."""
     if k <= 0:
         raise ValueError("k must be positive")
-    top = lambda d: {
-        v for v, _ in sorted(d.items(), key=lambda t: (-t[1], t[0]))[:k]
-    }
+    def top(d):
+        return {
+            v for v, _ in sorted(d.items(), key=lambda t: (-t[1], t[0]))[:k]
+        }
+
     return len(top(approx) & top(exact)) / k

@@ -44,6 +44,13 @@ class AnytimeConfig:
         Record an anytime snapshot after every RC step.
     seed:
         Seed for partitioner randomness when defaults are constructed.
+    recovery:
+        Default crash-recovery policy for fault-injected runs
+        (``"warm"`` | ``"checkpoint"`` | ``"redistribute"``); see
+        :mod:`repro.runtime.supervisor`.
+    checkpoint_interval:
+        RC steps between the supervisor's in-memory checkpoints (only
+        used by the ``"checkpoint"`` policy).
     """
 
     nprocs: int = 16
@@ -61,6 +68,8 @@ class AnytimeConfig:
     #: None = homogeneous.  Pair with a MultilevelPartitioner whose
     #: target_weights match for speed-proportional blocks.
     worker_speeds: Optional[list] = None
+    recovery: str = "warm"
+    checkpoint_interval: int = 8
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -71,6 +80,14 @@ class AnytimeConfig:
             raise ConfigurationError(
                 "repartition_threshold must be a fraction in [0, 1]"
             )
+        # literal duplicate of runtime.chaos.RECOVERY_POLICIES: config must
+        # stay importable without pulling in the runtime package
+        if self.recovery not in ("warm", "checkpoint", "redistribute"):
+            raise ConfigurationError(
+                f"unknown recovery policy {self.recovery!r}"
+            )
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint_interval must be >= 1")
         if self.worker_speeds is not None:
             if len(self.worker_speeds) != self.nprocs:
                 raise ConfigurationError(

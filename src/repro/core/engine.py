@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -52,6 +52,9 @@ from .strategies import (
     VertexAdditionStrategy,
 )
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.chaos import FaultPlan
+
 logger = logging.getLogger("repro.engine")
 
 __all__ = ["AnytimeAnywhereCloseness", "RunResult"]
@@ -71,6 +74,18 @@ class RunResult:
     #: False when the run was interrupted by an anytime budget before
     #: reaching a fixed point (results are still valid upper bounds)
     converged: bool = True
+    # --- fault/recovery accounting (fault-injected runs only) ---------
+    #: injected fault events: crashes + lost/duplicated messages +
+    #: transient send failures + lost acks
+    faults_injected: int = 0
+    #: packet retransmissions forced by losses/failures/lost acks
+    retries: int = 0
+    #: crashes answered by the supervisor's recovery policy
+    recoveries: int = 0
+    #: modeled seconds spent inside recovery (the MTTR analogue)
+    recovery_modeled_seconds: float = 0.0
+    #: canonical fault event trace (byte-identical for identical plans)
+    fault_events: List[str] = field(default_factory=list)
 
     @property
     def modeled_minutes(self) -> float:
@@ -174,6 +189,9 @@ class AnytimeAnywhereCloseness:
         changes: Optional[ChangeStream] = None,
         strategy: Union[str, DynamicStrategy, None] = "roundrobin",
         budget_modeled_seconds: Optional[float] = None,
+        fault_plan: Optional["FaultPlan"] = None,
+        recovery: Optional[str] = None,
+        checkpoint_interval: Optional[int] = None,
     ) -> RunResult:
         """Run the RC phase to convergence, absorbing ``changes``.
 
@@ -184,10 +202,40 @@ class AnytimeAnywhereCloseness:
         loop stops once the modeled clock advances by the budget, and the
         result carries ``converged=False`` with valid upper-bound
         estimates; call :meth:`run` again to continue refining.
+
+        ``fault_plan`` runs the step under deterministic fault injection
+        (see :class:`~repro.runtime.chaos.FaultPlan`): the boundary
+        exchange switches to the sequenced ack/retry protocol and the
+        supervisor answers scheduled crashes with the ``recovery`` policy
+        (``"warm"`` | ``"checkpoint"`` | ``"redistribute"``; defaults from
+        the config, as does ``checkpoint_interval``).  The result carries
+        the fault/recovery accounting and the canonical event trace.
         """
         cluster = self._require_cluster()
         cfg = self.config
         dyn = self.resolve_strategy(strategy) if changes else None
+        injector = None
+        supervisor = None
+        if fault_plan is not None:
+            from ..runtime.chaos import FaultInjector
+            from ..runtime.supervisor import Supervisor
+
+            injector = FaultInjector(fault_plan, cfg.nprocs)
+            supervisor = Supervisor(
+                cluster,
+                injector,
+                recovery=recovery if recovery is not None else cfg.recovery,
+                checkpoint_interval=(
+                    checkpoint_interval
+                    if checkpoint_interval is not None
+                    else cfg.checkpoint_interval
+                ),
+            )
+            cluster.attach_chaos(injector)
+        elif recovery is not None or checkpoint_interval is not None:
+            raise ConfigurationError(
+                "recovery/checkpoint_interval only apply with a fault_plan"
+            )
 
         def observer(step: int) -> None:
             if cfg.collect_snapshots:
@@ -196,15 +244,20 @@ class AnytimeAnywhereCloseness:
                 )
                 self.load_history.append(snapshot_load(cluster))
 
-        steps = run_recombination(
-            cluster,
-            strategy=dyn,
-            changes=changes,
-            max_steps=cfg.max_rc_steps,
-            on_step=observer,
-            start_step=self._next_step,
-            budget_modeled_seconds=budget_modeled_seconds,
-        )
+        try:
+            steps = run_recombination(
+                cluster,
+                strategy=dyn,
+                changes=changes,
+                max_steps=cfg.max_rc_steps,
+                on_step=observer,
+                start_step=self._next_step,
+                budget_modeled_seconds=budget_modeled_seconds,
+                supervisor=supervisor,
+            )
+        finally:
+            if injector is not None:
+                cluster.detach_chaos()
         self._next_step += steps
         pending_changes = bool(changes) and changes.last_step >= self._next_step
         logger.debug(
@@ -219,6 +272,15 @@ class AnytimeAnywhereCloseness:
             snapshots=list(self.snapshots),
             load=snapshot_load(cluster),
             converged=cluster.converged_vote() and not pending_changes,
+            faults_injected=(
+                injector.stats.faults_injected if injector else 0
+            ),
+            retries=injector.stats.retries if injector else 0,
+            recoveries=supervisor.recoveries if supervisor else 0,
+            recovery_modeled_seconds=(
+                supervisor.recovery_modeled_seconds if supervisor else 0.0
+            ),
+            fault_events=injector.trace_lines() if injector else [],
         )
 
     def run_baseline_restart(

@@ -25,6 +25,7 @@ from .strategies.base import DynamicStrategy
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..runtime.cluster import Cluster
+    from ..runtime.supervisor import Supervisor
 
 __all__ = ["run_recombination"]
 
@@ -38,6 +39,7 @@ def run_recombination(
     on_step: Optional[Callable[[int], None]] = None,
     start_step: int = 0,
     budget_modeled_seconds: Optional[float] = None,
+    supervisor: Optional["Supervisor"] = None,
 ) -> int:
     """Run RC steps until convergence; returns the number of steps run.
 
@@ -57,6 +59,12 @@ def run_recombination(
         Anytime interruption: stop (without error) once the modeled clock
         has advanced by this much since entry, even if not yet converged.
         The partial results remain valid upper bounds.
+    supervisor:
+        Fault-tolerance supervisor.  Its :meth:`before_step` preamble
+        (periodic checkpoints + scheduled crashes and their recoveries)
+        runs at the start of every step, and the loop stays alive while
+        crashes are still scheduled in the future — a fault after natural
+        convergence must still be absorbed.
     """
     if changes and changes.last_step >= start_step and strategy is None:
         raise ValueError("a dynamic strategy is required to apply changes")
@@ -74,15 +82,27 @@ def run_recombination(
             >= budget_modeled_seconds
         ):
             return steps_run  # interrupted: anytime result stands
+        if supervisor is not None:
+            supervisor.before_step(step)
         batch = changes.at_step(step) if changes else None
         future_changes = bool(changes) and changes.last_step > step
-        if batch is None and not future_changes and not cluster.any_pending():
+        future_faults = (
+            supervisor is not None and supervisor.last_crash_step > step
+        )
+        if (
+            batch is None
+            and not future_changes
+            and not future_faults
+            and not cluster.any_pending()
+        ):
             return steps_run
         cluster.tracer.begin("rc_step", step)
         cluster.exchange_boundary()
         cluster.relax_and_propagate()
         if batch is not None:
             strategy.apply(cluster, batch, step)  # type: ignore[union-attr]
+            if supervisor is not None:
+                supervisor.note_batch(batch)
         cluster.tracer.end()
         if on_step is not None:
             on_step(step)

@@ -1,11 +1,25 @@
 """Simulated distributed runtime: workers, cluster, tracing, messages."""
 
+from .chaos import (
+    RECOVERY_POLICIES,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+)
 from .cluster import Cluster
 from .debug import check_cluster_invariants
-from .faults import crash_and_recover, crash_worker, recover_worker
+from .faults import (
+    crash_and_recover,
+    crash_worker,
+    recover_worker,
+    recover_worker_from_snapshot,
+    redistribute_worker,
+)
 from .index import GlobalIndex
 from .message import Message, MessageKind, dv_payload_words
 from .metrics import LoadSnapshot, snapshot_load
+from .supervisor import Supervisor
 from .tracing import PhaseRecord, Tracer
 from .worker import Worker
 
@@ -14,7 +28,15 @@ __all__ = [
     "check_cluster_invariants",
     "crash_worker",
     "recover_worker",
+    "recover_worker_from_snapshot",
+    "redistribute_worker",
     "crash_and_recover",
+    "RECOVERY_POLICIES",
+    "FaultEvent",
+    "FaultStats",
+    "FaultPlan",
+    "FaultInjector",
+    "Supervisor",
     "Worker",
     "GlobalIndex",
     "Tracer",

@@ -21,7 +21,7 @@ slowest worker's compute.  Communication is priced by the configured
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +41,9 @@ from .index import GlobalIndex
 from .message import dv_payload_words
 from .tracing import Tracer
 from .worker import Worker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .chaos import FaultInjector
 
 __all__ = ["Cluster"]
 
@@ -82,6 +85,9 @@ class Cluster:
             for w, sp in zip(self.workers, worker_speeds):
                 w.speed = float(sp)
         self.partition: Optional[Partition] = None
+        #: active fault injector (None = reliable network)
+        self.chaos: Optional["FaultInjector"] = None
+        self._pre_chaos_speeds: Optional[List[float]] = None
 
     # ------------------------------------------------------------------
     # ownership
@@ -189,11 +195,41 @@ class Cluster:
     # IA phase
     # ------------------------------------------------------------------
     def run_initial_approximation(self) -> None:
-        rec = self.tracer.begin("initial_approximation")
+        self.tracer.begin("initial_approximation")
         for w in self.workers:
             w.run_initial_approximation()
         self.sync_compute()
         self.tracer.end()
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def attach_chaos(self, injector: "FaultInjector") -> None:
+        """Route the boundary exchange through ``injector`` and apply its
+        straggler slowdowns.  Detach with :meth:`detach_chaos`."""
+        if injector.nprocs != self.nprocs:
+            raise ConfigurationError(
+                f"fault injector built for {injector.nprocs} workers,"
+                f" cluster has {self.nprocs}"
+            )
+        self.chaos = injector
+        self._pre_chaos_speeds = [w.speed for w in self.workers]
+        for rank, factor in injector.plan.stragglers:
+            self.workers[rank].speed /= factor
+
+    def detach_chaos(self) -> None:
+        """Restore the reliable network and original worker speeds.
+
+        Any rows still awaiting acknowledgement move back to the pending
+        queues so the reliable exchange path completes their delivery.
+        """
+        self.chaos = None
+        if self._pre_chaos_speeds is not None:
+            for w, sp in zip(self.workers, self._pre_chaos_speeds):
+                w.speed = sp
+            self._pre_chaos_speeds = None
+        for w in self.workers:
+            w.flush_unacked()
 
     # ------------------------------------------------------------------
     # RC-step primitives
@@ -202,8 +238,12 @@ class Cluster:
         """Personalized all-to-all exchange of queued boundary-DV rows.
 
         Returns the number of DV rows delivered.  Prices the exchange under
-        the configured schedule and charges pack/unpack compute.
+        the configured schedule and charges pack/unpack compute.  With a
+        fault injector attached, the exchange runs the sequenced
+        ack/retry protocol instead (see :meth:`_exchange_with_chaos`).
         """
+        if self.chaos is not None:
+            return self._exchange_with_chaos()
         payloads: Dict[Tuple[Rank, Rank], Dict[VertexId, np.ndarray]] = {}
         messages: List[Tuple[Rank, Rank, int]] = []
         delivered = 0
@@ -223,6 +263,63 @@ class Cluster:
         self.charge_comm_words(messages)
         for (src, dst), rows in payloads.items():
             self.workers[dst].receive_rows(rows)
+        return delivered
+
+    def _exchange_with_chaos(self) -> int:
+        """Sequenced, acknowledged boundary exchange under fault injection.
+
+        Every packet carries a per-channel sequence number; the sender
+        keeps it buffered until the destination's ack arrives, so the RC
+        fixed-point vote cannot falsely converge while an update sits
+        undelivered.  Lost packets (and lost acks) are retried at the next
+        exchange; duplicates are deduplicated by sequence number.  All
+        traffic — including retries, duplicates and the 1-word acks — is
+        priced by the LogP schedule.
+        """
+        chaos = self.chaos
+        assert chaos is not None
+        max_retries = chaos.plan.max_retries
+        messages: List[Tuple[Rank, Rank, int]] = []
+        #: (src, dst, seq, rows, copies delivered on the wire)
+        deliveries: List[
+            Tuple[Rank, Rank, int, Dict[VertexId, np.ndarray], int]
+        ] = []
+        retries = 0
+        for src in range(self.nprocs):
+            w = self.workers[src]
+            for dst in range(self.nprocs):
+                if dst == src:
+                    continue
+                for seq, rows, is_retry in w.outbound_packets(
+                    dst, max_retries
+                ):
+                    if is_retry:
+                        retries += 1
+                        chaos.record_retry(src, dst, seq)
+                    outcome = chaos.send_outcome(src, dst, seq)
+                    if outcome == "send_failure":
+                        continue  # never hit the wire; retried next step
+                    words = dv_payload_words(len(rows), self.n_columns)
+                    copies = 2 if outcome == "duplicated" else 1
+                    for _ in range(copies):
+                        messages.append((src, dst, words))
+                    if outcome == "lost":
+                        continue
+                    deliveries.append((src, dst, seq, rows, copies))
+        delivered = 0
+        acks: List[Tuple[Rank, Rank, int]] = []
+        for src, dst, seq, rows, copies in deliveries:
+            if self.workers[dst].receive_packet(src, seq, rows):
+                delivered += len(rows)
+            for _ in range(copies):
+                acks.append((dst, src, 1))  # 1-word ack on the wire
+                if not chaos.ack_lost(src, dst, seq):
+                    self.workers[src].ack_packet(dst, seq)
+        self.charge_comm_words(messages + acks)
+        if retries:
+            rec = self.tracer._open
+            if rec is not None:
+                rec.info["retries"] = rec.info.get("retries", 0.0) + retries
         return delivered
 
     def relax_and_propagate(self) -> bool:

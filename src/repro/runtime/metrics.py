@@ -39,6 +39,12 @@ class LoadSnapshot:
         """Global cut-edge count (each edge counted once)."""
         return sum(self.cut_edges) // 2
 
+    @property
+    def active_workers(self) -> int:
+        """Workers owning at least one vertex (drops below P after a
+        ``redistribute`` recovery retires a rank)."""
+        return sum(1 for n in self.vertices if n > 0)
+
 
 def snapshot_load(cluster: Cluster) -> LoadSnapshot:
     """Capture the current per-worker load of ``cluster``."""

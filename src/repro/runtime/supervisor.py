@@ -1,0 +1,164 @@
+"""Supervised crash recovery for fault-injected runs.
+
+The :class:`Supervisor` sits between the RC loop and the
+:class:`~repro.runtime.chaos.FaultInjector`: at the start of every RC
+step it fires the crashes the plan schedules and answers each one with
+the configured recovery policy, charging the policy's true LogP cost to
+the modeled clock:
+
+``warm``
+    Re-ship the sub-graph, rerun the IA-phase local Dijkstra, re-wire
+    subscriptions (the seed repo's original recovery).
+``checkpoint``
+    Every ``checkpoint_interval`` RC steps each rank ships a copy of its
+    derived state (DV + local APSP) to its buddy rank ``(r+1) % P`` — an
+    in-memory checkpoint.  A crashed rank restores from the buddy's copy,
+    skipping the Dijkstra rerun; only boundary traffic from after the
+    checkpoint must be refreshed.  Snapshots are dropped when deletions
+    or re-weightings land (saved rows would stop being upper bounds) and
+    fall back to ``warm`` per rank whose block changed since the save.
+``redistribute``
+    Degraded mode: no replacement process.  The dead rank's sub-graph
+    migrates to the survivors and the computation finishes on P−1
+    processors.
+
+Checkpointing is ordered *before* same-step crashes, so a checkpoint
+scheduled at a crash step is taken from live state, not wiped state.
+All decisions are deterministic functions of the plan and the cluster
+state, preserving the injector's byte-identical event traces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Set
+
+from ..errors import ConfigurationError
+from ..types import Rank
+from .chaos import RECOVERY_POLICIES, FaultInjector
+from .faults import (
+    crash_worker,
+    recover_worker,
+    recover_worker_from_snapshot,
+    redistribute_worker,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.checkpoint import ClusterStateSnapshot
+    from ..graph.changes import ChangeBatch
+    from .cluster import Cluster
+
+__all__ = ["Supervisor"]
+
+
+class Supervisor:
+    """Applies a recovery policy to the crashes a fault injector schedules."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        injector: FaultInjector,
+        *,
+        recovery: str = "warm",
+        checkpoint_interval: int = 8,
+    ) -> None:
+        if recovery not in RECOVERY_POLICIES:
+            raise ConfigurationError(
+                f"unknown recovery policy {recovery!r};"
+                f" choose from {RECOVERY_POLICIES}"
+            )
+        if checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint_interval must be >= 1")
+        self.cluster = cluster
+        self.injector = injector
+        self.recovery = recovery
+        self.checkpoint_interval = checkpoint_interval
+        self._snapshot: Optional["ClusterStateSnapshot"] = None
+        #: ranks retired by the redistribute policy (own no vertices)
+        self.dead_ranks: Set[Rank] = set()
+        self.recoveries = 0
+        self.recovery_modeled_seconds = 0.0
+        self.checkpoint_modeled_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def last_crash_step(self) -> int:
+        """Latest scheduled crash step (the RC loop must live this long)."""
+        return self.injector.last_crash_step
+
+    def before_step(self, step: int) -> None:
+        """RC-step preamble: periodic checkpoint, then scheduled crashes."""
+        self.injector.begin_step(step)
+        if (
+            self.recovery == "checkpoint"
+            and step % self.checkpoint_interval == 0
+        ):
+            self._take_checkpoint(step)
+        for rank in self.injector.crashes_at(step):
+            self._handle_crash(step, rank)
+
+    def note_batch(self, batch: "ChangeBatch") -> None:
+        """Observe an applied change batch.
+
+        Deletions and re-weightings can *increase* true distances, so DV
+        rows saved before such a batch are no longer guaranteed upper
+        bounds; the snapshot must be dropped.  Additions only shorten
+        distances and append columns, which restore handles by padding.
+        """
+        if batch and (
+            batch.edge_deletions
+            or batch.edge_reweights
+            or batch.vertex_deletions
+        ):
+            self._snapshot = None
+
+    # ------------------------------------------------------------------
+    def _take_checkpoint(self, step: int) -> None:
+        from ..core.checkpoint import snapshot_cluster_state
+
+        cluster = self.cluster
+        rec = cluster.tracer.begin("checkpoint", step)
+        snap = snapshot_cluster_state(cluster, step)
+        if cluster.nprocs > 1:
+            cluster.charge_comm_words(
+                [
+                    (r, (r + 1) % cluster.nprocs, snap.words(r))
+                    for r in range(cluster.nprocs)
+                ]
+            )
+        cluster.tracer.end()
+        self.checkpoint_modeled_seconds += rec.modeled_total
+        self._snapshot = snap
+
+    def _snapshot_usable_for(self, rank: Rank) -> bool:
+        snap = self._snapshot
+        cluster = self.cluster
+        if snap is None or cluster.partition is None:
+            return False
+        if not snap.compatible_with(cluster):
+            return False
+        return snap.owned.get(rank) == tuple(cluster.partition.block(rank))
+
+    def _handle_crash(self, step: int, rank: Rank) -> None:
+        cluster = self.cluster
+        self.injector.record_crash(step, rank)
+        rec = cluster.tracer.begin("fault_recovery", step)
+        crash_worker(cluster, rank)
+        if self.recovery == "redistribute":
+            redistribute_worker(cluster, rank, exclude=self.dead_ranks)
+            self.dead_ranks.add(rank)
+            policy = "redistribute"
+        elif self.recovery == "checkpoint" and self._snapshot_usable_for(rank):
+            recover_worker_from_snapshot(cluster, rank, self._snapshot)
+            policy = "checkpoint"
+        elif self.recovery == "checkpoint":
+            # no usable snapshot (none taken yet, invalidated by deletions,
+            # or the block changed since the save): warm restart instead
+            recover_worker(cluster, rank)
+            policy = "warm-fallback"
+        else:
+            recover_worker(cluster, rank)
+            policy = "warm"
+        cluster.tracer.end()
+        self.recoveries += 1
+        self.recovery_modeled_seconds += rec.modeled_total
+        self.injector.record_recovery(step, rank, policy)

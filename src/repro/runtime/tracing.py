@@ -100,6 +100,10 @@ class Tracer:
         return self._open
 
     # ------------------------------------------------------------------
+    def phases(self, name: str) -> List[PhaseRecord]:
+        """All closed records of one phase name (e.g. ``"fault_recovery"``)."""
+        return [r for r in self.records if r.name == name]
+
     def by_phase(self) -> Dict[str, float]:
         """Total modeled seconds per phase name."""
         acc: Dict[str, float] = {}

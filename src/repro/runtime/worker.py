@@ -78,6 +78,18 @@ class Worker:
         self._fresh_ext: Set[VertexId] = set()
         self._full_repropagate = False
 
+        # --- loss-tolerant channels (sequence numbers + ack/retry) ----
+        #: next sequence number per destination rank
+        self._send_seq: List[int] = [0] * nprocs
+        #: per destination: seq -> vertex ids awaiting acknowledgement
+        self._unacked: List[Dict[int, List[VertexId]]] = [
+            {} for _ in range(nprocs)
+        ]
+        #: per destination: seq -> send attempts so far
+        self._attempts: List[Dict[int, int]] = [{} for _ in range(nprocs)]
+        #: per source: sequence numbers already delivered (dedup filter)
+        self._seen_seq: List[Set[int]] = [set() for _ in range(nprocs)]
+
         # --- metering --------------------------------------------------
         self._seconds = 0.0
         self.counters: Dict[str, int] = {}
@@ -148,6 +160,10 @@ class Worker:
         self._dirty_cols = np.zeros(n_cols, dtype=bool)
         self._fresh_ext = set()
         self._full_repropagate = False
+        self._send_seq = [0] * self.nprocs
+        self._unacked = [{} for _ in range(self.nprocs)]
+        self._attempts = [{} for _ in range(self.nprocs)]
+        self._seen_seq = [set() for _ in range(self.nprocs)]
 
     # ------------------------------------------------------------------
     # IA phase
@@ -239,10 +255,11 @@ class Worker:
 
     def has_pending(self) -> bool:
         """True while this worker still has work that could change results:
-        rows queued to peers, unprocessed received rows, or unpropagated
-        local changes."""
+        rows queued to peers, unacknowledged in-flight rows, unprocessed
+        received rows, or unpropagated local changes."""
         return (
             any(self._pending)
+            or any(self._unacked)
             or bool(self._changed_rows)
             or bool(self._fresh_ext)
             or self._full_repropagate
@@ -265,6 +282,97 @@ class Worker:
                 )
             self.ext_dvs[v] = row
             self._fresh_ext.add(v)
+
+    # ------------------------------------------------------------------
+    # loss-tolerant channels (chaos-mode exchange path)
+    # ------------------------------------------------------------------
+    def outbound_packets(
+        self, dst: Rank, max_retries: int
+    ) -> List[Tuple[int, Dict[VertexId, np.ndarray], bool]]:
+        """Sequenced packets to send to ``dst`` this exchange.
+
+        Returns ``(seq, rows, is_retry)`` triples: first every
+        unacknowledged packet (a *retry* — rows are rebuilt from the
+        current DV, which only sharpens the delivered upper bounds), then
+        at most one fresh packet draining the pending queue.  The pending
+        set moves into the unacked buffer, so the convergence vote cannot
+        pass until delivery is acknowledged.
+
+        Raises :class:`~repro.errors.WorkerError` once a packet exhausts
+        ``max_retries`` — a partition, not a transient fault.
+        """
+        packets: List[Tuple[int, Dict[VertexId, np.ndarray], bool]] = []
+        unacked = self._unacked[dst]
+        attempts = self._attempts[dst]
+        for seq in sorted(unacked):
+            ids = [v for v in unacked[seq] if v in self.row_of]
+            if not ids:
+                # every vertex migrated away; its new owner re-sends
+                del unacked[seq]
+                attempts.pop(seq, None)
+                continue
+            unacked[seq] = ids
+            n = attempts[seq] = attempts.get(seq, 0) + 1
+            if n > max_retries + 1:
+                raise WorkerError(
+                    f"rank {self.rank} packet seq={seq} to rank {dst}"
+                    f" exceeded {max_retries} retries (network partition?)"
+                )
+            rows = {v: self.dv[self.row_of[v]].copy() for v in ids}
+            packets.append((seq, rows, n > 1))
+        fresh = sorted(v for v in self._pending[dst] if v in self.row_of)
+        self._pending[dst].clear()
+        if fresh:
+            seq = self._send_seq[dst]
+            self._send_seq[dst] += 1
+            unacked[seq] = fresh
+            attempts[seq] = 1
+            rows = {v: self.dv[self.row_of[v]].copy() for v in fresh}
+            packets.append((seq, rows, False))
+        return packets
+
+    def ack_packet(self, dst: Rank, seq: int) -> None:
+        """Destination acknowledged packet ``seq``; stop retrying it."""
+        self._unacked[dst].pop(seq, None)
+        self._attempts[dst].pop(seq, None)
+
+    def receive_packet(
+        self, src: Rank, seq: int, rows: Dict[VertexId, np.ndarray]
+    ) -> bool:
+        """Deliver a sequenced packet; returns False for a duplicate."""
+        if seq in self._seen_seq[src]:
+            return False
+        self._seen_seq[src].add(seq)
+        self.receive_rows(rows)
+        return True
+
+    def reset_channel(self, peer: Rank) -> None:
+        """Forget all channel state with ``peer`` in both directions.
+
+        Called when either endpoint crashes: the connection is
+        re-established from sequence 0 and the post-recovery subscription
+        refresh re-queues whatever was in flight.
+        """
+        self._send_seq[peer] = 0
+        self._unacked[peer].clear()
+        self._attempts[peer].clear()
+        self._seen_seq[peer].clear()
+        self._pending[peer].clear()
+
+    def flush_unacked(self) -> None:
+        """Move unacknowledged rows back to the pending queues.
+
+        Used when chaos mode detaches mid-computation (e.g. an anytime
+        budget interrupt): the reliable exchange path takes over delivery
+        of whatever was still in flight.
+        """
+        for dst in range(self.nprocs):
+            for ids in self._unacked[dst].values():
+                self._pending[dst].update(
+                    v for v in ids if v in self.row_of
+                )
+            self._unacked[dst].clear()
+            self._attempts[dst].clear()
 
     # ------------------------------------------------------------------
     # RC-step kernels

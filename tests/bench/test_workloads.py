@@ -11,7 +11,7 @@ from repro.bench import (
     split_sizes,
 )
 from repro.errors import ConfigurationError
-from repro.graph import is_connected, louvain_communities, modularity
+from repro.graph import louvain_communities, modularity
 
 
 class TestSplitSizes:

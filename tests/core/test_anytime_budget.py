@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
 from repro.bench import community_workload
 from repro.centrality import apsp_dijkstra, exact_closeness
 from repro.graph import barabasi_albert

@@ -6,7 +6,7 @@ from repro.centrality import approximate_betweenness, exact_betweenness
 from repro.errors import ConfigurationError
 from repro.graph import Graph, barabasi_albert, random_weights
 
-from ..conftest import complete_graph, cycle_graph, path_graph, star_graph
+from ..conftest import complete_graph, path_graph, star_graph
 
 
 class TestExact:

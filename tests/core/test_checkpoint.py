@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
 from repro.bench import community_workload
 from repro.centrality import exact_closeness
 from repro.core.checkpoint import load_checkpoint, save_checkpoint
@@ -115,3 +115,93 @@ def test_worker_speeds_survive(tmp_path):
     save_checkpoint(engine, path)
     restored = load_checkpoint(path)
     assert [w.speed for w in restored.cluster.workers] == [2.0, 1.0, 1.0, 1.0]
+
+
+class TestFileValidation:
+    """Corrupted / foreign / wrong-version checkpoint files."""
+
+    def _minimal_meta_npz(self, path, meta):
+        import json
+
+        import numpy as np
+
+        arrays = {
+            "meta_json": np.frombuffer(
+                json.dumps(meta).encode("utf-8"), dtype=np.uint8
+            )
+        }
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+
+    def test_garbage_bytes_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"\x00\x01definitely not a zip archive\xff" * 20)
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_checkpoint(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        _g, engine = make_engine(n=40)
+        engine.run()
+        path = tmp_path / "full.npz"
+        save_checkpoint(engine, path)
+        blob = path.read_bytes()
+        trunc = tmp_path / "trunc.npz"
+        trunc.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(trunc)
+
+    def test_foreign_npz_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "foreign.npz"
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, weights=np.arange(10.0))
+        with pytest.raises(ConfigurationError, match="no meta_json"):
+            load_checkpoint(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "old.npz"
+        self._minimal_meta_npz(path, {"version": 999, "nprocs": 2})
+        with pytest.raises(ConfigurationError, match="version"):
+            load_checkpoint(path)
+
+    def test_corrupted_metadata_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "badmeta.npz"
+        arrays = {
+            "meta_json": np.frombuffer(b"{not json!", dtype=np.uint8)
+        }
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        with pytest.raises(ConfigurationError, match="metadata"):
+            load_checkpoint(path)
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "sparse.npz"
+        self._minimal_meta_npz(
+            path, {"version": 1, "nprocs": 2}
+        )
+        with pytest.raises(ConfigurationError, match="missing arrays"):
+            load_checkpoint(path)
+
+    def test_invalid_nprocs_rejected(self, tmp_path):
+        path = tmp_path / "badnprocs.npz"
+        self._minimal_meta_npz(path, {"version": 1, "nprocs": "four"})
+        with pytest.raises(ConfigurationError, match="nprocs"):
+            load_checkpoint(path)
+
+    def test_index_vertex_mismatch_rejected(self, tmp_path):
+        import numpy as np
+
+        _g, engine = make_engine(n=30)
+        engine.run()
+        path = tmp_path / "tampered.npz"
+        save_checkpoint(engine, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["index_ids"] = arrays["index_ids"][:-1]  # drop one column id
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        with pytest.raises(ConfigurationError, match="column index"):
+            load_checkpoint(path)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
-from repro.centrality import exact_closeness
 from repro.graph import ChangeBatch, barabasi_albert, random_weights
 from repro.graph.changes import EdgeAddition, EdgeDeletion, EdgeReweight
 from repro.core.strategies import EdgeAdditionStrategy, EdgeDeletionStrategy

@@ -3,13 +3,12 @@
 import numpy as np
 import pytest
 
-from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
 from repro.centrality import exact_closeness
 from repro.errors import RuntimeSimulationError
 from repro.graph import barabasi_albert
 from repro.runtime.faults import crash_and_recover, crash_worker, recover_worker
 
-from ..conftest import run_and_verify
 
 
 def converged_engine(n=80, nprocs=4, seed=1):
@@ -114,3 +113,50 @@ class TestRecovery:
         cluster = Cluster(g, 2)
         with pytest.raises(RuntimeSimulationError):
             recover_worker(cluster, 0)
+
+
+class TestRepeatedRecovery:
+    def test_same_rank_crashes_twice(self):
+        """crash -> recover -> crash -> recover on one rank must not leave
+        stale subscriptions behind (the second recovery re-wires from a
+        clean slate) and must land back on the exact answer."""
+        g, engine = converged_engine()
+        cluster = engine.cluster
+        for _ in range(2):
+            crash_and_recover(cluster, 1)
+            engine.run()
+        from repro.runtime import check_cluster_invariants
+
+        check_cluster_invariants(cluster)
+        exact = exact_closeness(g)
+        for v, c in exact.items():
+            assert engine.current_closeness()[v] == pytest.approx(c, abs=1e-9)
+
+    def test_no_duplicate_subscription_wiring(self):
+        """Peers' subscription sets for the recovered rank are rebuilt, not
+        accumulated: repeated recoveries keep exactly one subscription per
+        (vertex, rank) pair."""
+        _g, engine = converged_engine()
+        cluster = engine.cluster
+        snapshot = {
+            w.rank: {v: set(d) for v, d in w.subscribers.items()}
+            for w in cluster.workers
+        }
+        crash_and_recover(cluster, 1)
+        engine.run()
+        crash_and_recover(cluster, 1)
+        engine.run()
+        for w in cluster.workers:
+            assert {
+                v: set(d) for v, d in w.subscribers.items() if d
+            } == {v: d for v, d in snapshot[w.rank].items() if d}
+
+    def test_back_to_back_crashes_without_intervening_run(self):
+        g, engine = converged_engine()
+        cluster = engine.cluster
+        crash_and_recover(cluster, 0)
+        crash_and_recover(cluster, 2)  # no engine.run() in between
+        result = engine.run()
+        exact = exact_closeness(g)
+        for v, c in exact.items():
+            assert result.closeness[v] == pytest.approx(c, abs=1e-9)

@@ -3,7 +3,7 @@ placement and rebalancing."""
 
 import pytest
 
-from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
 from repro.bench import community_workload
 from repro.centrality import exact_closeness
 from repro.core.strategies import LeastLoadedPS

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
 from repro.bench import community_workload, incremental_stream
 from repro.centrality import exact_closeness
 from repro.core.strategies import (

@@ -4,7 +4,6 @@ import pytest
 
 from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
 from repro.bench import community_workload
-from repro.centrality import exact_closeness
 from repro.core.strategies import RepartitionStrategy
 from repro.graph import ChangeBatch
 from repro.graph.changes import EdgeDeletion

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
-from repro.centrality import exact_closeness
 from repro.errors import ChangeStreamError
 from repro.graph import ChangeBatch, barabasi_albert
 from repro.graph.changes import EdgeDeletion, VertexAddition

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
+from repro import ChangeStream
 from repro.graph import ChangeBatch, barabasi_albert
 from repro.graph.changes import VertexAddition, VertexDeletion
 

@@ -1,10 +1,9 @@
 """diff_graphs: derive a change batch from two snapshots."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.graph import Graph, barabasi_albert, diff_graphs
+from repro.graph import barabasi_albert, diff_graphs
 
 from ..conftest import path_graph
 

@@ -1,6 +1,5 @@
 """Tests for the random graph generators."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

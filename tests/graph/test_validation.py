@@ -1,6 +1,5 @@
 """Tests for structural graph analyses."""
 
-import pytest
 
 from repro.graph import (
     Graph,

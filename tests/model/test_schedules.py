@@ -1,6 +1,5 @@
 """Tests for communication schedules."""
 
-import math
 
 import pytest
 

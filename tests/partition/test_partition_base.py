@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import InvalidPartition
-from repro.graph import Graph
 from repro.partition import Partition
 
 from ..conftest import path_graph

@@ -6,7 +6,6 @@ from repro.graph import barabasi_albert, planted_partition
 from repro.partition import (
     LDGPartitioner,
     RoundRobinPartitioner,
-    balance,
     edge_cut,
     ldg_stream_assign,
 )

@@ -1,0 +1,243 @@
+"""Deterministic fault injection: plans, injectors, lossy exchange."""
+
+import pytest
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig, FaultPlan
+from repro.centrality import exact_closeness
+from repro.errors import ConfigurationError, WorkerError
+from repro.graph import barabasi_albert
+from repro.runtime.chaos import RECOVERY_POLICIES, FaultInjector
+
+
+def fresh_engine(n=80, nprocs=4, seed=1, **cfg_kwargs):
+    g = barabasi_albert(n, 2, seed=seed)
+    engine = AnytimeAnywhereCloseness(
+        g, AnytimeConfig(nprocs=nprocs, collect_snapshots=False, **cfg_kwargs)
+    )
+    engine.setup()
+    return g, engine
+
+
+LOSSY = dict(loss_prob=0.2, dup_prob=0.05, send_failure_prob=0.05)
+
+
+class TestFaultPlan:
+    def test_defaults_are_quiet(self):
+        plan = FaultPlan()
+        assert plan.crashes == ()
+        assert not plan.has_message_faults
+        assert plan.last_crash_step == -1
+
+    def test_normalizes_dicts_to_sorted_tuples(self):
+        plan = FaultPlan(crashes={5: 1, 2: 3}, stragglers={1: 2.0})
+        assert plan.crashes == ((2, 3), (5, 1))
+        assert plan.stragglers == ((1, 2.0),)
+
+    def test_normalizes_lists(self):
+        plan = FaultPlan(crashes=[(4, 0), (1, 2)], stragglers=[[0, 3.0]])
+        assert plan.crashes == ((1, 2), (4, 0))
+        assert plan.stragglers == ((0, 3.0),)
+
+    def test_single_crash_helper(self):
+        plan = FaultPlan.single_crash(3, 1, loss_prob=0.1)
+        assert plan.crashes == ((3, 1),)
+        assert plan.last_crash_step == 3
+        assert plan.has_message_faults
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(loss_prob=-0.1),
+            dict(loss_prob=1.0),
+            dict(dup_prob=2.0),
+            dict(send_failure_prob=-1e-9),
+            dict(crashes=((-1, 0),)),
+            dict(crashes=((0, -2),)),
+            dict(stragglers=((0, 0.5),)),
+            dict(stragglers=((-1, 2.0),)),
+            dict(max_retries=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**kwargs)
+
+
+class TestFaultInjector:
+    def test_out_of_range_crash_rank(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(FaultPlan.single_crash(0, 7), nprocs=4)
+
+    def test_out_of_range_straggler_rank(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(FaultPlan(stragglers=((9, 2.0),)), nprocs=4)
+
+    def test_draws_are_deterministic(self):
+        plan = FaultPlan(seed=42, **LOSSY)
+        a = FaultInjector(plan, nprocs=4)
+        b = FaultInjector(plan, nprocs=4)
+        outcomes_a = [a.send_outcome(0, 1, s) for s in range(200)]
+        outcomes_b = [b.send_outcome(0, 1, s) for s in range(200)]
+        assert outcomes_a == outcomes_b
+        assert a.trace_bytes() == b.trace_bytes()
+        assert set(outcomes_a) > {"ok"}  # some faults actually fired
+
+    def test_quiet_plan_consumes_no_randomness(self):
+        inj = FaultInjector(FaultPlan(seed=0), nprocs=2)
+        assert all(
+            inj.send_outcome(0, 1, s) == "ok" for s in range(50)
+        )
+        assert not inj.ack_lost(0, 1, 0)
+        assert inj.stats.faults_injected == 0
+        assert inj.events == []
+
+    def test_straggler_events_prerecorded(self):
+        inj = FaultInjector(FaultPlan(stragglers=((2, 3.0),)), nprocs=4)
+        assert any(e.kind == "straggler" and e.rank == 2 for e in inj.events)
+
+
+class TestLossyExchange:
+    def test_exact_under_heavy_loss(self):
+        g, engine = fresh_engine()
+        result = engine.run(fault_plan=FaultPlan(seed=9, **LOSSY))
+        assert result.converged
+        assert result.faults_injected > 0
+        assert result.retries > 0
+        exact = exact_closeness(g)
+        for v, c in exact.items():
+            assert result.closeness[v] == pytest.approx(c, abs=1e-9)
+
+    def test_trace_byte_identical_across_runs(self):
+        plan = FaultPlan(
+            seed=5, crashes=((2, 1),), stragglers=((0, 2.0),), **LOSSY
+        )
+        traces = []
+        for _ in range(2):
+            _g, engine = fresh_engine()
+            res = engine.run(fault_plan=plan)
+            traces.append("\n".join(res.fault_events).encode())
+        assert traces[0] == traces[1]
+        assert len(traces[0]) > 0
+
+    def test_different_seeds_diverge(self):
+        results = []
+        for seed in (1, 2):
+            _g, engine = fresh_engine()
+            res = engine.run(fault_plan=FaultPlan(seed=seed, **LOSSY))
+            results.append(res.fault_events)
+        assert results[0] != results[1]
+
+    def test_straggler_slows_run_and_speed_restored(self):
+        _g, baseline = fresh_engine()
+        t0 = baseline.cluster.tracer.modeled_seconds
+        baseline.run()
+        base_elapsed = baseline.cluster.tracer.modeled_seconds - t0
+
+        _g, slowed = fresh_engine()
+        t0 = slowed.cluster.tracer.modeled_seconds
+        slowed.run(fault_plan=FaultPlan(stragglers=((1, 10.0),)))
+        slow_elapsed = slowed.cluster.tracer.modeled_seconds - t0
+        assert slow_elapsed > base_elapsed
+        assert all(w.speed == 1.0 for w in slowed.cluster.workers)
+
+    def test_unacked_rows_block_convergence_vote(self):
+        _g, engine = fresh_engine()
+        engine.run()
+        w = engine.cluster.workers[0]
+        assert not w.has_pending()
+        w._unacked[1][0] = [w.owned[0]]
+        assert w.has_pending()
+        w._unacked[1].clear()
+
+    def test_duplicate_packets_are_deduplicated(self):
+        _g, engine = fresh_engine()
+        engine.run()
+        src, dst = 0, 1
+        w = engine.cluster.workers[dst]
+        v = engine.cluster.workers[src].owned[0]
+        rows = {v: engine.cluster.workers[src].dv_row(v)}
+        assert w.receive_packet(src, 7, rows)
+        assert not w.receive_packet(src, 7, rows)
+
+    def test_retry_budget_exhaustion_raises(self):
+        _g, engine = fresh_engine()
+        engine.run()
+        w = engine.cluster.workers[0]
+        w._pending[1].add(w.owned[0])
+        # never acked: each outbound_packets call is one more attempt
+        w.outbound_packets(1, max_retries=2)
+        w.outbound_packets(1, max_retries=2)
+        w.outbound_packets(1, max_retries=2)
+        with pytest.raises(WorkerError):
+            w.outbound_packets(1, max_retries=2)
+
+    def test_reset_channel_clears_both_direction_state(self):
+        _g, engine = fresh_engine()
+        engine.run()
+        w = engine.cluster.workers[0]
+        w._pending[1].add(w.owned[0])
+        w.outbound_packets(1, max_retries=5)
+        w._seen_seq[1].add(3)
+        w.reset_channel(1)
+        assert w._send_seq[1] == 0
+        assert w._unacked[1] == {}
+        assert w._seen_seq[1] == set()
+
+
+class TestEngineIntegration:
+    def test_recovery_without_plan_rejected(self):
+        _g, engine = fresh_engine()
+        with pytest.raises(ConfigurationError):
+            engine.run(recovery="warm")
+        with pytest.raises(ConfigurationError):
+            engine.run(checkpoint_interval=4)
+
+    def test_attach_requires_matching_nprocs(self):
+        _g, engine = fresh_engine(nprocs=4)
+        inj = FaultInjector(FaultPlan(), nprocs=3)
+        with pytest.raises(ConfigurationError):
+            engine.cluster.attach_chaos(inj)
+
+    def test_fault_recovery_recorded_as_phase(self):
+        _g, engine = fresh_engine()
+        engine.run(fault_plan=FaultPlan.single_crash(1, 2))
+        tracer = engine.cluster.tracer
+        assert len(tracer.phases("fault_recovery")) == 1
+        assert tracer.phases("fault_recovery")[0].modeled_total > 0
+
+    def test_checkpoint_recorded_as_phase(self):
+        _g, engine = fresh_engine()
+        engine.run(
+            fault_plan=FaultPlan.single_crash(1, 2),
+            recovery="checkpoint",
+            checkpoint_interval=1,
+        )
+        assert len(engine.cluster.tracer.phases("checkpoint")) >= 1
+
+    def test_config_defaults_flow_through(self):
+        g, engine = fresh_engine(recovery="checkpoint", checkpoint_interval=2)
+        res = engine.run(fault_plan=FaultPlan.single_crash(2, 1))
+        assert res.recoveries == 1
+        assert any("detail=checkpoint" in e for e in res.fault_events)
+
+    def test_config_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            AnytimeConfig(recovery="nope")
+        with pytest.raises(ConfigurationError):
+            AnytimeConfig(checkpoint_interval=0)
+
+    @pytest.mark.parametrize("policy", RECOVERY_POLICIES)
+    def test_all_policies_under_full_fault_mix(self, policy):
+        g, engine = fresh_engine()
+        plan = FaultPlan(
+            seed=13,
+            crashes=((1, 2), (4, 0)),
+            stragglers=((3, 2.5),),
+            **LOSSY,
+        )
+        result = engine.run(fault_plan=plan, recovery=policy)
+        assert result.converged
+        assert result.recoveries == 2
+        exact = exact_closeness(g)
+        for v, c in exact.items():
+            assert result.closeness[v] == pytest.approx(c, abs=1e-9)

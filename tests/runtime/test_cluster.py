@@ -65,7 +65,6 @@ class TestExchange:
     def test_exchange_charges_comm(self):
         c = make_cluster()
         c.run_initial_approximation()
-        before = c.tracer.modeled_seconds
         c.tracer.begin("rc_step", 0)
         c.exchange_boundary()
         rec = c.tracer.end()

@@ -1,0 +1,184 @@
+"""Supervised recovery policies: warm, checkpoint, redistribute."""
+
+import pytest
+
+from repro import (
+    AnytimeAnywhereCloseness,
+    AnytimeConfig,
+    ChangeBatch,
+    ChangeStream,
+    FaultPlan,
+)
+from repro.centrality import exact_closeness
+from repro.errors import ConfigurationError
+from repro.graph import barabasi_albert
+from repro.graph.changes import EdgeDeletion, VertexAddition
+from repro.model.cost import DEFAULT_COST
+from repro.runtime import check_cluster_invariants, snapshot_load
+from repro.runtime.chaos import FaultInjector
+from repro.runtime.supervisor import Supervisor
+
+
+def fresh_engine(n=80, nprocs=4, seed=1, **cfg_kwargs):
+    g = barabasi_albert(n, 2, seed=seed)
+    engine = AnytimeAnywhereCloseness(
+        g, AnytimeConfig(nprocs=nprocs, collect_snapshots=False, **cfg_kwargs)
+    )
+    engine.setup()
+    return g, engine
+
+
+def assert_exact(result, graph):
+    assert result.converged
+    exact = exact_closeness(graph)
+    for v, c in exact.items():
+        assert result.closeness[v] == pytest.approx(c, abs=1e-9)
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self):
+        _g, engine = fresh_engine()
+        inj = FaultInjector(FaultPlan(), nprocs=4)
+        with pytest.raises(ConfigurationError):
+            Supervisor(engine.cluster, inj, recovery="cold")
+
+    def test_bad_interval_rejected(self):
+        _g, engine = fresh_engine()
+        inj = FaultInjector(FaultPlan(), nprocs=4)
+        with pytest.raises(ConfigurationError):
+            Supervisor(engine.cluster, inj, checkpoint_interval=0)
+
+
+class TestCheckpointPolicy:
+    def test_checkpoint_restore_used_when_fresh(self):
+        g, engine = fresh_engine()
+        res = engine.run(
+            fault_plan=FaultPlan.single_crash(2, 1),
+            recovery="checkpoint",
+            checkpoint_interval=1,
+        )
+        assert any(
+            "kind=recovery" in e and "detail=checkpoint" in e
+            for e in res.fault_events
+        )
+        assert_exact(res, g)
+
+    def test_checkpoint_cheaper_than_warm_recompute(self):
+        # Single-threaded IA is the regime the checkpoint targets: restoring
+        # shipped DV/APSP state beats re-running the local Dijkstra sweep.
+        cost = DEFAULT_COST.with_threads(1)
+        results = {}
+        for policy in ("warm", "checkpoint"):
+            g, engine = fresh_engine(n=300, seed=5, cost=cost)
+            res = engine.run(
+                fault_plan=FaultPlan.single_crash(1, 2),
+                recovery=policy,
+                checkpoint_interval=1,
+            )
+            assert_exact(res, g)
+            results[policy] = res.recovery_modeled_seconds
+        assert results["checkpoint"] < results["warm"]
+
+    def test_falls_back_to_warm_after_deletion_batch(self):
+        g, engine = fresh_engine()
+        u, v, _w = g.edge_list()[0]
+        final = g.copy()
+        final.remove_edge(u, v)
+        stream = ChangeStream(
+            {1: ChangeBatch(edge_deletions=[EdgeDeletion(u, v)])}
+        )
+        res = engine.run(
+            changes=stream,
+            fault_plan=FaultPlan.single_crash(3, 1),
+            recovery="checkpoint",
+            checkpoint_interval=1000,  # only the step-0 checkpoint exists
+        )
+        assert any("detail=warm-fallback" in e for e in res.fault_events)
+        assert_exact(res, final)
+
+    def test_checkpoint_cost_is_charged(self):
+        _g, engine = fresh_engine()
+        engine.run(
+            fault_plan=FaultPlan.single_crash(2, 1),
+            recovery="checkpoint",
+            checkpoint_interval=1,
+        )
+        phases = engine.cluster.tracer.phases("checkpoint")
+        assert phases and all(p.modeled_comm > 0 for p in phases)
+
+
+class TestRedistributePolicy:
+    def test_survivors_absorb_dead_rank(self):
+        g, engine = fresh_engine()
+        res = engine.run(
+            fault_plan=FaultPlan.single_crash(1, 2), recovery="redistribute"
+        )
+        cluster = engine.cluster
+        assert cluster.workers[2].n_local == 0
+        load = snapshot_load(cluster)
+        assert load.active_workers == cluster.nprocs - 1
+        check_cluster_invariants(cluster)
+        assert_exact(res, g)
+
+    def test_two_crashes_leave_p_minus_two(self):
+        g, engine = fresh_engine()
+        res = engine.run(
+            fault_plan=FaultPlan(crashes=((1, 2), (3, 0))),
+            recovery="redistribute",
+        )
+        cluster = engine.cluster
+        assert snapshot_load(cluster).active_workers == cluster.nprocs - 2
+        assert cluster.workers[0].n_local == 0
+        assert cluster.workers[2].n_local == 0
+        check_cluster_invariants(cluster)
+        assert_exact(res, g)
+
+    def test_redistribute_with_vertex_additions(self):
+        g, engine = fresh_engine()
+        new_v = max(g.vertex_list()) + 1
+        anchor = g.vertex_list()[0]
+        final = g.copy()
+        final.add_vertex(new_v)
+        final.add_edge(new_v, anchor, 1.0)
+        stream = ChangeStream(
+            {
+                2: ChangeBatch(
+                    vertex_additions=[
+                        VertexAddition(new_v, ((anchor, 1.0),))
+                    ]
+                )
+            }
+        )
+        res = engine.run(
+            changes=stream,
+            fault_plan=FaultPlan.single_crash(4, 1),
+            recovery="redistribute",
+        )
+        check_cluster_invariants(engine.cluster)
+        assert engine.cluster.workers[1].n_local == 0
+        assert_exact(res, final)
+
+
+class TestAccounting:
+    def test_recovery_seconds_accumulate(self):
+        _g, engine = fresh_engine()
+        res = engine.run(fault_plan=FaultPlan(crashes=((1, 0), (3, 2))))
+        assert res.recoveries == 2
+        assert res.recovery_modeled_seconds > 0
+        events = [e for e in res.fault_events if "kind=recovery" in e]
+        assert len(events) == 2
+        assert all("detail=warm" in e for e in events)
+
+    def test_crash_at_step_zero(self):
+        g, engine = fresh_engine()
+        res = engine.run(fault_plan=FaultPlan.single_crash(0, 3))
+        assert res.recoveries == 1
+        assert_exact(res, g)
+
+    def test_crash_after_natural_convergence_step(self):
+        # A crash scheduled far past normal convergence still fires: the RC
+        # loop stays alive until the plan's last crash step has passed.
+        g, engine = fresh_engine(n=40)
+        res = engine.run(fault_plan=FaultPlan.single_crash(25, 1))
+        assert res.recoveries == 1
+        assert_exact(res, g)

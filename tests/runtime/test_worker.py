@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import WorkerError
-from repro.graph import Graph, extract_local_subgraph
+from repro.graph import extract_local_subgraph
 from repro.model import DEFAULT_COST
 from repro.runtime import GlobalIndex, Worker
 

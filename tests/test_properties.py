@@ -20,11 +20,7 @@ from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
 from repro.centrality import apsp_dijkstra, exact_closeness
 from repro.graph import ChangeBatch, Graph, louvain_communities
 from repro.graph.changes import EdgeDeletion, VertexAddition, VertexDeletion
-from repro.partition import (
-    BFSGrowingPartitioner,
-    MultilevelPartitioner,
-    edge_cut,
-)
+from repro.partition import BFSGrowingPartitioner, MultilevelPartitioner
 
 SETTINGS = dict(
     max_examples=20,
@@ -205,6 +201,80 @@ def test_crash_recovery_always_exact(g, nprocs, victim):
     exact = exact_closeness(g)
     for v, c in exact.items():
         assert result.closeness[v] == pytest.approx(c, abs=1e-9)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=SETTINGS["suppress_health_check"])
+@given(
+    data=graph_and_batch(),
+    crash_step=st.integers(0, 5),
+    batch_step=st.integers(0, 3),
+    victim=st.integers(0, 2),
+    policy=st.sampled_from(("warm", "checkpoint", "redistribute")),
+)
+def test_recovery_policies_exact_and_monotone_on_survivors(
+    data, crash_step, batch_step, victim, policy
+):
+    """Fault-tolerance closure property: for a random graph, a random
+    vertex-addition batch, and a crash at a random RC step (before or
+    after the batch lands), every recovery policy still converges to the
+    exact answer — and the anytime guarantee survives on the workers that
+    did not crash: their DV entries never increase."""
+    from repro.core.recombination import run_recombination
+    from repro.runtime.chaos import FaultInjector, FaultPlan
+    from repro.runtime.supervisor import Supervisor
+
+    g, batch = data
+    nprocs = 3
+    final = g.copy()
+    batch.apply_to(final)
+    engine = AnytimeAnywhereCloseness(
+        g, AnytimeConfig(nprocs=nprocs, collect_snapshots=False)
+    )
+    engine.setup()
+    cluster = engine.cluster
+    injector = FaultInjector(
+        FaultPlan.single_crash(crash_step, victim, loss_prob=0.1), nprocs
+    )
+    supervisor = Supervisor(
+        cluster, injector, recovery=policy, checkpoint_interval=2
+    )
+    cluster.attach_chaos(injector)
+    prev: dict = {}
+
+    def check(_step):
+        # survivors only: the crashed rank's rows are legitimately reset
+        # (and under redistribute its vertices restart from scratch on a
+        # new rank, which opens a fresh (rank, v, t) key)
+        for w in cluster.workers:
+            if w.rank == victim:
+                continue
+            for v in w.owned:
+                row = w.dv[w.row_of[v]]
+                for t in cluster.index.ids:
+                    val = row[cluster.index.column(t)]
+                    key = (w.rank, v, t)
+                    if key in prev:
+                        assert val <= prev[key] + 1e-12
+                    prev[key] = val
+
+    try:
+        run_recombination(
+            cluster,
+            strategy=engine.resolve_strategy("roundrobin"),
+            changes=ChangeStream({batch_step: batch}),
+            supervisor=supervisor,
+            on_step=check,
+            max_steps=200,
+        )
+    finally:
+        cluster.detach_chaos()
+    assert injector.stats.crashes == 1
+    exact = exact_closeness(final)
+    got = engine.current_closeness()
+    assert set(got) == set(exact)
+    for v, c in exact.items():
+        assert got[v] == pytest.approx(c, abs=1e-9)
 
 
 @settings(**SETTINGS)
