@@ -32,7 +32,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -41,7 +41,7 @@ from ..graph.graph import Graph
 from ..graph.views import extract_local_subgraph
 from ..partition.base import Partition
 from ..runtime.cluster import Cluster
-from ..types import Rank, VertexId
+from ..types import FloatArray, Rank, VertexId
 
 if TYPE_CHECKING:  # pragma: no cover
     from .config import AnytimeConfig
@@ -77,8 +77,8 @@ class ClusterStateSnapshot:
     n_cols: int
     index_ids: Tuple[VertexId, ...]
     owned: Dict[Rank, Tuple[VertexId, ...]]
-    dv: Dict[Rank, np.ndarray]
-    apsp: Dict[Rank, np.ndarray]
+    dv: Dict[Rank, FloatArray]
+    apsp: Dict[Rank, FloatArray]
     local_edges: Dict[Rank, int]
 
     def words(self, rank: Rank) -> int:
@@ -183,7 +183,9 @@ _REQUIRED_ARRAYS = (
 )
 
 
-def _read_checkpoint(path: _PathLike) -> Tuple[dict, Dict[str, np.ndarray]]:
+def _read_checkpoint(
+    path: _PathLike,
+) -> Tuple[Dict[str, Any], Dict[str, FloatArray]]:
     """Load and structurally validate a checkpoint file.
 
     Raises :class:`ConfigurationError` with a clear message for anything
@@ -231,7 +233,9 @@ def _read_checkpoint(path: _PathLike) -> Tuple[dict, Dict[str, np.ndarray]]:
                 raise ConfigurationError(
                     f"{path}: checkpoint is missing arrays {missing[:6]}"
                 )
-            arrays = {k: data[k] for k in keys if k != "meta_json"}
+            arrays = {
+                k: data[k] for k in sorted(keys) if k != "meta_json"
+            }
     except ConfigurationError:
         raise
     except Exception as exc:  # zipfile/pickle/OS-level corruption

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 from ..errors import ConfigurationError
 from ..model.cost import DEFAULT_COST, CostModel
@@ -67,7 +67,7 @@ class AnytimeConfig:
     #: relative processor speeds for heterogeneous clusters (len == nprocs);
     #: None = homogeneous.  Pair with a MultilevelPartitioner whose
     #: target_weights match for speed-proportional blocks.
-    worker_speeds: Optional[list] = None
+    worker_speeds: Optional[List[float]] = None
     recovery: str = "warm"
     checkpoint_interval: int = 8
 

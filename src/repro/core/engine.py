@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -36,7 +36,7 @@ from ..graph.changes import ChangeBatch, ChangeStream
 from ..graph.graph import Graph
 from ..runtime.cluster import Cluster
 from ..runtime.metrics import LoadSnapshot, snapshot_load
-from ..types import VertexId
+from ..types import FloatArray, VertexId
 from .config import AnytimeConfig
 from .recombination import run_recombination
 from .snapshots import AnytimeSnapshot, take_snapshot
@@ -384,7 +384,7 @@ class AnytimeAnywhereCloseness:
         cluster = self._require_cluster()
         if measure == "degree":
             return degree_centrality(cluster.graph)
-        row_fns = {
+        row_fns: Dict[str, Callable[[FloatArray, int], float]] = {
             "closeness": lambda row, c: closeness_from_row(
                 row, self_col=c, wf_improved=self.config.wf_improved
             ),
@@ -405,7 +405,7 @@ class AnytimeAnywhereCloseness:
                 out[v] = fn(w.dv[w.row_of[v]], cluster.index.column(v))
         return out
 
-    def distances(self) -> Tuple[np.ndarray, List[VertexId]]:
+    def distances(self) -> Tuple[FloatArray, List[VertexId]]:
         """The assembled distance matrix (modeled as a gather to rank 0)."""
         return self._require_cluster().gather_distance_matrix()
 

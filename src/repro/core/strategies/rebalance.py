@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
+from ...graph.changes import ChangeBatch
 from ...partition.base import Partition
 from ...partition.metrics import imbalance
 from ...types import Rank, VertexId
@@ -156,7 +157,7 @@ class RebalancedStrategy(DynamicStrategy):
         self.total_moves = 0
         self.name = f"rebalanced[{inner.name}]"
 
-    def apply(self, cluster: "Cluster", batch, step: int) -> None:
+    def apply(self, cluster: "Cluster", batch: ChangeBatch, step: int) -> None:
         self.inner.apply(cluster, batch, step)
         moves = plan_rebalance(
             cluster,

@@ -42,7 +42,7 @@ def apply_vertex_deletion(cluster: "Cluster", x: VertexId) -> None:
     for _x, t, _w in removed_edges:
         neighbor_ranks.add(cluster.owner_of(t))
     owner.remove_local_vertex(x)
-    for r in neighbor_ranks:
+    for r in sorted(neighbor_ranks):
         if r != owner_rank:
             cluster.workers[r].drop_external_vertex(x)
     col = cluster.index.remove(x)

@@ -28,7 +28,7 @@ only decides *what goes wrong, and when*.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Tuple
 
 import numpy as np
 
@@ -170,7 +170,7 @@ class FaultPlan:
 
     # ------------------------------------------------------------------
     @classmethod
-    def single_crash(cls, step: int, rank: Rank, **kwargs) -> "FaultPlan":
+    def single_crash(cls, step: int, rank: Rank, **kwargs: Any) -> "FaultPlan":
         """A plan with exactly one crash (the common test/bench case)."""
         return cls(crashes=((step, rank),), **kwargs)
 

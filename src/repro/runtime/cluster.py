@@ -36,7 +36,7 @@ from ..model.schedules import (
     tree_broadcast_time,
 )
 from ..partition.base import Partition, Partitioner
-from ..types import Rank, VertexId
+from ..types import FloatArray, Rank, VertexId
 from .index import GlobalIndex
 from .message import dv_payload_words
 from .tracing import Tracer
@@ -165,7 +165,7 @@ class Cluster:
         self,
         part: Partition,
         *,
-        seed_rows: Optional[Dict[VertexId, np.ndarray]] = None,
+        seed_rows: Optional[Dict[VertexId, FloatArray]] = None,
     ) -> None:
         """(Re)build every worker's local sub-graph from ``part``.
 
@@ -244,7 +244,7 @@ class Cluster:
         """
         if self.chaos is not None:
             return self._exchange_with_chaos()
-        payloads: Dict[Tuple[Rank, Rank], Dict[VertexId, np.ndarray]] = {}
+        payloads: Dict[Tuple[Rank, Rank], Dict[VertexId, FloatArray]] = {}
         messages: List[Tuple[Rank, Rank, int]] = []
         delivered = 0
         for src in range(self.nprocs):
@@ -282,7 +282,7 @@ class Cluster:
         messages: List[Tuple[Rank, Rank, int]] = []
         #: (src, dst, seq, rows, copies delivered on the wire)
         deliveries: List[
-            Tuple[Rank, Rank, int, Dict[VertexId, np.ndarray], int]
+            Tuple[Rank, Rank, int, Dict[VertexId, FloatArray], int]
         ] = []
         retries = 0
         for src in range(self.nprocs):
@@ -340,7 +340,7 @@ class Cluster:
     # ------------------------------------------------------------------
     # broadcasts and column maintenance
     # ------------------------------------------------------------------
-    def broadcast_row(self, v: VertexId) -> np.ndarray:
+    def broadcast_row(self, v: VertexId) -> FloatArray:
         """Owner broadcasts ``v``'s DV row to all ranks (binomial tree)."""
         row = self.worker_owning(v).dv_row(v)
         t = tree_broadcast_time(
@@ -364,7 +364,7 @@ class Cluster:
     # ------------------------------------------------------------------
     # result collection
     # ------------------------------------------------------------------
-    def gather_distance_matrix(self) -> Tuple[np.ndarray, List[VertexId]]:
+    def gather_distance_matrix(self) -> Tuple[FloatArray, List[VertexId]]:
         """Assemble the full distance matrix (rows/cols in index order).
 
         Models the result gather as each worker shipping its rows to rank 0.
@@ -382,7 +382,7 @@ class Cluster:
         self.charge_comm_words(messages)
         return out, list(self.index.ids)
 
-    def distance_rows(self) -> Dict[VertexId, np.ndarray]:
+    def distance_rows(self) -> Dict[VertexId, FloatArray]:
         """Current DV row (copy) of every vertex, keyed by vertex id."""
         return {
             v: w.dv[w.row_of[v]].copy()

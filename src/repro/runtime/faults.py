@@ -30,9 +30,9 @@ from typing import TYPE_CHECKING, Container, Dict, Tuple
 import numpy as np
 
 from ..errors import RuntimeSimulationError
-from ..graph.views import extract_local_subgraph
+from ..graph.views import LocalSubgraph, extract_local_subgraph
 from ..partition.base import Partition
-from ..types import Rank
+from ..types import FloatArray, Rank
 from .debug import check_cluster_invariants
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -217,7 +217,7 @@ def redistribute_worker(
         for v in w.owned
     }
     touched = set(ship_words) | {rank}
-    saved: Dict[Rank, Tuple[Tuple[int, ...], np.ndarray]] = {
+    saved: Dict[Rank, Tuple[Tuple[int, ...], FloatArray]] = {
         w.rank: (tuple(w.owned), w.local_apsp)
         for w in cluster.workers
         if w.rank not in touched
@@ -251,9 +251,13 @@ def crash_and_recover(cluster: "Cluster", rank: Rank) -> None:
 # ----------------------------------------------------------------------
 # shared recovery plumbing
 # ----------------------------------------------------------------------
-def _reship_subgraph(cluster: "Cluster", rank: Rank):
+def _reship_subgraph(cluster: "Cluster", rank: Rank) -> LocalSubgraph:
     """Re-ship ``rank``'s sub-graph from the coordinator and reload it."""
     w = cluster.workers[rank]
+    if cluster.partition is None:
+        raise RuntimeSimulationError(
+            "cluster has no installed partition to re-ship"
+        )
     owned = cluster.partition.block(rank)
     sub = extract_local_subgraph(
         cluster.graph, owned, cluster.partition.assignment, rank

@@ -12,7 +12,7 @@ from typing import Dict
 
 import numpy as np
 
-from ..types import Rank, VertexId
+from ..types import FloatArray, Rank, VertexId
 
 __all__ = ["MessageKind", "Message", "dv_payload_words"]
 
@@ -35,7 +35,7 @@ class Message:
     src: Rank
     dst: Rank
     #: payload rows: vertex id -> distance row (may be empty for control)
-    rows: Dict[VertexId, np.ndarray] = field(default_factory=dict)
+    rows: Dict[VertexId, FloatArray] = field(default_factory=dict)
     #: extra payload words beyond the rows (headers, scalars)
     extra_words: int = 0
 

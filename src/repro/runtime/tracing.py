@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
 
 __all__ = ["PhaseRecord", "Tracer"]
 
@@ -120,7 +121,7 @@ class Tracer:
             "phases": float(len(self.records)),
         }
 
-    def to_json(self) -> dict:
+    def to_json(self) -> Dict[str, Any]:
         """A JSON-serializable dump of the full trace (for plotting)."""
         return {
             "summary": self.summary(),
@@ -139,10 +140,9 @@ class Tracer:
             ],
         }
 
-    def save(self, path) -> None:
+    def save(self, path: Union[str, Path]) -> None:
         """Write :meth:`to_json` to ``path``."""
         import json
-        from pathlib import Path
 
         Path(path).write_text(
             json.dumps(self.to_json(), indent=2), encoding="utf-8"

@@ -30,7 +30,7 @@ from ..errors import WorkerError
 from ..graph.graph import Graph
 from ..graph.views import LocalSubgraph
 from ..model.cost import CostModel
-from ..types import Rank, VertexId
+from ..types import FloatArray, Rank, VertexId
 from .index import GlobalIndex
 
 __all__ = ["Worker"]
@@ -69,7 +69,7 @@ class Worker:
         self.dv = np.zeros((0, 0), dtype=np.float64)
         self.local_apsp = np.zeros((0, 0), dtype=np.float64)
         #: last received DV rows of external boundary vertices
-        self.ext_dvs: Dict[VertexId, np.ndarray] = {}
+        self.ext_dvs: Dict[VertexId, FloatArray] = {}
 
         # --- per-step change tracking ---------------------------------
         self._pending: List[Set[VertexId]] = [set() for _ in range(nprocs)]
@@ -123,7 +123,7 @@ class Worker:
         self,
         sub: LocalSubgraph,
         *,
-        seed_rows: Optional[Dict[VertexId, np.ndarray]] = None,
+        seed_rows: Optional[Dict[VertexId, FloatArray]] = None,
     ) -> None:
         """Install a local sub-graph (DD phase, or Repartition-S rebuild).
 
@@ -219,15 +219,19 @@ class Worker:
     # change tracking / messaging
     # ------------------------------------------------------------------
     def _queue_row(self, v: VertexId) -> None:
-        """Queue ``v``'s DV row for every subscriber rank."""
-        for dst in self.subscribers.get(v, ()):
+        """Queue ``v``'s DV row for every subscriber rank.
+
+        Subscribers are a set; iterate in sorted rank order so queueing
+        (and the trace events it later produces) is run-to-run stable.
+        """
+        for dst in sorted(self.subscribers.get(v, ())):
             self._pending[dst].add(v)
 
     def _mark_row_changed(self, row: int) -> None:
         self._changed_rows.add(row)
         self._queue_row(self.owned[row])
 
-    def _mark_rows_changed(self, rows: "np.ndarray") -> None:
+    def _mark_rows_changed(self, rows: "FloatArray") -> None:
         """Bulk version of :meth:`_mark_row_changed` for vectorized kernels."""
         idx = rows.tolist()
         self._changed_rows.update(idx)
@@ -237,7 +241,7 @@ class Worker:
             v = self.owned[r]
             subs = self.subscribers.get(v)
             if subs:
-                for dst in subs:
+                for dst in sorted(subs):
                     self._pending[dst].add(v)
 
     def subscribe(self, v: VertexId, dst: Rank) -> None:
@@ -265,7 +269,7 @@ class Worker:
             or self._full_repropagate
         )
 
-    def build_payload(self, dst: Rank) -> Dict[VertexId, np.ndarray]:
+    def build_payload(self, dst: Rank) -> Dict[VertexId, FloatArray]:
         """DV rows queued for ``dst``; clears the queue."""
         out = {
             v: self.dv[self.row_of[v]].copy() for v in sorted(self._pending[dst])
@@ -273,7 +277,7 @@ class Worker:
         self._pending[dst].clear()
         return out
 
-    def receive_rows(self, rows: Dict[VertexId, np.ndarray]) -> None:
+    def receive_rows(self, rows: Dict[VertexId, FloatArray]) -> None:
         """Store freshly received external boundary DV rows."""
         for v, row in rows.items():
             if row.size != self.n_cols:
@@ -288,7 +292,7 @@ class Worker:
     # ------------------------------------------------------------------
     def outbound_packets(
         self, dst: Rank, max_retries: int
-    ) -> List[Tuple[int, Dict[VertexId, np.ndarray], bool]]:
+    ) -> List[Tuple[int, Dict[VertexId, FloatArray], bool]]:
         """Sequenced packets to send to ``dst`` this exchange.
 
         Returns ``(seq, rows, is_retry)`` triples: first every
@@ -301,7 +305,7 @@ class Worker:
         Raises :class:`~repro.errors.WorkerError` once a packet exhausts
         ``max_retries`` — a partition, not a transient fault.
         """
-        packets: List[Tuple[int, Dict[VertexId, np.ndarray], bool]] = []
+        packets: List[Tuple[int, Dict[VertexId, FloatArray], bool]] = []
         unacked = self._unacked[dst]
         attempts = self._attempts[dst]
         for seq in sorted(unacked):
@@ -337,7 +341,7 @@ class Worker:
         self._attempts[dst].pop(seq, None)
 
     def receive_packet(
-        self, src: Rank, seq: int, rows: Dict[VertexId, np.ndarray]
+        self, src: Rank, seq: int, rows: Dict[VertexId, FloatArray]
     ) -> bool:
         """Deliver a sequenced packet; returns False for a duplicate."""
         if seq in self._seen_seq[src]:
@@ -386,7 +390,10 @@ class Worker:
         improved_any = False
         fresh = self._fresh_ext
         self._fresh_ext = set()
-        for x in fresh:
+        # relaxation order over fresh external rows must not depend on
+        # set hash order: min() is order-independent per entry, but the
+        # compute charges are traced per relaxation in loop order
+        for x in sorted(fresh):
             pairs = self.cut_by_ext.get(x)
             if not pairs:
                 continue
@@ -589,9 +596,9 @@ class Worker:
     def relax_with_edge_rows(
         self,
         a: VertexId,
-        row_a: np.ndarray,
+        row_a: FloatArray,
         b: VertexId,
-        row_b: np.ndarray,
+        row_b: FloatArray,
         w: float,
     ) -> bool:
         """Edge-addition relaxation from broadcast endpoint rows [paper 9].
@@ -629,9 +636,9 @@ class Worker:
     def invalidate_for_deleted_edge(
         self,
         u: VertexId,
-        row_u: np.ndarray,
+        row_u: FloatArray,
         v: VertexId,
-        row_v: np.ndarray,
+        row_v: FloatArray,
         w: float,
     ) -> int:
         """Reset DV entries whose shortest path may have used edge (u, v).
@@ -687,7 +694,7 @@ class Worker:
         self._charge(self.cost.relax_time(n * n))
         self.request_full_repropagate()
 
-    def invalidate_through_vertex(self, x: VertexId, row_x: np.ndarray) -> int:
+    def invalidate_through_vertex(self, x: VertexId, row_x: FloatArray) -> int:
         """Reset DV entries whose shortest path may route through ``x``.
 
         Used by vertex deletion: ``d(a,b)`` is suspect iff
@@ -774,11 +781,11 @@ class Worker:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def dv_row(self, v: VertexId) -> np.ndarray:
+    def dv_row(self, v: VertexId) -> FloatArray:
         """A copy of the authoritative DV row of owned vertex ``v``."""
         return self.dv[self.row_of[v]].copy()
 
-    def extract_rows(self, vertices: Iterable[VertexId]) -> Dict[VertexId, np.ndarray]:
+    def extract_rows(self, vertices: Iterable[VertexId]) -> Dict[VertexId, FloatArray]:
         """Copies of DV rows for migration (Repartition-S)."""
         return {v: self.dv[self.row_of[v]].copy() for v in vertices}
 

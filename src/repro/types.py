@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 #: A vertex identifier.  Vertices are dense non-negative integers; new
 #: vertices appended by dynamic changes take the next free ids.
@@ -27,6 +28,16 @@ Assignment = Dict[VertexId, Rank]
 
 #: Dense distance row / matrix dtype used throughout the library.
 DIST_DTYPE = np.float64
+
+#: A distance row or matrix (``float64``); bare ``np.ndarray`` is not
+#: precise enough under ``mypy --strict`` (disallow_any_generics).
+FloatArray = NDArray[np.float64]
+
+#: Integer index arrays (row indices, permutations).
+IntArray = NDArray[np.int64]
+
+#: Boolean masks over rows / vertices.
+BoolArray = NDArray[np.bool_]
 
 #: Sentinel for "no path known yet".
 INF = float("inf")

@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
 from typing import Dict, Optional
 
 import pytest
+
+# the repro_lint developer tool lives under tools/, outside the installed
+# package; make it importable for tests/test_repro_lint.py
+_TOOLS = str(Path(__file__).resolve().parent.parent / "tools")
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
 
 from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
 from repro.centrality import exact_closeness

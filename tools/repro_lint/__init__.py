@@ -1,0 +1,40 @@
+"""repro-lint: AST-based invariant linter for the repro codebase.
+
+The anytime-anywhere guarantees this repository reproduces (RC
+convergence in <= P-1 steps, exactness after dynamic changes) and the
+fault-tolerance subsystem's byte-identical fault traces rest on
+invariants the Python type system cannot see:
+
+* every random draw must flow from an explicitly seeded generator,
+* every cross-rank iteration order must be deterministic,
+* simulated LogP time must never mix with host wall-clock time,
+* every wire copy must be charged to the LogP clock,
+* injected faults must never be swallowed by overbroad handlers.
+
+``repro_lint`` enforces these as static AST rules (codes ``RPL001`` ..
+``RPL005``) with per-line ``# repro-lint: disable=RPL0xx`` suppressions.
+
+Usage::
+
+    PYTHONPATH=tools python -m repro_lint src/repro
+    PYTHONPATH=tools python -m repro_lint --format json src/repro
+    PYTHONPATH=tools python -m repro_lint --list-rules
+"""
+
+from __future__ import annotations
+
+from .core import Finding, LintRule, Registry, lint_file, lint_paths
+from .config import LintConfig
+from . import rules as _rules  # noqa: F401  (populates the registry)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "LintConfig",
+    "Registry",
+    "lint_file",
+    "lint_paths",
+    "__version__",
+]

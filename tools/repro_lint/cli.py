@@ -1,0 +1,140 @@
+"""Command-line entry point: ``python -m repro_lint <paths>``.
+
+Exit status: 0 when every file is clean, 1 when findings were emitted,
+2 on usage errors.  ``--format json`` emits a machine-readable report
+for CI annotation; ``--list-rules`` documents the registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .config import LintConfig, load_config
+from .core import Registry, lint_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro_lint",
+        description=(
+            "AST linter for the reproducibility invariants of the"
+            " anytime-anywhere closeness pipeline: seeded randomness,"
+            " deterministic iteration, modeled-clock-only timing,"
+            " LogP-charged wire copies, and fault-safe exception"
+            " handling."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (directories recurse)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="only run these rule codes (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        metavar="PYPROJECT",
+        help="pyproject.toml to read [tool.repro-lint] from"
+        " (default: ./pyproject.toml)",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore pyproject.toml and use built-in defaults",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_cls in Registry.rules():
+        lines.append(f"{rule_cls.code} {rule_cls.name}")
+        lines.append(f"    {rule_cls.description}")
+    return "\n".join(lines)
+
+
+def _parse_select(values: Optional[List[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    out: List[str] = []
+    for value in values:
+        out.extend(c.strip().upper() for c in value.split(",") if c.strip())
+    return out or None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("repro_lint: error: no paths given", file=sys.stderr)
+        return 2
+    missing = [p for p in args.paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"repro_lint: error: no such path: {p}", file=sys.stderr)
+        return 2
+
+    config = (
+        LintConfig() if args.no_config else load_config(args.config)
+    )
+    select = _parse_select(args.select)
+    unknown = (
+        [c for c in select if c not in Registry.codes()] if select else []
+    )
+    if unknown:
+        print(
+            f"repro_lint: error: unknown rule code(s): {', '.join(unknown)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    findings = lint_paths(args.paths, config, select=select)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "version": 1,
+                    "findings": [f.to_json() for f in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"\nfound {len(findings)} issue(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,129 @@
+"""Configuration for repro-lint.
+
+Defaults encode this repository's layout; a ``[tool.repro-lint]`` table
+in ``pyproject.toml`` overrides them, so the linter stays reusable for
+sibling projects without forking the rules.
+
+Path matching convention: every configured path fragment is compared
+against the *posix form* of the linted file's path (e.g.
+``src/repro/runtime/cluster.py``), so ``repro/runtime`` matches any file
+under the runtime package regardless of the invocation directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunable rule scoping for one lint run."""
+
+    #: package fragments in which every rule applies (RPL001's scope)
+    target_packages: Tuple[str, ...] = ("repro/",)
+    #: packages whose iteration order feeds rank/message/partition order
+    #: (RPL002's taint sinks)
+    order_sensitive_packages: Tuple[str, ...] = (
+        "repro/runtime/",
+        "repro/partition/",
+        "repro/core/",
+    )
+    #: modules allowed to read the host clock (RPL003 allowlist)
+    wall_clock_allowlist: Tuple[str, ...] = (
+        "repro/runtime/tracing.py",
+        "repro/bench/",
+    )
+    #: packages whose send primitives must pair with a LogP charge (RPL004)
+    wire_packages: Tuple[str, ...] = ("repro/runtime/",)
+    #: method names that hand a payload to another rank (RPL004 sends)
+    send_primitives: Tuple[str, ...] = ("receive_rows", "receive_packet")
+    #: method names that charge the modeled LogP clock (RPL004 charges)
+    charge_primitives: Tuple[str, ...] = (
+        "charge_comm_words",
+        "add_comm",
+        "broadcast_row",
+    )
+    #: packages where overbroad excepts may swallow injected faults (RPL005)
+    fault_path_packages: Tuple[str, ...] = (
+        "repro/runtime/",
+        "repro/core/",
+    )
+    #: per-file suppressions: path fragment -> list of rule codes
+    per_file_ignores: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _norm(path: Path) -> str:
+        return path.resolve().as_posix()
+
+    def _matches(self, path: Path, fragments: Sequence[str]) -> bool:
+        p = self._norm(path)
+        return any(frag in p for frag in fragments)
+
+    def in_target(self, path: Path) -> bool:
+        return self._matches(path, self.target_packages)
+
+    def is_order_sensitive(self, path: Path) -> bool:
+        return self._matches(path, self.order_sensitive_packages)
+
+    def allows_wall_clock(self, path: Path) -> bool:
+        return self._matches(path, self.wall_clock_allowlist)
+
+    def in_wire_package(self, path: Path) -> bool:
+        return self._matches(path, self.wire_packages)
+
+    def in_fault_path(self, path: Path) -> bool:
+        return self._matches(path, self.fault_path_packages)
+
+    def file_ignores(self, path: Path) -> Tuple[str, ...]:
+        p = self._norm(path)
+        out: List[str] = []
+        for frag, codes in self.per_file_ignores.items():
+            if frag in p:
+                out.extend(codes)
+        return tuple(out)
+
+
+def _coerce(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(str(v) for v in value)
+    if isinstance(value, dict):
+        return {
+            str(k): tuple(str(c) for c in v) if isinstance(v, list) else v
+            for k, v in value.items()
+        }
+    return value
+
+
+def load_config(pyproject: Optional[Path] = None) -> LintConfig:
+    """Build a config from ``[tool.repro-lint]`` in ``pyproject.toml``.
+
+    Missing file, missing table, or a Python without ``tomllib``
+    (< 3.11) all fall back to the built-in defaults — the linter must
+    never fail because configuration is absent.
+    """
+    cfg = LintConfig()
+    path = pyproject or Path("pyproject.toml")
+    if not path.is_file():
+        return cfg
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # pragma: no cover - py3.10 fallback
+        return cfg
+    try:
+        with open(path, "rb") as fh:
+            data = tomllib.load(fh)
+    except (OSError, tomllib.TOMLDecodeError):  # pragma: no cover
+        return cfg
+    table = data.get("tool", {}).get("repro-lint", {})
+    if not isinstance(table, dict):
+        return cfg
+    known = {f.name for f in fields(LintConfig)}
+    updates = {
+        key.replace("-", "_"): _coerce(value)
+        for key, value in table.items()
+        if key.replace("-", "_") in known
+    }
+    return replace(cfg, **updates) if updates else cfg

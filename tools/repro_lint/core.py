@@ -1,0 +1,315 @@
+"""Rule framework: findings, the rule registry, suppressions, runners.
+
+A rule is a class with a ``code`` (``RPL0xx``), a ``name``, a
+``description``, and a ``check(context)`` generator yielding
+:class:`Finding` objects.  Rules register themselves via the
+:meth:`Registry.register` decorator; the runner instantiates every
+registered rule per file and filters the findings through the
+suppression comments collected from the source.
+
+Suppressions are standard pragma comments::
+
+    risky_call()  # repro-lint: disable=RPL003
+    other_call()  # repro-lint: disable=RPL001,RPL004
+    anything()    # repro-lint: disable=all
+
+and apply to the physical line they sit on.  A pragma on its own line
+applies to the *next* non-comment line, so multi-line statements can be
+suppressed at their head.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
+
+from .config import LintConfig
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintRule",
+    "Registry",
+    "lint_file",
+    "lint_paths",
+]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint\s*:\s*disable\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    config: LintConfig
+    #: import alias -> canonical dotted module name (e.g. ``np`` ->
+    #: ``numpy``, ``npr`` -> ``numpy.random``)
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: imported symbol -> canonical dotted name (e.g. ``perf_counter``
+    #: -> ``time.perf_counter``)
+    symbol_aliases: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def display_path(self) -> str:
+        try:
+            return self.path.resolve().relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            return self.path.as_posix()
+
+    def finding(
+        self, node: ast.AST, code: str, message: str
+    ) -> Finding:
+        return Finding(
+            path=self.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+    # ------------------------------------------------------------------
+    def resolve_call_target(self, node: ast.expr) -> Optional[str]:
+        """Canonical dotted name of a call target, through import aliases.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng`` when
+        ``np`` aliases ``numpy``; plain names resolve through ``from``
+        imports; anything else returns ``None``.
+        """
+        parts: List[str] = []
+        cur: ast.expr = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if isinstance(cur, ast.Name):
+            parts.append(cur.id)
+        else:
+            return None
+        parts.reverse()
+        head = parts[0]
+        if head in self.module_aliases:
+            parts[0] = self.module_aliases[head]
+        elif head in self.symbol_aliases:
+            parts[0] = self.symbol_aliases[head]
+        return ".".join(parts)
+
+
+class LintRule:
+    """Base class for all rules."""
+
+    code: str = "RPL000"
+    name: str = "abstract"
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the method a generator
+
+
+class Registry:
+    """Process-wide rule registry (populated at import of ``rules``)."""
+
+    _rules: Dict[str, Type[LintRule]] = {}
+
+    @classmethod
+    def register(cls, rule: Type[LintRule]) -> Type[LintRule]:
+        if not re.fullmatch(r"RPL\d{3}", rule.code):
+            raise ValueError(f"invalid rule code {rule.code!r}")
+        existing = cls._rules.get(rule.code)
+        if existing is not None and existing is not rule:
+            raise ValueError(f"duplicate rule code {rule.code}")
+        cls._rules[rule.code] = rule
+        return rule
+
+    @classmethod
+    def rules(cls) -> List[Type[LintRule]]:
+        return [cls._rules[c] for c in sorted(cls._rules)]
+
+    @classmethod
+    def codes(cls) -> List[str]:
+        return sorted(cls._rules)
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def collect_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed codes (``{"all"}`` for all).
+
+    Uses the tokenizer, not a regex over raw lines, so pragmas inside
+    string literals do not suppress anything.  A pragma comment on its
+    own line carries over to the next logical line.
+    """
+    out: Dict[int, Set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return out
+    comment_lines: Set[int] = set()
+    code_lines: Set[int] = set()
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            comment_lines.add(tok.start[0])
+            m = _PRAGMA_RE.search(tok.string)
+            if m:
+                codes = {
+                    c.strip().upper()
+                    for c in m.group(1).split(",")
+                    if c.strip()
+                }
+                out.setdefault(tok.start[0], set()).update(codes)
+        elif tok.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            code_lines.add(tok.start[0])
+    # standalone pragma comments roll forward to the next code line
+    for line, codes in sorted(out.items()):
+        if line in code_lines:
+            continue
+        nxt = line + 1
+        while nxt in comment_lines and nxt not in code_lines:
+            nxt += 1
+        out.setdefault(nxt, set()).update(codes)
+    return out
+
+
+def _suppressed(
+    finding: Finding, suppressions: Dict[int, Set[str]]
+) -> bool:
+    codes = suppressions.get(finding.line)
+    if not codes:
+        return False
+    return "ALL" in codes or finding.code.upper() in codes
+
+
+# ----------------------------------------------------------------------
+# import-alias collection
+# ----------------------------------------------------------------------
+def _collect_aliases(
+    tree: ast.Module,
+) -> Tuple[Dict[str, str], Dict[str, str]]:
+    modules: Dict[str, str] = {}
+    symbols: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                modules[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname is None and "." in alias.name:
+                    # ``import numpy.random`` binds ``numpy``
+                    modules[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports cannot be stdlib/numpy
+            for alias in node.names:
+                symbols[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return modules, symbols
+
+
+# ----------------------------------------------------------------------
+# runners
+# ----------------------------------------------------------------------
+def lint_file(
+    path: Path,
+    config: LintConfig,
+    *,
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run every registered rule over one file; returns kept findings."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="RPL000",
+                message=f"syntax error prevents linting: {exc.msg}",
+            )
+        ]
+    modules, symbols = _collect_aliases(tree)
+    ctx = FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        config=config,
+        module_aliases=modules,
+        symbol_aliases=symbols,
+    )
+    suppressions = collect_suppressions(source)
+    file_ignores = {c.upper() for c in config.file_ignores(path)}
+    selected = {c.upper() for c in select} if select else None
+    findings: List[Finding] = []
+    for rule_cls in Registry.rules():
+        if selected is not None and rule_cls.code not in selected:
+            continue
+        if rule_cls.code in file_ignores:
+            continue
+        for finding in rule_cls().check(ctx):
+            if not _suppressed(finding, suppressions):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for p in paths:
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    config: Optional[LintConfig] = None,
+    *,
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint files/directories; directories are walked recursively."""
+    cfg = config or LintConfig()
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, cfg, select=select))
+    return findings

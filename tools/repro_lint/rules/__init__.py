@@ -1,0 +1,11 @@
+"""Rule modules; importing this package populates the registry."""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (imported for registration side effects)
+    rpl001_unseeded_random,
+    rpl002_set_iteration,
+    rpl003_wall_clock,
+    rpl004_uncharged_send,
+    rpl005_overbroad_except,
+)

@@ -1,0 +1,87 @@
+"""RPL001 — unseeded randomness.
+
+Reproducibility invariant: every random draw in the library flows from a
+generator constructed with an explicit seed (`FaultPlan.seed`, the
+partitioners' ``seed=`` arguments).  Module-level ``random.*`` /
+``numpy.random.*`` functions consume hidden global state, and
+``random.Random()`` / ``numpy.random.default_rng()`` without a seed
+argument seed themselves from the OS — both make two "identical" runs
+diverge, which breaks the byte-identical fault traces and every
+determinism regression test.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, LintRule, Registry
+
+#: constructors that are fine *with* an explicit seed argument
+_SEEDABLE = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.MT19937",
+}
+
+#: module prefixes whose plain functions draw from hidden global state
+_GLOBAL_STATE_PREFIXES = ("random.", "numpy.random.")
+
+
+def _has_seed_argument(node: ast.Call) -> bool:
+    if node.args:
+        # a literal None positional seed is still OS-seeded
+        first = node.args[0]
+        return not (
+            isinstance(first, ast.Constant) and first.value is None
+        )
+    for kw in node.keywords:
+        if kw.arg in ("seed", "x") and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        ):
+            return True
+        if kw.arg is None:  # **kwargs may carry the seed; trust it
+            return True
+    return False
+
+
+@Registry.register
+class UnseededRandomRule(LintRule):
+    code = "RPL001"
+    name = "unseeded-random"
+    description = (
+        "random draws must come from an explicitly seeded generator;"
+        " module-level random.*/numpy.random.* state and unseeded"
+        " Random()/default_rng() break run-to-run determinism"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.config.in_target(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call_target(node.func)
+            if target is None:
+                continue
+            if target in _SEEDABLE:
+                if not _has_seed_argument(node):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"{target}() without an explicit seed is"
+                        " OS-seeded; pass seed= so runs are reproducible",
+                    )
+                continue
+            if target.startswith(_GLOBAL_STATE_PREFIXES):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{target}() draws from hidden module-level RNG state;"
+                    " use a seeded generator instance instead",
+                )

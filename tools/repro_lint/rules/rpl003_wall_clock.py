@@ -1,0 +1,66 @@
+"""RPL003 — wall-clock leakage into the modeled timeline.
+
+The simulator prices every operation on a *modeled* LogP clock
+(``Worker.clock`` advanced by ``charge_comm_words``/``add_compute``).
+Reading the host clock — ``time.time()``, ``time.perf_counter()``,
+``datetime.now()`` — inside algorithmic code couples results to machine
+speed and load, so two runs of the same seed stop being comparable and
+recorded traces stop being byte-identical.
+
+Host-clock reads are legitimate only where the *harness* measures
+itself: the tracer (``runtime/tracing.py``) and the benchmark package.
+Those paths live on the configurable allowlist
+(``wall_clock_allowlist``); everything else gets flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, LintRule, Registry
+
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@Registry.register
+class WallClockRule(LintRule):
+    code = "RPL003"
+    name = "wall-clock-leakage"
+    description = (
+        "algorithmic code must use the modeled LogP clock; host-clock"
+        " reads (time.time/perf_counter/datetime.now) are only allowed"
+        " in the tracing and bench harnesses"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.config.in_target(ctx.path):
+            return
+        if ctx.config.allows_wall_clock(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call_target(node.func)
+            if target in _CLOCK_CALLS:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{target}() reads the host clock outside the"
+                    " tracing/bench allowlist; use the modeled LogP"
+                    " clock so runs stay machine-independent",
+                )

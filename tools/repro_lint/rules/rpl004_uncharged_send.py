@@ -1,0 +1,97 @@
+"""RPL004 — wire copies that never touch the LogP meter.
+
+Every byte that crosses ranks must be *charged*: the sender pays
+``o + max(g, words*G)`` and the receiver pays latency + overhead on the
+modeled clock (``Cluster.charge_comm_words`` / ``Worker.add_comm``).  A
+code path that calls a delivery primitive (``receive_rows`` /
+``receive_packet``) on another worker without charging in the same
+function silently teleports data — the anytime-anywhere cost accounting
+that the paper's speedup claims rest on becomes an undercount.
+
+Heuristic: inside ``runtime/`` (the wire package), any function whose
+body invokes a send primitive on a receiver *other than bare* ``self``
+must also invoke one of the charge primitives somewhere in the same
+body.  Calls on ``self`` are the worker's own intake path, which the
+remote caller already priced.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..core import FileContext, Finding, LintRule, Registry
+
+
+def _is_bare_self(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _function_nodes(
+    tree: ast.Module,
+) -> Iterator["ast.FunctionDef | ast.AsyncFunctionDef"]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _own_body_calls(
+    fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> List[ast.Call]:
+    """Calls in ``fn``'s body, excluding nested function/class bodies."""
+    out: List[ast.Call] = []
+    stack: List[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+@Registry.register
+class UnchargedSendRule(LintRule):
+    code = "RPL004"
+    name = "uncharged-wire-copy"
+    description = (
+        "a function that delivers a payload to another worker"
+        " (receive_rows/receive_packet on a non-self receiver) must"
+        " charge the modeled LogP clock in the same body"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.config.in_wire_package(ctx.path):
+            return
+        sends = set(ctx.config.send_primitives)
+        charges = set(ctx.config.charge_primitives)
+        for fn in _function_nodes(ctx.tree):
+            calls = _own_body_calls(fn)
+            send_sites = [
+                c
+                for c in calls
+                if isinstance(c.func, ast.Attribute)
+                and c.func.attr in sends
+                and not _is_bare_self(c.func.value)
+            ]
+            if not send_sites:
+                continue
+            charged = any(
+                isinstance(c.func, ast.Attribute) and c.func.attr in charges
+                for c in calls
+            )
+            if charged:
+                continue
+            for site in send_sites:
+                assert isinstance(site.func, ast.Attribute)
+                yield ctx.finding(
+                    site,
+                    self.code,
+                    f"{site.func.attr}() hands a payload to another rank"
+                    f" but {fn.name}() never charges the LogP clock"
+                    " (charge_comm_words/add_comm); the copy is free on"
+                    " the modeled timeline",
+                )

@@ -1,0 +1,84 @@
+"""RPL005 — overbroad exception handlers on fault paths.
+
+The chaos harness injects ``WorkerCrash`` (and the recovery paths
+re-raise checkpoint/restore errors) to prove the supervisor's recovery
+policies work.  A bare ``except:`` — or a blanket
+``except Exception:`` inside ``runtime/`` or ``core/`` — can swallow an
+injected fault before the supervisor sees it, turning a
+fault-tolerance test into a silent no-op that still passes.
+
+Flagged:
+
+* bare ``except:`` anywhere under ``src/repro`` (it also catches
+  ``KeyboardInterrupt``/``SystemExit``);
+* ``except Exception:`` / ``except BaseException:`` in the fault-path
+  packages, unless the handler visibly re-raises (a ``raise``
+  statement anywhere in the handler body exonerates it — the fault
+  still propagates).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, LintRule, Registry
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def _broad_names(handler: ast.ExceptHandler) -> Iterator[str]:
+    typ = handler.type
+    if typ is None:
+        return
+    exprs = typ.elts if isinstance(typ, ast.Tuple) else [typ]
+    for expr in exprs:
+        if isinstance(expr, ast.Name) and expr.id in _BROAD:
+            yield expr.id
+
+
+@Registry.register
+class OverbroadExceptRule(LintRule):
+    code = "RPL005"
+    name = "overbroad-except"
+    description = (
+        "bare except:, and except Exception: on fault paths, can"
+        " swallow injected faults before the supervisor's recovery"
+        " policy runs; catch the specific exception or re-raise"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.config.in_target(ctx.path):
+            return
+        fault_path = ctx.config.in_fault_path(ctx.path)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "bare except: catches everything, including"
+                    " injected WorkerCrash faults and"
+                    " KeyboardInterrupt; name the exception type",
+                )
+                continue
+            if not fault_path:
+                continue
+            if _handler_reraises(node):
+                continue
+            for name in _broad_names(node):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"except {name}: on a fault path can swallow an"
+                    " injected fault before the supervisor sees it;"
+                    " catch the specific type or re-raise",
+                )
