@@ -1,0 +1,182 @@
+"""Dense vs delta boundary exchange: payload words, modeled and wall time.
+
+Runs the same scenarios under both wire formats and verifies that
+
+* closeness values are **bitwise identical** (the delta format is an
+  encoding, not an approximation),
+* the delta format ships strictly fewer boundary-exchange payload words,
+* on the dynamic vertex-addition scenario the reduction is at least 40%,
+* delta adds no wall-time regression beyond noise tolerance.
+
+Writes ``benchmarks/results/BENCH_delta_exchange.json`` and exits
+non-zero if any criterion fails, so CI can gate on it::
+
+    PYTHONPATH=src python benchmarks/bench_delta_exchange.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import struct
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+import repro
+from repro import AnytimeConfig
+from repro.bench.workloads import incremental_stream
+from repro.graph import barabasi_albert
+
+RESULTS = Path(__file__).parent / "results" / "BENCH_delta_exchange.json"
+
+#: hard floor on the dynamic-scenario boundary-word reduction
+REQUIRED_DYNAMIC_REDUCTION = 0.40
+
+#: wall-time noise tolerance: delta must not be slower than dense by more
+#: than this factor on any scenario
+WALL_SLACK = 1.5
+
+
+def closeness_bits(closeness: Dict[int, float]) -> List[Tuple[int, bytes]]:
+    return [(v, struct.pack("<d", closeness[v])) for v in sorted(closeness)]
+
+
+def run_scenario(
+    name: str, smoke: bool
+) -> Dict[str, Any]:
+    """Run one scenario under both wire formats; return the comparison."""
+    if name == "static":
+        n = 150 if smoke else 600
+        nprocs = 4 if smoke else 8
+        graph = barabasi_albert(n, 2, seed=11)
+        changes = None
+        strategy = None
+    elif name == "dynamic":
+        # continuous vertex additions (the paper's Fig. 8 regime): one
+        # community-structured batch per RC step — the workload the delta
+        # format targets, since each batch refines existing rows in only
+        # the freshly added columns
+        n = 150 if smoke else 500
+        per_step = 8 if smoke else 20
+        steps = 6 if smoke else 10
+        nprocs = 4 if smoke else 8
+        workload = incremental_stream(n, per_step, steps, seed=11)
+        graph = workload.base
+        changes = workload.stream
+        strategy = "cutedge"
+    else:
+        raise ValueError(f"unknown scenario {name!r}")
+
+    runs: Dict[str, Dict[str, Any]] = {}
+    bits: Dict[str, List[Tuple[int, bytes]]] = {}
+    for fmt in ("dense", "delta"):
+        config = AnytimeConfig(
+            nprocs=nprocs,
+            seed=11,
+            collect_snapshots=False,
+            wire_format=fmt,
+        )
+        t0 = time.perf_counter()
+        result = repro.closeness(
+            graph.copy(),
+            config=config,
+            changes=changes,
+            strategy=strategy or "roundrobin",
+        )
+        wall = time.perf_counter() - t0
+        summary = result.summary()
+        summary["harness_wall_seconds"] = wall
+        runs[fmt] = summary
+        bits[fmt] = closeness_bits(result.closeness)
+
+    dense_words = int(runs["dense"]["boundary_words"])
+    delta_words = int(runs["delta"]["boundary_words"])
+    reduction = (
+        1.0 - delta_words / dense_words if dense_words else 0.0
+    )
+    return {
+        "name": name,
+        "dense": runs["dense"],
+        "delta": runs["delta"],
+        "bitwise_identical": bits["dense"] == bits["delta"],
+        "boundary_words_dense": dense_words,
+        "boundary_words_delta": delta_words,
+        "boundary_words_reduction": reduction,
+        "wall_ratio_delta_vs_dense": (
+            runs["delta"]["harness_wall_seconds"]
+            / max(runs["dense"]["harness_wall_seconds"], 1e-9)
+        ),
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="small CI-friendly scale"
+    )
+    parser.add_argument(
+        "--out", type=str, default=str(RESULTS), help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = [run_scenario(s, args.smoke) for s in ("static", "dynamic")]
+    dynamic = next(s for s in scenarios if s["name"] == "dynamic")
+
+    failures: List[str] = []
+    for sc in scenarios:
+        if not sc["bitwise_identical"]:
+            failures.append(
+                f"{sc['name']}: closeness differs between dense and delta"
+            )
+        if sc["boundary_words_delta"] >= sc["boundary_words_dense"]:
+            failures.append(
+                f"{sc['name']}: delta payload words"
+                f" ({sc['boundary_words_delta']}) not strictly below dense"
+                f" ({sc['boundary_words_dense']})"
+            )
+        if sc["wall_ratio_delta_vs_dense"] > WALL_SLACK:
+            failures.append(
+                f"{sc['name']}: delta wall time regressed"
+                f" ({sc['wall_ratio_delta_vs_dense']:.2f}x dense)"
+            )
+    if dynamic["boundary_words_reduction"] < REQUIRED_DYNAMIC_REDUCTION:
+        failures.append(
+            "dynamic: boundary-word reduction"
+            f" {dynamic['boundary_words_reduction']:.1%} below the"
+            f" {REQUIRED_DYNAMIC_REDUCTION:.0%} floor"
+        )
+
+    report = {
+        "bench": "delta_exchange",
+        "smoke": args.smoke,
+        "required_dynamic_reduction": REQUIRED_DYNAMIC_REDUCTION,
+        "wall_slack": WALL_SLACK,
+        "scenarios": scenarios,
+        "failures": failures,
+        "pass": not failures,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    for sc in scenarios:
+        print(
+            f"{sc['name']:>8}: dense {sc['boundary_words_dense']:,} words,"
+            f" delta {sc['boundary_words_delta']:,} words"
+            f" ({sc['boundary_words_reduction']:.1%} saved),"
+            f" bitwise_identical={sc['bitwise_identical']},"
+            f" wall x{sc['wall_ratio_delta_vs_dense']:.2f}"
+        )
+    print(f"report written to {out}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("all criteria met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

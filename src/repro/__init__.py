@@ -10,18 +10,23 @@ LogP-metered message-passing cluster.
 
 Quick start::
 
-    from repro import AnytimeAnywhereCloseness, AnytimeConfig
+    import repro
     from repro.graph import barabasi_albert
 
-    engine = AnytimeAnywhereCloseness(
-        barabasi_albert(500, 3, seed=1), AnytimeConfig(nprocs=4)
-    )
+    result = repro.closeness(barabasi_albert(500, 3, seed=1), nprocs=4)
+    print(result.closeness)
+
+or, keeping the engine around for incremental/anytime runs::
+
+    from repro import AnytimeAnywhereCloseness, AnytimeConfig
+
+    engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=4))
     engine.setup()
     print(engine.run().closeness)
 """
 
 from .core.config import AnytimeConfig
-from .core.engine import AnytimeAnywhereCloseness, RunResult
+from .core.engine import AnytimeAnywhereCloseness, RunResult, closeness
 from .errors import ReproError
 from .graph.changes import ChangeBatch, ChangeStream
 from .graph.graph import Graph
@@ -33,6 +38,7 @@ __all__ = [
     "AnytimeAnywhereCloseness",
     "AnytimeConfig",
     "RunResult",
+    "closeness",
     "FaultPlan",
     "Graph",
     "ChangeBatch",

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
-__all__ = ["format_table", "to_markdown", "pivot"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.engine import RunResult
+
+__all__ = ["format_table", "to_markdown", "pivot", "summary_rows"]
 
 
 def _fmt(value: Any) -> str:
@@ -50,6 +53,27 @@ def to_markdown(
     for r in rows:
         out.append("| " + " | ".join(_fmt(r.get(c, "")) for c in cols) + " |")
     return "\n".join(out)
+
+
+def summary_rows(
+    results: Sequence["RunResult"],
+    labels: Optional[Sequence[str]] = None,
+) -> List[Dict[str, Any]]:
+    """One table row per run, straight from :meth:`RunResult.summary`.
+
+    The canonical way to tabulate runs — benches and the CLI share the
+    same digest instead of each assembling its own dict shape.
+    """
+    if labels is not None and len(labels) != len(results):
+        raise ValueError("labels must match results one-to-one")
+    rows: List[Dict[str, Any]] = []
+    for i, res in enumerate(results):
+        row: Dict[str, Any] = {}
+        if labels is not None:
+            row["run"] = labels[i]
+        row.update(res.summary())
+        rows.append(row)
+    return rows
 
 
 def pivot(

@@ -15,7 +15,7 @@ import sys
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence
 
-from .bench.reporting import format_table, to_markdown
+from .bench.reporting import format_table, summary_rows, to_markdown
 from .bench.scenarios import (
     ScenarioScale,
     figure4,
@@ -187,12 +187,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         ]
         print(format_table(rows))
+        summary = result.summary()
         print(
-            f"\ntotal modeled {tracer.modeled_seconds:.4f}s over"
-            f" {result.rc_steps} RC steps"
+            "\n"
+            + format_table(
+                summary_rows([result]),
+                [
+                    "rc_steps",
+                    "modeled_seconds",
+                    "wall_seconds",
+                    "wire_format",
+                    "wire_words",
+                    "boundary_words",
+                    "boundary_rows_dense",
+                    "boundary_rows_sparse",
+                ],
+            )
+        )
+        print(
+            f"\ntotal modeled {summary['modeled_seconds']:.4f}s over"
+            f" {summary['rc_steps']} RC steps"
             f" ({tracer.total_messages} messages,"
-            f" {tracer.total_words:,} words on the wire);"
-            f" wall {tracer.wall_seconds:.2f}s"
+            f" {summary['wire_words']:,} words on the wire);"
+            f" wall {summary['wall_seconds']:.2f}s"
         )
         if args.json:
             tracer.save(args.json)

@@ -41,6 +41,7 @@ from ..graph.graph import Graph
 from ..graph.views import extract_local_subgraph
 from ..partition.base import Partition
 from ..runtime.cluster import Cluster
+from ..runtime.message import dense_row_words
 from ..types import FloatArray, Rank, VertexId
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -82,14 +83,17 @@ class ClusterStateSnapshot:
     local_edges: Dict[Rank, int]
 
     def words(self, rank: Rank) -> int:
-        """Wire words to ship one rank's saved state (DV rows + APSP)."""
+        """Wire words to ship one rank's saved state (DV rows + APSP).
+
+        DV rows are always shipped dense (same pricing as a dense
+        boundary row): snapshots are full-state transfers, never deltas.
+        """
         dv = self.dv.get(rank)
         apsp = self.apsp.get(rank)
         n_rows = 0 if dv is None else dv.shape[0]
-        return (
-            (0 if dv is None else dv.size)
-            + n_rows  # one id header per row
-            + (0 if apsp is None else apsp.size)
+        n_cols = 0 if dv is None else dv.shape[1]
+        return n_rows * dense_row_words(n_cols) + (
+            0 if apsp is None else apsp.size
         )
 
     def compatible_with(self, cluster: Cluster) -> bool:
@@ -304,6 +308,7 @@ def load_checkpoint(
         logp=config.logp,
         schedule=config.schedule,
         worker_speeds=config.worker_speeds,
+        wire_format=config.wire_format,
     )
     # the engine's graph copy is authoritative; keep cluster.graph == it
     engine.cluster = cluster
@@ -337,7 +342,11 @@ def load_checkpoint(
         w.local_apsp = apsp.copy()
         w.take_compute_seconds()
     cluster._wire_subscriptions()
-    # conservative refresh: recover any in-flight state at save time
+    # conservative refresh: recover any in-flight state at save time.
+    # Delta baselines are deliberately NOT checkpointed: fresh workers
+    # start with empty per-channel state and queue_all_boundary_rows()
+    # resets it besides, so the first post-restore exchange degrades to
+    # dense sends and re-establishes the baselines.
     for w in cluster.workers:
         w.queue_all_boundary_rows()
         w.request_full_repropagate()

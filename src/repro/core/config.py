@@ -51,6 +51,12 @@ class AnytimeConfig:
     checkpoint_interval:
         RC steps between the supervisor's in-memory checkpoints (only
         used by the ``"checkpoint"`` policy).
+    wire_format:
+        Boundary-row encoding: ``"delta"`` (default) ships only the
+        columns that improved since the last send on each channel, with
+        an automatic dense fallback; ``"dense"`` ships full rows and is
+        kept as the reference oracle.  Both converge to bitwise-identical
+        closeness values; only the modeled wire traffic differs.
     """
 
     nprocs: int = 16
@@ -70,6 +76,7 @@ class AnytimeConfig:
     worker_speeds: Optional[List[float]] = None
     recovery: str = "warm"
     checkpoint_interval: int = 8
+    wire_format: str = "delta"
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -88,6 +95,11 @@ class AnytimeConfig:
             )
         if self.checkpoint_interval < 1:
             raise ConfigurationError("checkpoint_interval must be >= 1")
+        if self.wire_format not in ("dense", "delta"):
+            raise ConfigurationError(
+                f"wire_format must be 'dense' or 'delta',"
+                f" got {self.wire_format!r}"
+            )
         if self.worker_speeds is not None:
             if len(self.worker_speeds) != self.nprocs:
                 raise ConfigurationError(

@@ -25,6 +25,7 @@ comparison point.
 
 from __future__ import annotations
 
+import json
 import logging
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
@@ -40,24 +41,14 @@ from ..types import FloatArray, VertexId
 from .config import AnytimeConfig
 from .recombination import run_recombination
 from .snapshots import AnytimeSnapshot, take_snapshot
-from .strategies import (
-    AdaptiveStrategy,
-    CompositeStrategy,
-    CutEdgePS,
-    DynamicStrategy,
-    LeastLoadedPS,
-    NeighborMajorityPS,
-    RepartitionStrategy,
-    RoundRobinPS,
-    VertexAdditionStrategy,
-)
+from .strategies import DynamicStrategy, make_strategy
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..runtime.chaos import FaultPlan
 
 logger = logging.getLogger("repro.engine")
 
-__all__ = ["AnytimeAnywhereCloseness", "RunResult"]
+__all__ = ["AnytimeAnywhereCloseness", "RunResult", "closeness"]
 
 
 @dataclass
@@ -86,11 +77,54 @@ class RunResult:
     recovery_modeled_seconds: float = 0.0
     #: canonical fault event trace (byte-identical for identical plans)
     fault_events: List[str] = field(default_factory=list)
+    # --- wire accounting ----------------------------------------------
+    #: total words charged to the modeled wire across the whole run
+    wire_words: int = 0
+    #: words spent on boundary-DV exchange payloads specifically
+    boundary_words: int = 0
+    #: boundary rows shipped dense (full row)
+    boundary_rows_dense: int = 0
+    #: boundary rows shipped as sparse deltas
+    boundary_rows_sparse: int = 0
+    #: wire format the cluster ran with (``"dense"`` | ``"delta"``)
+    wire_format: str = "delta"
 
     @property
     def modeled_minutes(self) -> float:
         """The paper reports minutes; convenience accessor."""
         return self.modeled_seconds / 60.0
+
+    def summary(self) -> Dict[str, object]:
+        """Flat, JSON-ready digest of the run.
+
+        One canonical place for reporting — the CLI and the benchmark
+        tables both consume this instead of assembling ad-hoc dicts.
+        """
+        values = list(self.closeness.values())
+        return {
+            "num_vertices": len(values),
+            "closeness_min": min(values) if values else 0.0,
+            "closeness_max": max(values) if values else 0.0,
+            "closeness_mean": (sum(values) / len(values)) if values else 0.0,
+            "rc_steps": self.rc_steps,
+            "modeled_seconds": self.modeled_seconds,
+            "wall_seconds": self.wall_seconds,
+            "converged": self.converged,
+            "restarts": self.restarts,
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "recoveries": self.recoveries,
+            "recovery_modeled_seconds": self.recovery_modeled_seconds,
+            "wire_format": self.wire_format,
+            "wire_words": self.wire_words,
+            "boundary_words": self.boundary_words,
+            "boundary_rows_dense": self.boundary_rows_dense,
+            "boundary_rows_sparse": self.boundary_rows_sparse,
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """:meth:`summary` serialized as deterministic JSON."""
+        return json.dumps(self.summary(), indent=indent, sort_keys=True)
 
 
 class AnytimeAnywhereCloseness:
@@ -120,6 +154,7 @@ class AnytimeAnywhereCloseness:
             logp=cfg.logp,
             schedule=cfg.schedule,
             worker_speeds=cfg.worker_speeds,
+            wire_format=cfg.wire_format,
         )
         self.cluster.decompose(cfg.partitioner)
         self.cluster.run_initial_approximation()
@@ -149,36 +184,7 @@ class AnytimeAnywhereCloseness:
     ) -> Optional[DynamicStrategy]:
         if strategy is None or isinstance(strategy, DynamicStrategy):
             return strategy
-        cfg = self.config
-        from .strategies import LDGPS
-
-        placements = {
-            "roundrobin": RoundRobinPS,
-            "leastloaded": LeastLoadedPS,
-            "neighbormajority": NeighborMajorityPS,
-            "ldg": LDGPS,
-        }
-        if strategy in placements:
-            return CompositeStrategy(
-                VertexAdditionStrategy(placements[strategy]())
-            )
-        if strategy == "cutedge":
-            return CompositeStrategy(
-                VertexAdditionStrategy(CutEdgePS(cfg.cutedge_partitioner))
-            )
-        if strategy == "repartition":
-            return RepartitionStrategy(cfg.partitioner)
-        if strategy == "adaptive":
-            # composite wrapper so deletion events route to the deletion
-            # strategies while the adaptive chooser handles additions
-            return CompositeStrategy(
-                AdaptiveStrategy(
-                    CutEdgePS(cfg.cutedge_partitioner),
-                    RepartitionStrategy(cfg.partitioner),
-                    threshold=cfg.repartition_threshold,
-                )
-            )
-        raise ConfigurationError(f"unknown strategy {strategy!r}")
+        return make_strategy(strategy, self.config)
 
     # ------------------------------------------------------------------
     # running
@@ -281,6 +287,11 @@ class AnytimeAnywhereCloseness:
                 supervisor.recovery_modeled_seconds if supervisor else 0.0
             ),
             fault_events=injector.trace_lines() if injector else [],
+            wire_words=cluster.tracer.total_words,
+            boundary_words=cluster.boundary_words,
+            boundary_rows_dense=cluster.boundary_rows_dense,
+            boundary_rows_sparse=cluster.boundary_rows_sparse,
+            wire_format=cluster.wire_format,
         )
 
     def run_baseline_restart(
@@ -296,6 +307,7 @@ class AnytimeAnywhereCloseness:
         cfg = self.config
         total_modeled = 0.0
         total_wall = 0.0
+        total_wire = 0
         restarts = 0
         schedule: List[Tuple[int, ChangeBatch]] = list(changes) if changes else []
         self.setup()
@@ -319,6 +331,7 @@ class AnytimeAnywhereCloseness:
             # change"); with frequent updates these full reruns pile up
             total_modeled += cluster.tracer.modeled_seconds
             total_wall += cluster.tracer.wall_seconds
+            total_wire += cluster.tracer.total_words
             restarts += 1
             batch.apply_to(self.graph)
             self.setup()
@@ -339,6 +352,11 @@ class AnytimeAnywhereCloseness:
             snapshots=list(self.snapshots),
             load=snapshot_load(cluster),
             restarts=restarts,
+            wire_words=total_wire + cluster.tracer.total_words,
+            boundary_words=cluster.boundary_words,
+            boundary_rows_dense=cluster.boundary_rows_dense,
+            boundary_rows_sparse=cluster.boundary_rows_sparse,
+            wire_format=cluster.wire_format,
         )
 
     # ------------------------------------------------------------------
@@ -412,3 +430,53 @@ class AnytimeAnywhereCloseness:
     @property
     def modeled_seconds(self) -> float:
         return self._require_cluster().tracer.modeled_seconds
+
+
+def closeness(
+    graph: Graph,
+    *,
+    nprocs: int = 16,
+    changes: Optional[ChangeStream] = None,
+    strategy: Union[str, DynamicStrategy, None] = "roundrobin",
+    config: Optional[AnytimeConfig] = None,
+    budget_modeled_seconds: Optional[float] = None,
+    fault_plan: Optional["FaultPlan"] = None,
+    recovery: Optional[str] = None,
+    checkpoint_interval: Optional[int] = None,
+) -> RunResult:
+    """One-shot closeness: setup (DD + IA) plus RC in a single call.
+
+    Convenience facade over :class:`AnytimeAnywhereCloseness` for the
+    common case — build the engine, partition, run to convergence::
+
+        import repro
+        result = repro.closeness(g, nprocs=8)
+        result.closeness[42]
+
+    Dynamic analysis works the same way as :meth:`.run`::
+
+        result = repro.closeness(g, nprocs=8, changes=stream,
+                                 strategy="cutedge")
+
+    Pass ``config`` for full control (it supplies ``nprocs``; passing
+    both with conflicting values is an error).  Keep the engine instance
+    instead when you need incremental ``run()`` calls, anytime reads, or
+    explicit crash injection.
+    """
+    if config is None:
+        config = AnytimeConfig(nprocs=nprocs)
+    elif nprocs != 16 and nprocs != config.nprocs:
+        raise ConfigurationError(
+            f"conflicting nprocs: argument {nprocs} vs config"
+            f" {config.nprocs}"
+        )
+    engine = AnytimeAnywhereCloseness(graph, config)
+    engine.setup()
+    return engine.run(
+        changes=changes,
+        strategy=strategy,
+        budget_modeled_seconds=budget_modeled_seconds,
+        fault_plan=fault_plan,
+        recovery=recovery,
+        checkpoint_interval=checkpoint_interval,
+    )

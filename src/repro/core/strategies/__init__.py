@@ -12,11 +12,16 @@ from .base import DynamicStrategy, ProcessorAssignmentStrategy
 from .edge_addition import EdgeAdditionStrategy, apply_edge_addition
 from .edge_deletion import EdgeDeletionStrategy, apply_edge_deletion
 from .rebalance import RebalancedStrategy, apply_migration, plan_rebalance
+from .registry import STRATEGIES, StrategyFactory, make_strategy, register
 from .repartition import RepartitionStrategy
 from .vertex_addition import VertexAdditionStrategy
 from .vertex_deletion import VertexDeletionStrategy, apply_vertex_deletion
 
 __all__ = [
+    "STRATEGIES",
+    "StrategyFactory",
+    "register",
+    "make_strategy",
     "ProcessorAssignmentStrategy",
     "DynamicStrategy",
     "RoundRobinPS",

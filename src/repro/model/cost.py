@@ -84,6 +84,15 @@ class CostModel:
         """Vectorized relaxation over ``n_entries`` DV entries."""
         return 2.0 * n_entries * self.flop
 
+    def encode_time(self, n_entries: int) -> float:
+        """Delta-encoding a boundary row: one compare per DV entry.
+
+        Charged by the delta wire format when a row is diffed against its
+        channel baseline before sending; the word savings on the wire are
+        priced separately by the LogP model.
+        """
+        return n_entries * self.flop
+
     def scan_time(self, n_entries: int) -> float:
         """Linear scan over adjacency entries (partitioners, bookkeeping)."""
         return n_entries * self.edge_scan

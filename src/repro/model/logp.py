@@ -76,7 +76,12 @@ class LogPParams:
         )
 
     def words_time(self, nwords: int) -> float:
-        """Message time for a payload of ``nwords`` distance values."""
+        """Message time for a payload of ``nwords`` distance values.
+
+        ``nwords`` is whatever the sender actually put on the wire —
+        under the delta wire format a boundary row costs its encoded
+        (sparse) word count here, not its dense size.
+        """
         return self.message_time(nwords * self.word_bytes)
 
 

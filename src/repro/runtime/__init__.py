@@ -17,7 +17,14 @@ from .faults import (
     redistribute_worker,
 )
 from .index import GlobalIndex
-from .message import Message, MessageKind, dv_payload_words
+from .message import (
+    DeltaRows,
+    Message,
+    MessageKind,
+    delta_row_words,
+    dense_row_words,
+    dv_payload_words,
+)
 from .metrics import LoadSnapshot, snapshot_load
 from .supervisor import Supervisor
 from .tracing import PhaseRecord, Tracer
@@ -43,6 +50,9 @@ __all__ = [
     "PhaseRecord",
     "Message",
     "MessageKind",
+    "DeltaRows",
+    "dense_row_words",
+    "delta_row_words",
     "dv_payload_words",
     "LoadSnapshot",
     "snapshot_load",

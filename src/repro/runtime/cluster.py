@@ -38,7 +38,7 @@ from ..model.schedules import (
 from ..partition.base import Partition, Partitioner
 from ..types import FloatArray, Rank, VertexId
 from .index import GlobalIndex
-from .message import dv_payload_words
+from .message import DeltaRows, dense_row_words, dv_payload_words
 from .tracing import Tracer
 from .worker import Worker
 
@@ -60,9 +60,14 @@ class Cluster:
         logp: LogPParams = DEFAULT_LOGP,
         schedule: Optional[CommSchedule] = None,
         worker_speeds: Optional[Sequence[float]] = None,
+        wire_format: str = "delta",
     ) -> None:
         if nprocs < 1:
             raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
+        if wire_format not in ("dense", "delta"):
+            raise ConfigurationError(
+                f"wire_format must be 'dense' or 'delta', got {wire_format!r}"
+            )
         if worker_speeds is not None:
             if len(worker_speeds) != nprocs:
                 raise ConfigurationError(
@@ -76,11 +81,19 @@ class Cluster:
         self.cost = cost
         self.logp = logp
         self.schedule = schedule or SequentialAllToAll()
+        self.wire_format = wire_format
         self.tracer = Tracer()
         self.index = GlobalIndex(graph.vertex_list())
         self.workers: List[Worker] = [
-            Worker(r, nprocs, self.index, cost) for r in range(nprocs)
+            Worker(r, nprocs, self.index, cost, wire_format=wire_format)
+            for r in range(nprocs)
         ]
+        #: boundary-exchange payload words actually put on the wire
+        #: (deliveries, retries and duplicates included; acks excluded)
+        self.boundary_words = 0
+        #: boundary rows shipped per encoding, for bench reporting
+        self.boundary_rows_dense = 0
+        self.boundary_rows_sparse = 0
         if worker_speeds is not None:
             for w, sp in zip(self.workers, worker_speeds):
                 w.speed = float(sp)
@@ -244,7 +257,7 @@ class Cluster:
         """
         if self.chaos is not None:
             return self._exchange_with_chaos()
-        payloads: Dict[Tuple[Rank, Rank], Dict[VertexId, FloatArray]] = {}
+        payloads: Dict[Tuple[Rank, Rank], DeltaRows] = {}
         messages: List[Tuple[Rank, Rank, int]] = []
         delivered = 0
         for src in range(self.nprocs):
@@ -256,14 +269,19 @@ class Cluster:
                 if not rows:
                     continue
                 payloads[(src, dst)] = rows
-                messages.append(
-                    (src, dst, dv_payload_words(len(rows), self.n_columns))
-                )
+                messages.append((src, dst, rows.words()))
+                self._count_boundary(rows)
                 delivered += len(rows)
         self.charge_comm_words(messages)
         for (src, dst), rows in payloads.items():
             self.workers[dst].receive_rows(rows)
         return delivered
+
+    def _count_boundary(self, payload: DeltaRows, copies: int = 1) -> None:
+        """Accumulate bench counters for one boundary payload on the wire."""
+        self.boundary_words += copies * payload.words()
+        self.boundary_rows_dense += copies * len(payload.dense)
+        self.boundary_rows_sparse += copies * len(payload.sparse)
 
     def _exchange_with_chaos(self) -> int:
         """Sequenced, acknowledged boundary exchange under fault injection.
@@ -280,10 +298,8 @@ class Cluster:
         assert chaos is not None
         max_retries = chaos.plan.max_retries
         messages: List[Tuple[Rank, Rank, int]] = []
-        #: (src, dst, seq, rows, copies delivered on the wire)
-        deliveries: List[
-            Tuple[Rank, Rank, int, Dict[VertexId, FloatArray], int]
-        ] = []
+        #: (src, dst, seq, payload, copies delivered on the wire)
+        deliveries: List[Tuple[Rank, Rank, int, DeltaRows, int]] = []
         retries = 0
         for src in range(self.nprocs):
             w = self.workers[src]
@@ -299,10 +315,11 @@ class Cluster:
                     outcome = chaos.send_outcome(src, dst, seq)
                     if outcome == "send_failure":
                         continue  # never hit the wire; retried next step
-                    words = dv_payload_words(len(rows), self.n_columns)
+                    words = rows.words()
                     copies = 2 if outcome == "duplicated" else 1
                     for _ in range(copies):
                         messages.append((src, dst, words))
+                    self._count_boundary(rows, copies)
                     if outcome == "lost":
                         continue
                     deliveries.append((src, dst, seq, rows, copies))
@@ -343,10 +360,11 @@ class Cluster:
     def broadcast_row(self, v: VertexId) -> FloatArray:
         """Owner broadcasts ``v``'s DV row to all ranks (binomial tree)."""
         row = self.worker_owning(v).dv_row(v)
+        words = dense_row_words(row.size)
         t = tree_broadcast_time(
-            (row.size + 1) * self.logp.word_bytes, self.nprocs, self.logp
+            words * self.logp.word_bytes, self.nprocs, self.logp
         )
-        self.tracer.add_comm(t, messages=self.nprocs - 1, words=row.size + 1)
+        self.tracer.add_comm(t, messages=self.nprocs - 1, words=words)
         return row
 
     def add_vertex_columns(self, vertices: Sequence[VertexId]) -> None:

@@ -21,7 +21,7 @@ error shrinks monotonically.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 import numpy as np
 import scipy.sparse.csgraph as csgraph
@@ -32,8 +32,16 @@ from ..graph.views import LocalSubgraph
 from ..model.cost import CostModel
 from ..types import FloatArray, Rank, VertexId
 from .index import GlobalIndex
+from .message import DeltaRows, delta_row_words, dense_row_words
 
 __all__ = ["Worker"]
+
+#: Cap on the float64 element count of the batched min-plus broadcast
+#: temporary (``n_rows x block x n_cols``); 2**21 elements = 16 MB.
+_MINPLUS_BLOCK_ELEMS = 1 << 21
+
+#: Max sources folded per ``np.minimum`` call in the batched kernel.
+_MINPLUS_MAX_BLOCK = 64
 
 
 class Worker:
@@ -45,11 +53,18 @@ class Worker:
         nprocs: int,
         index: GlobalIndex,
         cost: CostModel,
+        *,
+        wire_format: str = "delta",
     ) -> None:
+        if wire_format not in ("dense", "delta"):
+            raise WorkerError(f"unknown wire format {wire_format!r}")
         self.rank = rank
         self.nprocs = nprocs
         self.index = index
         self.cost = cost
+        #: boundary-row encoding: "delta" sends only improved columns
+        #: (with dense fallback); "dense" is the reference oracle
+        self.wire_format = wire_format
         #: relative processor speed (2.0 = twice the reference core);
         #: modeled compute charges divide by it — the heterogeneous-cloud
         #: extension of the paper's load-balance analysis
@@ -89,6 +104,14 @@ class Worker:
         self._attempts: List[Dict[int, int]] = [{} for _ in range(nprocs)]
         #: per source: sequence numbers already delivered (dedup filter)
         self._seen_seq: List[Set[int]] = [set() for _ in range(nprocs)]
+
+        # --- delta-exchange baselines ---------------------------------
+        #: per destination: vertex -> snapshot of the row as of the last
+        #: payload built for that rank.  A row's delta is the columns
+        #: strictly below this baseline; no baseline forces a dense send.
+        self._sent_rows: List[Dict[VertexId, FloatArray]] = [
+            {} for _ in range(nprocs)
+        ]
 
         # --- metering --------------------------------------------------
         self._seconds = 0.0
@@ -164,6 +187,7 @@ class Worker:
         self._unacked = [{} for _ in range(self.nprocs)]
         self._attempts = [{} for _ in range(self.nprocs)]
         self._seen_seq = [set() for _ in range(self.nprocs)]
+        self._sent_rows = [{} for _ in range(self.nprocs)]
 
     # ------------------------------------------------------------------
     # IA phase
@@ -250,12 +274,16 @@ class Worker:
             raise WorkerError(f"rank {self.rank} does not own vertex {v}")
         self.subscribers.setdefault(v, set()).add(dst)
         self._pending[dst].add(v)  # send the current row at the next exchange
+        # a (re-)subscription always starts from a dense row: the receiver
+        # may have dropped (or never held) its copy
+        self._sent_rows[dst].pop(v, None)
 
     def unsubscribe_rank(self, dst: Rank) -> None:
         """Drop all subscriptions from ``dst`` (used on repartition)."""
         for subs in self.subscribers.values():
             subs.discard(dst)
         self._pending[dst].clear()
+        self._sent_rows[dst].clear()
 
     def has_pending(self) -> bool:
         """True while this worker still has work that could change results:
@@ -269,22 +297,89 @@ class Worker:
             or self._full_repropagate
         )
 
-    def build_payload(self, dst: Rank) -> Dict[VertexId, FloatArray]:
-        """DV rows queued for ``dst``; clears the queue."""
-        out = {
-            v: self.dv[self.row_of[v]].copy() for v in sorted(self._pending[dst])
-        }
+    def _encode_row(self, dst: Rank, v: VertexId, out: DeltaRows) -> bool:
+        """Encode ``v``'s current row for ``dst`` into ``out``.
+
+        Dense on first publication (no baseline) and whenever the delta
+        would not be strictly cheaper on the wire; otherwise the columns
+        strictly below the channel baseline.  Advances the baseline to the
+        encoded values.  Returns False when nothing needs sending (the
+        row did not improve since the last send).
+        """
+        row = self.dv[self.row_of[v]]
+        if self.wire_format != "delta":
+            out.dense[v] = row.copy()
+            return True
+        baselines = self._sent_rows[dst]
+        base = baselines.get(v)
+        if base is None or base.size != row.size:
+            out.dense[v] = row.copy()
+            baselines[v] = row.copy()
+            return True
+        self._charge(self.cost.encode_time(row.size), "delta_encodes")
+        cols = np.flatnonzero(row < base).astype(np.int64)
+        if cols.size == 0:
+            return False
+        if delta_row_words(int(cols.size)) >= dense_row_words(row.size):
+            out.dense[v] = row.copy()
+            baselines[v] = row.copy()
+            return True
+        vals = row[cols].copy()
+        out.sparse[v] = (cols, vals)
+        base[cols] = vals  # baseline == row again on every column
+        return True
+
+    def _reset_baselines(self) -> None:
+        """Invalidate every channel baseline: the next sends are dense.
+
+        Called whenever incremental deltas stop being trustworthy — a full
+        refresh/re-propagation, a deletion pass that *raised* DV entries
+        (breaking the monotone premise of the delta encoding), or a column
+        remap.
+        """
+        for baselines in self._sent_rows:
+            baselines.clear()
+
+    def build_payload(self, dst: Rank) -> DeltaRows:
+        """Encoded DV rows queued for ``dst``; clears the queue."""
+        out = DeltaRows()
+        for v in sorted(self._pending[dst]):
+            self._encode_row(dst, v, out)
         self._pending[dst].clear()
         return out
 
-    def receive_rows(self, rows: Dict[VertexId, FloatArray]) -> None:
-        """Store freshly received external boundary DV rows."""
-        for v, row in rows.items():
+    def receive_rows(
+        self, rows: Union[Dict[VertexId, FloatArray], DeltaRows]
+    ) -> None:
+        """Store freshly received external boundary DV rows.
+
+        Dense rows replace the stored copy (deletion flows rely on the
+        replacement to *raise* stale entries); sparse deltas scatter-merge
+        into it with ``np.minimum``.  A delta for a vertex without a
+        stored row is dropped: the row is only absent when this worker no
+        longer tracks it, and every path that re-creates the need
+        (re-subscription, recovery, full refresh) forces a dense resend.
+        """
+        dense = rows.dense if isinstance(rows, DeltaRows) else rows
+        for v, row in dense.items():
             if row.size != self.n_cols:
                 raise WorkerError(
                     f"received row of {row.size} cols, expected {self.n_cols}"
                 )
             self.ext_dvs[v] = row
+            self._fresh_ext.add(v)
+        if not isinstance(rows, DeltaRows):
+            return
+        for v, (cols, vals) in rows.sparse.items():
+            stored = self.ext_dvs.get(v)
+            if stored is None:
+                continue
+            if cols.size and int(cols[-1]) >= stored.size:
+                raise WorkerError(
+                    f"delta for vertex {v} addresses column {int(cols[-1])}"
+                    f" beyond {stored.size} stored columns"
+                )
+            stored[cols] = np.minimum(stored[cols], vals)
             self._fresh_ext.add(v)
 
     # ------------------------------------------------------------------
@@ -292,20 +387,26 @@ class Worker:
     # ------------------------------------------------------------------
     def outbound_packets(
         self, dst: Rank, max_retries: int
-    ) -> List[Tuple[int, Dict[VertexId, FloatArray], bool]]:
+    ) -> List[Tuple[int, DeltaRows, bool]]:
         """Sequenced packets to send to ``dst`` this exchange.
 
-        Returns ``(seq, rows, is_retry)`` triples: first every
-        unacknowledged packet (a *retry* — rows are rebuilt from the
-        current DV, which only sharpens the delivered upper bounds), then
-        at most one fresh packet draining the pending queue.  The pending
-        set moves into the unacked buffer, so the convergence vote cannot
-        pass until delivery is acknowledged.
+        Returns ``(seq, payload, is_retry)`` triples: first every
+        unacknowledged packet (a *retry* — rows are rebuilt **dense** from
+        the current DV, which only sharpens the delivered upper bounds and
+        stays correct even when the original delta was lost or the
+        retransmission is deduplicated at the receiver), then at most one
+        fresh packet draining the pending queue.  Fresh rows are
+        delta-encoded exactly like :meth:`build_payload`; the baseline
+        advances at build time, which is safe because retries are dense
+        and the baseline is never advanced past values the receiver could
+        permanently miss.  The pending set moves into the unacked buffer,
+        so the convergence vote cannot pass until delivery is
+        acknowledged.
 
         Raises :class:`~repro.errors.WorkerError` once a packet exhausts
         ``max_retries`` — a partition, not a transient fault.
         """
-        packets: List[Tuple[int, Dict[VertexId, FloatArray], bool]] = []
+        packets: List[Tuple[int, DeltaRows, bool]] = []
         unacked = self._unacked[dst]
         attempts = self._attempts[dst]
         for seq in sorted(unacked):
@@ -322,17 +423,21 @@ class Worker:
                     f"rank {self.rank} packet seq={seq} to rank {dst}"
                     f" exceeded {max_retries} retries (network partition?)"
                 )
-            rows = {v: self.dv[self.row_of[v]].copy() for v in ids}
-            packets.append((seq, rows, n > 1))
+            payload = DeltaRows(
+                dense={v: self.dv[self.row_of[v]].copy() for v in ids}
+            )
+            packets.append((seq, payload, n > 1))
         fresh = sorted(v for v in self._pending[dst] if v in self.row_of)
         self._pending[dst].clear()
         if fresh:
-            seq = self._send_seq[dst]
-            self._send_seq[dst] += 1
-            unacked[seq] = fresh
-            attempts[seq] = 1
-            rows = {v: self.dv[self.row_of[v]].copy() for v in fresh}
-            packets.append((seq, rows, False))
+            payload = DeltaRows()
+            sent = [v for v in fresh if self._encode_row(dst, v, payload)]
+            if sent:
+                seq = self._send_seq[dst]
+                self._send_seq[dst] += 1
+                unacked[seq] = sent
+                attempts[seq] = 1
+                packets.append((seq, payload, False))
         return packets
 
     def ack_packet(self, dst: Rank, seq: int) -> None:
@@ -341,7 +446,10 @@ class Worker:
         self._attempts[dst].pop(seq, None)
 
     def receive_packet(
-        self, src: Rank, seq: int, rows: Dict[VertexId, FloatArray]
+        self,
+        src: Rank,
+        seq: int,
+        rows: Union[Dict[VertexId, FloatArray], DeltaRows],
     ) -> bool:
         """Deliver a sequenced packet; returns False for a duplicate."""
         if seq in self._seen_seq[src]:
@@ -362,6 +470,7 @@ class Worker:
         self._attempts[peer].clear()
         self._seen_seq[peer].clear()
         self._pending[peer].clear()
+        self._sent_rows[peer].clear()
 
     def flush_unacked(self) -> None:
         """Move unacknowledged rows back to the pending queues.
@@ -372,9 +481,12 @@ class Worker:
         """
         for dst in range(self.nprocs):
             for ids in self._unacked[dst].values():
-                self._pending[dst].update(
-                    v for v in ids if v in self.row_of
-                )
+                for v in ids:
+                    if v in self.row_of:
+                        self._pending[dst].add(v)
+                        # delivery was never confirmed, so the baseline may
+                        # be ahead of the receiver: force a dense resend
+                        self._sent_rows[dst].pop(v, None)
             self._unacked[dst].clear()
             self._attempts[dst].clear()
 
@@ -451,14 +563,29 @@ class Worker:
         # optimization (sources that did not change cannot improve anything
         # through a transitively-closed local APSP).
         self._charge(self.cost.minplus_time(n, n, self.n_cols))
-        # fold one source at a time: bounded memory, vectorized inner loop
-        cand = np.full((n, len(cols)), np.inf, dtype=np.float64)
-        for j in range(len(rows)):
-            aj = a[:, j]
-            finite = np.isfinite(aj)
-            if not finite.any():
+        # blocked batched fold: 32-64 sources per np.minimum call, with the
+        # (n x block x c) broadcast temporary capped at a fixed element
+        # budget.  Bitwise-identical to a per-source fold: float64 min is
+        # exact and order-independent, and distances never produce NaNs.
+        c = len(cols)
+        cand = np.full((n, c), np.inf, dtype=np.float64)
+        block = max(
+            1, min(_MINPLUS_MAX_BLOCK, _MINPLUS_BLOCK_ELEMS // max(1, n * c))
+        )
+        k = len(rows)
+        for j0 in range(0, k, block):
+            ab = a[:, j0:j0 + block]                    # (n, bk)
+            keep = np.isfinite(ab).any(axis=0)
+            if not keep.any():
                 continue
-            np.minimum(cand, aj[:, None] + b[j][None, :], out=cand)
+            if not keep.all():
+                ab = ab[:, keep]
+            bb = b[j0:j0 + block][keep]                 # (bk, c)
+            np.minimum(
+                cand,
+                np.min(ab[:, :, None] + bb[None, :, :], axis=1),
+                out=cand,
+            )
         sub = self.dv[:, cols]
         improved = cand < sub
         self._changed_rows.clear()
@@ -478,8 +605,25 @@ class Worker:
     def request_full_repropagate(self) -> None:
         """Force the next :meth:`propagate_local` to use all rows/columns
         (called after local structural changes invalidate the incremental
-        change tracking)."""
+        change tracking).  The delta baselines are invalidated with it:
+        a full re-propagation pairs with a full (dense) boundary refresh."""
         self._full_repropagate = True
+        self._reset_baselines()
+
+    def mark_all_changed(self) -> None:
+        """Schedule a full-coverage propagation, keeping delta channels.
+
+        Folds all rows over all columns next step, exactly like
+        :meth:`request_full_repropagate`, but does *not* reset the
+        per-channel baselines — the right call for **monotone** structural
+        changes (vertex/edge additions), where every DV entry only ever
+        decreases and incremental deltas therefore stay valid.  Paths that
+        can *raise* entries (deletions, recovery, column remaps) must use
+        :meth:`request_full_repropagate` instead.
+        """
+        self._changed_rows.update(range(self.n_local))
+        if self._dirty_cols.size:
+            self._dirty_cols[:] = True
 
     # ------------------------------------------------------------------
     # dynamic changes: columns and vertices
@@ -504,6 +648,13 @@ class Worker:
             self.ext_dvs[x] = np.concatenate(
                 [row, np.full(added, np.inf, dtype=np.float64)]
             )
+        # channel baselines grow in lockstep: the new columns are +inf on
+        # both endpoints, so they enter future deltas only once they improve
+        for baselines in self._sent_rows:
+            for v, base in list(baselines.items()):
+                baselines[v] = np.concatenate(
+                    [base, np.full(added, np.inf, dtype=np.float64)]
+                )
         self._charge(
             self.cost.resize_time(self.n_local + len(self.ext_dvs), added),
             "dv_resizes",
@@ -551,7 +702,8 @@ class Worker:
         improved = cand < a
         if improved.any():
             a[improved] = cand[improved]
-            self.request_full_repropagate()
+            # additions are monotone: full coverage, but deltas stay valid
+            self.mark_all_changed()
         # the new edge also immediately improves DV rows through it
         self._relax_dv_with_local_edge(ru, rv, w)
 
@@ -672,6 +824,10 @@ class Worker:
         count = int(suspect.sum())
         if count:
             self.dv[suspect] = np.inf
+            # entries just *rose*: deltas assume monotone decrease, so every
+            # channel restarts dense (the deletion flow queues a full
+            # boundary refresh right after this pass)
+            self._reset_baselines()
         return count
 
     def restore_local_baseline(self) -> None:
@@ -719,6 +875,8 @@ class Worker:
         count = int(suspect.sum())
         if count:
             self.dv[suspect] = np.inf
+            # same monotonicity break as invalidate_for_deleted_edge
+            self._reset_baselines()
         return count
 
     def clear_external_rows(self) -> None:
@@ -727,7 +885,13 @@ class Worker:
         self._fresh_ext.clear()
 
     def queue_all_boundary_rows(self) -> None:
-        """Queue every subscribed row for a full refresh."""
+        """Queue every subscribed row for a full (dense) refresh.
+
+        Deletion repairs and recovery paths call this after receivers may
+        have dropped or invalidated their stored copies, so the refresh
+        must not be delta-encoded against a pre-refresh baseline.
+        """
+        self._reset_baselines()
         for v in self.subscribers:
             self._queue_row(v)
 
@@ -740,6 +904,8 @@ class Worker:
         self._dirty_cols = np.delete(self._dirty_cols, col)
         for x, row in list(self.ext_dvs.items()):
             self.ext_dvs[x] = np.delete(row, col)
+        # column indices shifted under the baselines: start channels dense
+        self._reset_baselines()
         self._charge(self.cost.resize_time(self.n_local + len(self.ext_dvs), 1))
 
     def remove_local_vertex(self, v: VertexId) -> None:
@@ -763,6 +929,8 @@ class Worker:
         self.subscribers.pop(v, None)
         for pend in self._pending:
             pend.discard(v)
+        for baselines in self._sent_rows:
+            baselines.pop(v, None)
         # row indices shifted: conservatively re-propagate everything
         self._changed_rows = set()
         self.request_full_repropagate()

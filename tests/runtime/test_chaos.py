@@ -1,5 +1,7 @@
 """Deterministic fault injection: plans, injectors, lossy exchange."""
 
+import struct
+
 import pytest
 
 from repro import AnytimeAnywhereCloseness, AnytimeConfig, FaultPlan
@@ -164,6 +166,9 @@ class TestLossyExchange:
         engine.run()
         w = engine.cluster.workers[0]
         w._pending[1].add(w.owned[0])
+        # drop the channel baseline: a converged, already-sent row would
+        # otherwise delta-encode to nothing and never enter a packet
+        w._sent_rows[1].clear()
         # never acked: each outbound_packets call is one more attempt
         w.outbound_packets(1, max_retries=2)
         w.outbound_packets(1, max_retries=2)
@@ -176,6 +181,7 @@ class TestLossyExchange:
         engine.run()
         w = engine.cluster.workers[0]
         w._pending[1].add(w.owned[0])
+        w._sent_rows[1].clear()  # force the forged row into a packet
         w.outbound_packets(1, max_retries=5)
         w._seen_seq[1].add(3)
         w.reset_channel(1)
@@ -241,3 +247,56 @@ class TestEngineIntegration:
         exact = exact_closeness(g)
         for v, c in exact.items():
             assert result.closeness[v] == pytest.approx(c, abs=1e-9)
+
+
+class TestDeltaUnderFaults:
+    """Delta packets through loss/duplication/crash must stay exact.
+
+    A lost delta is retransmitted dense from the current DV; a duplicated
+    delta is deduplicated by sequence number; a crash resets the channel
+    and the recovery rewire forces dense resends.  In every case the run
+    must reconverge to closeness bitwise-identical to a dense run on a
+    reliable network (the oracle).
+    """
+
+    def _bits(self, closeness):
+        return [
+            (v, struct.pack("<d", closeness[v])) for v in sorted(closeness)
+        ]
+
+    def test_lossy_delta_matches_reliable_dense(self):
+        _g, oracle = fresh_engine(wire_format="dense")
+        expected = self._bits(oracle.run().closeness)
+
+        _g, engine = fresh_engine(wire_format="delta")
+        res = engine.run(fault_plan=FaultPlan(seed=3, **LOSSY))
+        assert res.converged
+        assert res.retries > 0  # losses actually forced retransmissions
+        assert res.boundary_rows_sparse > 0  # deltas actually on the wire
+        assert self._bits(res.closeness) == expected
+
+    def test_crash_plus_loss_delta_matches_reliable_dense(self):
+        _g, oracle = fresh_engine(wire_format="dense")
+        expected = self._bits(oracle.run().closeness)
+
+        _g, engine = fresh_engine(wire_format="delta")
+        plan = FaultPlan(seed=21, crashes=((2, 1),), **LOSSY)
+        res = engine.run(fault_plan=plan)
+        assert res.converged
+        assert res.recoveries == 1
+        assert self._bits(res.closeness) == expected
+
+    def test_lossy_delta_trace_repeatable(self):
+        runs = []
+        for _ in range(2):
+            _g, engine = fresh_engine(wire_format="delta")
+            res = engine.run(fault_plan=FaultPlan(seed=8, **LOSSY))
+            runs.append(
+                (
+                    self._bits(res.closeness),
+                    tuple(res.fault_events),
+                    res.boundary_words,
+                    res.modeled_seconds,
+                )
+            )
+        assert runs[0] == runs[1]

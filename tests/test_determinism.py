@@ -24,10 +24,18 @@ from repro.graph.changes import (
 from repro.runtime.chaos import FaultPlan
 
 
-def _build_engine(seed: int = 7) -> AnytimeAnywhereCloseness:
+def _build_engine(
+    seed: int = 7, wire_format: str = "delta"
+) -> AnytimeAnywhereCloseness:
     g = barabasi_albert(70, 2, seed=seed)
     engine = AnytimeAnywhereCloseness(
-        g, AnytimeConfig(nprocs=4, seed=seed, collect_snapshots=False)
+        g,
+        AnytimeConfig(
+            nprocs=4,
+            seed=seed,
+            collect_snapshots=False,
+            wire_format=wire_format,
+        ),
     )
     engine.setup()
     return engine
@@ -104,6 +112,62 @@ class TestDynamicDeterminism:
                 (
                     _closeness_bits(res.closeness),
                     res.rc_steps,
+                    res.modeled_seconds,
+                    _modeled_trace(engine),
+                )
+            )
+        assert results[0] == results[1]
+
+
+class TestWireFormatEquivalence:
+    """The delta wire format is an encoding, not an approximation.
+
+    The dense format is the reference oracle: for the same inputs the two
+    formats must converge to bitwise-identical closeness values.  The
+    modeled wire traffic is where they are *allowed* (required) to
+    differ — deltas must be strictly cheaper once rows start refining.
+    """
+
+    def test_static_dense_vs_delta_bitwise_identical(self) -> None:
+        by_format = {}
+        for fmt in ("dense", "delta"):
+            engine = _build_engine(wire_format=fmt)
+            res = engine.run()
+            by_format[fmt] = res
+        assert _closeness_bits(
+            by_format["dense"].closeness
+        ) == _closeness_bits(by_format["delta"].closeness)
+        assert (
+            by_format["delta"].boundary_words
+            < by_format["dense"].boundary_words
+        )
+        assert by_format["delta"].boundary_rows_sparse > 0
+        assert by_format["dense"].boundary_rows_sparse == 0
+
+    def test_dynamic_dense_vs_delta_bitwise_identical(self) -> None:
+        by_format = {}
+        for fmt in ("dense", "delta"):
+            engine = _build_engine(wire_format=fmt)
+            res = engine.run(changes=_changes(), strategy="cutedge")
+            by_format[fmt] = res
+        assert _closeness_bits(
+            by_format["dense"].closeness
+        ) == _closeness_bits(by_format["delta"].closeness)
+        assert (
+            by_format["delta"].boundary_words
+            < by_format["dense"].boundary_words
+        )
+
+    def test_delta_runs_bitwise_repeatable(self) -> None:
+        results = []
+        for _ in range(2):
+            engine = _build_engine(wire_format="delta")
+            res = engine.run(changes=_changes(), strategy="cutedge")
+            results.append(
+                (
+                    _closeness_bits(res.closeness),
+                    res.rc_steps,
+                    res.boundary_words,
                     res.modeled_seconds,
                     _modeled_trace(engine),
                 )
