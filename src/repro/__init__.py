@@ -30,6 +30,7 @@ from .core.engine import AnytimeAnywhereCloseness, RunResult, closeness
 from .errors import ReproError
 from .graph.changes import ChangeBatch, ChangeStream
 from .graph.graph import Graph
+from .runtime.backends import available_backends
 from .runtime.chaos import FaultPlan
 
 __version__ = "1.0.0"
@@ -39,6 +40,7 @@ __all__ = [
     "AnytimeConfig",
     "RunResult",
     "closeness",
+    "available_backends",
     "FaultPlan",
     "Graph",
     "ChangeBatch",

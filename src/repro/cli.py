@@ -105,6 +105,11 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("--nprocs", type=int, default=8)
     tp.add_argument("--strategy", type=str, default="cutedge")
     tp.add_argument("--seed", type=int, default=7)
+    tp.add_argument("--backend", type=str, default=None,
+                    choices=["serial", "process"],
+                    help="execution backend (default: REPRO_BACKEND or"
+                         " serial); results are bitwise-identical either"
+                         " way, only wall time differs")
     tp.add_argument("--json", type=str, default=None,
                     help="also dump the full trace to this JSON file")
     return parser
@@ -172,10 +177,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.n_base, args.batch, seed=args.seed,
             inject_step=args.inject_step,
         )
+        cfg_kwargs = {}
+        if args.backend is not None:
+            cfg_kwargs["backend"] = args.backend
         engine = AnytimeAnywhereCloseness(
             workload.base,
             AnytimeConfig(nprocs=args.nprocs, seed=args.seed,
-                          collect_snapshots=False),
+                          collect_snapshots=False, **cfg_kwargs),
         )
         engine.setup()
         result = engine.run(changes=workload.stream, strategy=args.strategy)

@@ -309,6 +309,7 @@ def load_checkpoint(
         schedule=config.schedule,
         worker_speeds=config.worker_speeds,
         wire_format=config.wire_format,
+        backend=config.backend,
     )
     # the engine's graph copy is authoritative; keep cluster.graph == it
     engine.cluster = cluster

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..errors import ConfigurationError
@@ -57,6 +58,14 @@ class AnytimeConfig:
         an automatic dense fallback; ``"dense"`` ships full rows and is
         kept as the reference oracle.  Both converge to bitwise-identical
         closeness values; only the modeled wire traffic differs.
+    backend:
+        Where the per-rank compute kernels execute: ``"serial"`` (in the
+        coordinating process, the default) or ``"process"`` (a
+        persistent process pool with the DV / local-APSP matrices in
+        shared memory).  Both are bitwise-identical in results, traces
+        and modeled clocks; only wall-clock time differs.  The default
+        honors the ``REPRO_BACKEND`` environment variable so whole test
+        suites can be re-run under another backend without code changes.
     """
 
     nprocs: int = 16
@@ -77,6 +86,9 @@ class AnytimeConfig:
     recovery: str = "warm"
     checkpoint_interval: int = 8
     wire_format: str = "delta"
+    backend: str = field(
+        default_factory=lambda: os.environ.get("REPRO_BACKEND", "serial")
+    )
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -99,6 +111,13 @@ class AnytimeConfig:
             raise ConfigurationError(
                 f"wire_format must be 'dense' or 'delta',"
                 f" got {self.wire_format!r}"
+            )
+        # literal duplicate of runtime.backends.available_backends():
+        # config must stay importable without pulling in the runtime
+        if self.backend not in ("serial", "process"):
+            raise ConfigurationError(
+                f"backend must be 'serial' or 'process',"
+                f" got {self.backend!r}"
             )
         if self.worker_speeds is not None:
             if len(self.worker_speeds) != self.nprocs:

@@ -155,6 +155,7 @@ class AnytimeAnywhereCloseness:
             schedule=cfg.schedule,
             worker_speeds=cfg.worker_speeds,
             wire_format=cfg.wire_format,
+            backend=cfg.backend,
         )
         self.cluster.decompose(cfg.partitioner)
         self.cluster.run_initial_approximation()

@@ -1,5 +1,12 @@
 """Simulated distributed runtime: workers, cluster, tracing, messages."""
 
+from .backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    available_backends,
+    make_backend,
+)
 from .chaos import (
     RECOVERY_POLICIES,
     FaultEvent,
@@ -32,6 +39,11 @@ from .worker import Worker
 
 __all__ = [
     "Cluster",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessBackend",
+    "available_backends",
+    "make_backend",
     "check_cluster_invariants",
     "crash_worker",
     "recover_worker",

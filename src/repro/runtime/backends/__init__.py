@@ -1,0 +1,44 @@
+"""Pluggable execution backends for the simulated cluster.
+
+``serial`` runs every rank's kernels in the coordinating process (the
+default, and the reference for bitwise identity); ``process`` fans them
+out to a persistent process pool with the matrices in shared memory.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from ...errors import ConfigurationError
+from .base import ExecutionBackend
+from .process import ProcessBackend
+from .serial import SerialBackend
+
+__all__ = [
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "available_backends",
+    "make_backend",
+]
+
+#: Specification accepted wherever a backend is configured.
+BackendSpec = Union[str, ExecutionBackend]
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names accepted by ``backend=`` configuration."""
+    return ("serial", "process")
+
+
+def make_backend(spec: BackendSpec, nprocs: int) -> ExecutionBackend:
+    """Resolve a backend name (or pass through an instance)."""
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec == "serial":
+        return SerialBackend()
+    if spec == "process":
+        return ProcessBackend(nprocs)
+    raise ConfigurationError(
+        f"unknown backend {spec!r}; expected one of {available_backends()}"
+    )

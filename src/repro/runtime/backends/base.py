@@ -1,0 +1,50 @@
+"""Execution-backend interface.
+
+A backend decides *where* the per-rank compute kernels of the two
+parallelizable phases run — the IA-phase local Dijkstra and the RC-step
+superstep (cut-edge relaxation + local min-plus propagation).  Everything
+else (exchanges, modeled clock, tracing, chaos, checkpointing, dynamic
+change strategies) stays in the coordinating process and is backend-
+agnostic.
+
+The contract that keeps every backend bitwise-identical to serial:
+
+* each rank's kernels between two ``sync_compute`` barriers are
+  independent (they touch only that rank's ``dv`` / ``local_apsp``), so
+  execution order across ranks cannot matter;
+* a backend must run, per rank, the exact kernel functions in
+  :mod:`repro.runtime.kernels` and merge outcomes via the worker's
+  ``*_apply`` methods **in rank order**, which replays the serial charge
+  sequence and queue updates exactly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+from ..shm import ArrayAllocator
+from ..worker import Worker
+
+__all__ = ["ExecutionBackend"]
+
+
+class ExecutionBackend(ABC):
+    """Runs per-rank compute kernels for :class:`~repro.runtime.cluster.Cluster`."""
+
+    #: short identifier, e.g. ``"serial"`` / ``"process"``
+    name: str = "base"
+
+    #: allocator workers must use for ``dv`` / ``local_apsp``
+    allocator: ArrayAllocator
+
+    @abstractmethod
+    def run_ia(self, workers: List[Worker]) -> None:
+        """Run the IA phase (local APSP + DV fold) on every worker."""
+
+    @abstractmethod
+    def relax_and_propagate(self, workers: List[Worker]) -> bool:
+        """Run one RC superstep on every worker; True if anything improved."""
+
+    def close(self) -> None:
+        """Release backend resources (shared memory, pool slots)."""

@@ -1,0 +1,32 @@
+"""The in-process backend: today's loop, unchanged default."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..shm import ArrayAllocator
+from ..worker import Worker
+from .base import ExecutionBackend
+
+__all__ = ["SerialBackend"]
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every rank's kernels sequentially in the coordinating process."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self.allocator = ArrayAllocator()
+
+    def run_ia(self, workers: List[Worker]) -> None:
+        for w in workers:
+            w.run_initial_approximation()
+
+    def relax_and_propagate(self, workers: List[Worker]) -> bool:
+        changed = False
+        for w in workers:
+            c1 = w.relax_cut_edges()
+            c2 = w.propagate_local()
+            changed = changed or c1 or c2
+        return changed

@@ -37,6 +37,7 @@ from ..model.schedules import (
 )
 from ..partition.base import Partition, Partitioner
 from ..types import FloatArray, Rank, VertexId
+from .backends import BackendSpec, make_backend
 from .index import GlobalIndex
 from .message import DeltaRows, dense_row_words, dv_payload_words
 from .tracing import Tracer
@@ -61,6 +62,7 @@ class Cluster:
         schedule: Optional[CommSchedule] = None,
         worker_speeds: Optional[Sequence[float]] = None,
         wire_format: str = "delta",
+        backend: BackendSpec = "serial",
     ) -> None:
         if nprocs < 1:
             raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
@@ -84,8 +86,19 @@ class Cluster:
         self.wire_format = wire_format
         self.tracer = Tracer()
         self.index = GlobalIndex(graph.vertex_list())
+        #: where the per-rank compute kernels execute (serial / process);
+        #: workers allocate dv / local_apsp through the backend so the
+        #: process backend can hand shared-memory views to its pool
+        self.backend = make_backend(backend, nprocs)
         self.workers: List[Worker] = [
-            Worker(r, nprocs, self.index, cost, wire_format=wire_format)
+            Worker(
+                r,
+                nprocs,
+                self.index,
+                cost,
+                wire_format=wire_format,
+                allocator=self.backend.allocator,
+            )
             for r in range(nprocs)
         ]
         #: boundary-exchange payload words actually put on the wire
@@ -209,8 +222,7 @@ class Cluster:
     # ------------------------------------------------------------------
     def run_initial_approximation(self) -> None:
         self.tracer.begin("initial_approximation")
-        for w in self.workers:
-            w.run_initial_approximation()
+        self.backend.run_ia(self.workers)
         self.sync_compute()
         self.tracer.end()
 
@@ -341,13 +353,18 @@ class Cluster:
 
     def relax_and_propagate(self) -> bool:
         """Cut-edge relaxation + local min-plus propagation on all workers."""
-        changed = False
-        for w in self.workers:
-            c1 = w.relax_cut_edges()
-            c2 = w.propagate_local()
-            changed = changed or c1 or c2
+        changed = self.backend.relax_and_propagate(self.workers)
         self.sync_compute()
         return changed
+
+    def close(self) -> None:
+        """Release backend resources (shared-memory segments).
+
+        Optional: abandoned clusters release the same resources when
+        garbage collected; explicit close is for long-lived processes
+        (benchmarks, services) that churn through many clusters.
+        """
+        self.backend.close()
 
     def any_pending(self) -> bool:
         """Convergence vote (modeled as a tiny all-reduce)."""

@@ -1,0 +1,220 @@
+"""Pure compute kernels shared by the serial and process backends.
+
+The heavy per-rank work of the two parallelizable phases — the IA-phase
+local Dijkstra and the RC-step superstep (cut-edge relaxation + local
+min-plus propagation) — is factored here into functions that touch only
+
+* a picklable *task* describing the step (built by the worker in the
+  coordinating process), and
+* the worker's two large matrices ``dv`` / ``local_apsp``, passed in
+  explicitly so a subprocess can supply shared-memory views instead.
+
+Everything stateful (change tracking, subscriber queues, modeled LogP
+charges, counters) stays in :class:`~repro.runtime.worker.Worker`, which
+splits each phase into *prepare* (build the task), *kernel* (this
+module, runnable anywhere), and *apply* (charges + bookkeeping).  The
+serial backend runs all three in-process; the process backend runs the
+kernel on a pool child against shared memory.  Both execute the exact
+same NumPy/SciPy statements in the exact same order, which is what makes
+the backends bitwise-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Set, Tuple
+
+import numpy as np
+import scipy.sparse.csgraph as csgraph
+from numpy.typing import NDArray
+
+from ..types import BoolArray, FloatArray
+
+#: DV column indices as produced by ``np.flatnonzero`` / index building.
+IndexArray = NDArray[np.intp]
+
+#: Cut-edge relaxation inputs: per fresh external row, the received DV
+#: row and the ``(local row, edge weight)`` pairs relaxed against it.
+RelaxItems = List[Tuple[FloatArray, List[Tuple[int, float]]]]
+
+__all__ = [
+    "IATask",
+    "IndexArray",
+    "RelaxItems",
+    "SuperstepTask",
+    "SuperstepResult",
+    "ia_kernel",
+    "relax_cut_kernel",
+    "minplus_fold",
+    "run_superstep",
+]
+
+#: Cap on the float64 element count of the batched min-plus broadcast
+#: temporary (``n_rows x block x n_cols``); 2**21 elements = 16 MB.
+_MINPLUS_BLOCK_ELEMS = 1 << 21
+
+#: Max sources folded per ``np.minimum`` call in the batched kernel.
+_MINPLUS_MAX_BLOCK = 64
+
+
+@dataclass
+class IATask:
+    """One rank's IA-phase work: local APSP + fold into owned DV columns."""
+
+    #: local adjacency in CSR form (scipy matrix; picklable)
+    matrix: Any
+    #: global DV column of each owned vertex, in row order
+    cols: IndexArray
+    #: number of owned vertices (== rows of ``local_apsp``)
+    n: int
+    #: directed stored-edge count of ``matrix`` (for the modeled charge)
+    nnz: int
+
+
+@dataclass
+class SuperstepTask:
+    """One rank's RC-superstep work (relaxation inputs + fold extent)."""
+
+    n: int
+    n_cols: int
+    #: per fresh external row, in relaxation order: the received DV row
+    #: and the ``(local row, cut-edge weight)`` pairs relaxed against it
+    relax_items: RelaxItems
+    #: rows already marked changed before this superstep, sorted
+    changed_rows: List[int]
+    #: private copy of the dirty-column mask (the kernel extends it with
+    #: the columns the relaxation improves)
+    dirty_cols: BoolArray
+    full_repropagate: bool
+
+    @property
+    def n_relaxations(self) -> int:
+        return sum(len(pairs) for _row, pairs in self.relax_items)
+
+
+@dataclass
+class SuperstepResult:
+    """What the coordinating process needs back from a superstep kernel."""
+
+    #: local rows the cut-edge relaxation improved, sorted
+    relax_improved: List[int] = field(default_factory=list)
+    #: True iff the propagation fold ran (and its compute must be charged)
+    prop_charged: bool = False
+    #: local rows the propagation fold improved, sorted
+    prop_improved: List[int] = field(default_factory=list)
+
+    @property
+    def improved(self) -> bool:
+        return bool(self.relax_improved) or bool(self.prop_improved)
+
+
+def ia_kernel(task: IATask, dv: FloatArray, apsp: FloatArray) -> None:
+    """Local APSP (the paper's multithreaded Dijkstra) + DV column fold.
+
+    Writes into the caller-allocated ``apsp`` (shape ``(n, n)``) and
+    folds it into the owned columns of ``dv`` in place.
+    """
+    apsp[:, :] = csgraph.dijkstra(task.matrix, directed=False)
+    cols = task.cols
+    # fancy indexing yields a copy, so an out= write would be lost;
+    # assign the minimum back explicitly
+    dv[:, cols] = np.minimum(dv[:, cols], apsp)
+
+
+def relax_cut_kernel(
+    dv: FloatArray,
+    dirty_cols: BoolArray,
+    items: RelaxItems,
+) -> List[int]:
+    """Cut-edge relaxation: ``d(u,t) <- min(d(u,t), w(u,x) + d(x,t))``.
+
+    Mutates ``dv`` and ``dirty_cols`` in place; returns the sorted local
+    rows that improved.  Item order is fixed by the caller (sorted
+    external vertex, then cut-edge registration order), so repeated runs
+    relax in the same sequence.
+    """
+    improved: Set[int] = set()
+    for row_x, pairs in items:
+        for r, w in pairs:
+            cand = row_x + w
+            mask = cand < dv[r]
+            if mask.any():
+                dv[r][mask] = cand[mask]
+                dirty_cols |= mask
+                improved.add(r)
+    return sorted(improved)
+
+
+def minplus_fold(
+    apsp: FloatArray, dv: FloatArray, rows: List[int], cols: IndexArray
+) -> List[int]:
+    """Blocked batched min-plus fold; returns the sorted rows improved.
+
+    ``d(x,t) <- min_k apsp(x,k) + d(k,t)`` over changed sources ``k``
+    (``rows``) and dirty targets ``t`` (``cols``), written back into
+    ``dv`` in place.  Folds 32-64 sources per ``np.minimum`` call, with
+    the ``(n x block x c)`` broadcast temporary capped at a fixed element
+    budget.  Bitwise-identical to a per-source fold: float64 min is
+    exact and order-independent, and distances never produce NaNs.
+    """
+    n = apsp.shape[0]
+    a = apsp[:, rows]                  # (n, k)
+    b = dv[np.asarray(rows)][:, cols]  # (k, c)
+    c = len(cols)
+    cand = np.full((n, c), np.inf, dtype=np.float64)
+    block = max(
+        1, min(_MINPLUS_MAX_BLOCK, _MINPLUS_BLOCK_ELEMS // max(1, n * c))
+    )
+    k = len(rows)
+    for j0 in range(0, k, block):
+        ab = a[:, j0:j0 + block]                    # (n, bk)
+        keep = np.isfinite(ab).any(axis=0)
+        if not keep.any():
+            continue
+        if not keep.all():
+            ab = ab[:, keep]
+        bb = b[j0:j0 + block][keep]                 # (bk, c)
+        np.minimum(
+            cand,
+            np.min(ab[:, :, None] + bb[None, :, :], axis=1),
+            out=cand,
+        )
+    sub = dv[:, cols]
+    improved = cand < sub
+    if not improved.any():
+        return []
+    sub[improved] = cand[improved]
+    dv[:, cols] = sub
+    return [int(r) for r in np.flatnonzero(improved.any(axis=1))]
+
+
+def run_superstep(
+    task: SuperstepTask, dv: FloatArray, apsp: FloatArray
+) -> SuperstepResult:
+    """One rank's full RC superstep: relaxation then propagation.
+
+    Mirrors the serial ``relax_cut_edges`` + ``propagate_local`` pair
+    decision-for-decision; the only difference is that change-tracking
+    state arrives snapshotted inside ``task`` and the outcomes travel
+    back in a :class:`SuperstepResult` instead of mutating the worker.
+    """
+    dirty = task.dirty_cols
+    relax_improved = relax_cut_kernel(dv, dirty, task.relax_items)
+    n = task.n
+    if n == 0:
+        return SuperstepResult(relax_improved=relax_improved)
+    if task.full_repropagate:
+        rows = list(range(n))
+        col_mask = np.ones(task.n_cols, dtype=bool)
+    else:
+        rows = sorted(set(task.changed_rows) | set(relax_improved))
+        col_mask = dirty
+    if not rows or not col_mask.any():
+        return SuperstepResult(relax_improved=relax_improved)
+    cols = np.flatnonzero(col_mask)
+    prop_improved = minplus_fold(apsp, dv, rows, cols)
+    return SuperstepResult(
+        relax_improved=relax_improved,
+        prop_charged=True,
+        prop_improved=prop_improved,
+    )

@@ -24,24 +24,26 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 import numpy as np
-import scipy.sparse.csgraph as csgraph
 
 from ..errors import WorkerError
 from ..graph.graph import Graph
 from ..graph.views import LocalSubgraph
 from ..model.cost import CostModel
-from ..types import FloatArray, Rank, VertexId
+from ..types import FloatArray, IntArray, Rank, VertexId
 from .index import GlobalIndex
+from .kernels import (
+    IATask,
+    RelaxItems,
+    SuperstepResult,
+    SuperstepTask,
+    ia_kernel,
+    minplus_fold,
+    relax_cut_kernel,
+)
 from .message import DeltaRows, delta_row_words, dense_row_words
+from .shm import ArrayAllocator
 
 __all__ = ["Worker"]
-
-#: Cap on the float64 element count of the batched min-plus broadcast
-#: temporary (``n_rows x block x n_cols``); 2**21 elements = 16 MB.
-_MINPLUS_BLOCK_ELEMS = 1 << 21
-
-#: Max sources folded per ``np.minimum`` call in the batched kernel.
-_MINPLUS_MAX_BLOCK = 64
 
 
 class Worker:
@@ -55,9 +57,13 @@ class Worker:
         cost: CostModel,
         *,
         wire_format: str = "delta",
+        allocator: Optional[ArrayAllocator] = None,
     ) -> None:
         if wire_format not in ("dense", "delta"):
             raise WorkerError(f"unknown wire format {wire_format!r}")
+        #: where ``dv`` / ``local_apsp`` live; the process backend passes
+        #: a shared-memory allocator so kernel subprocesses can attach
+        self.allocator = allocator if allocator is not None else ArrayAllocator()
         self.rank = rank
         self.nprocs = nprocs
         self.index = index
@@ -81,8 +87,12 @@ class Worker:
         #: external boundary)
         self.subscribers: Dict[VertexId, Set[Rank]] = {}
 
-        self.dv = np.zeros((0, 0), dtype=np.float64)
-        self.local_apsp = np.zeros((0, 0), dtype=np.float64)
+        self._dv: FloatArray = self.allocator.adopt(
+            np.zeros((0, 0), dtype=np.float64), None
+        )
+        self._local_apsp: FloatArray = self.allocator.adopt(
+            np.zeros((0, 0), dtype=np.float64), None
+        )
         #: last received DV rows of external boundary vertices
         self.ext_dvs: Dict[VertexId, FloatArray] = {}
 
@@ -140,6 +150,27 @@ class Worker:
         return self.dv.shape[1]
 
     # ------------------------------------------------------------------
+    # matrix residency (routed through the backend's allocator)
+    # ------------------------------------------------------------------
+    @property
+    def dv(self) -> FloatArray:
+        """Distance-vector matrix; assignment re-homes it via the allocator."""
+        return self._dv
+
+    @dv.setter
+    def dv(self, value: FloatArray) -> None:
+        self._dv = self.allocator.adopt(value, self._dv)
+
+    @property
+    def local_apsp(self) -> FloatArray:
+        """Local all-pairs matrix; assignment re-homes it via the allocator."""
+        return self._local_apsp
+
+    @local_apsp.setter
+    def local_apsp(self, value: FloatArray) -> None:
+        self._local_apsp = self.allocator.adopt(value, self._local_apsp)
+
+    # ------------------------------------------------------------------
     # loading / domain decomposition
     # ------------------------------------------------------------------
     def load_subgraph(
@@ -194,50 +225,61 @@ class Worker:
     # ------------------------------------------------------------------
     def run_initial_approximation(self) -> None:
         """Local APSP (multithreaded Dijkstra in the paper) on the sub-graph."""
+        self._local_apsp_fold(repropagate=False)
+
+    def recompute_local_apsp(self) -> None:
+        """Full local APSP recomputation (deletions, repartition rebuilds)."""
+        self._local_apsp_fold(repropagate=True)
+
+    def _local_apsp_fold(self, *, repropagate: bool) -> None:
+        """Shared IA body: CSR build, local Dijkstra, fold into ``dv``.
+
+        ``repropagate=False`` is the IA phase proper (seed the change
+        tracking and queue every boundary row); ``repropagate=True`` is
+        the recomputation flavor (local structure changed, so schedule a
+        full re-propagation with dense channel resets).
+        """
+        task = self.ia_prepare()
+        if task is None:
+            return
+        ia_kernel(task, self.dv, self.local_apsp)
+        self.ia_apply(task, repropagate=repropagate)
+
+    def ia_prepare(self) -> Optional[IATask]:
+        """Snapshot this rank's IA work; ``None`` when nothing is owned.
+
+        Pre-allocates ``local_apsp`` at its final ``(n, n)`` shape so a
+        kernel subprocess can write the Dijkstra result straight into
+        the (possibly shared-memory) destination.
+        """
         n = self.n_local
         if n == 0:
             self.local_apsp = np.zeros((0, 0), dtype=np.float64)
-            return
+            return None
         view = self.local_graph.to_csr(self.owned)
-        self.local_apsp = csgraph.dijkstra(view.matrix, directed=False)
-        m_dir = int(view.matrix.nnz)
-        self._charge(
-            self.cost.dijkstra_time(n, n, m_dir), "dijkstra_sources", n
-        )
         cols = np.fromiter(
             (self.index.column(v) for v in self.owned), dtype=np.intp, count=n
         )
-        # fancy indexing yields a copy, so an out= write would be lost;
-        # assign the minimum back explicitly
-        self.dv[:, cols] = np.minimum(self.dv[:, cols], self.local_apsp)
+        self.local_apsp = self.allocator.empty((n, n))
+        return IATask(
+            matrix=view.matrix, cols=cols, n=n, nnz=int(view.matrix.nnz)
+        )
+
+    def ia_apply(self, task: IATask, *, repropagate: bool = False) -> None:
+        """Post-kernel charges and bookkeeping for one IA task."""
+        n = task.n
+        self._charge(
+            self.cost.dijkstra_time(n, n, task.nnz), "dijkstra_sources", n
+        )
         self._charge(self.cost.relax_time(n * n))
+        if repropagate:
+            self.request_full_repropagate()
+            return
         # everything we own changed: queue full boundary DVs for neighbors
         self._changed_rows = set(range(n))
         self._dirty_cols[:] = True
         for v in self.owned:
             self._queue_row(v)
-
-    def recompute_local_apsp(self) -> None:
-        """Full local APSP recomputation (deletions, repartition rebuilds)."""
-        n = self.n_local
-        if n == 0:
-            self.local_apsp = np.zeros((0, 0), dtype=np.float64)
-            return
-        view = self.local_graph.to_csr(self.owned)
-        self.local_apsp = csgraph.dijkstra(view.matrix, directed=False)
-        self._charge(
-            self.cost.dijkstra_time(n, n, int(view.matrix.nnz)),
-            "dijkstra_sources",
-            n,
-        )
-        cols = np.fromiter(
-            (self.index.column(v) for v in self.owned), dtype=np.intp, count=n
-        )
-        # fancy indexing yields a copy, so an out= write would be lost;
-        # assign the minimum back explicitly
-        self.dv[:, cols] = np.minimum(self.dv[:, cols], self.local_apsp)
-        self._charge(self.cost.relax_time(n * n))
-        self.request_full_repropagate()
 
     # ------------------------------------------------------------------
     # change tracking / messaging
@@ -255,7 +297,7 @@ class Worker:
         self._changed_rows.add(row)
         self._queue_row(self.owned[row])
 
-    def _mark_rows_changed(self, rows: "FloatArray") -> None:
+    def _mark_rows_changed(self, rows: "IntArray") -> None:
         """Bulk version of :meth:`_mark_row_changed` for vectorized kernels."""
         idx = rows.tolist()
         self._changed_rows.update(idx)
@@ -493,18 +535,16 @@ class Worker:
     # ------------------------------------------------------------------
     # RC-step kernels
     # ------------------------------------------------------------------
-    def relax_cut_edges(self) -> bool:
-        """Relax cut edges against freshly received external rows.
+    def _relax_items(self) -> RelaxItems:
+        """Consume the fresh-external set into relaxation work items.
 
-        ``d(u, t) <- min(d(u, t), w(u, x) + d(x, t))`` for each cut edge
-        ``(u, x)`` whose external row arrived since the last call.
+        Relaxation order over fresh external rows must not depend on set
+        hash order: min() is order-independent per entry, but the compute
+        charges are traced per relaxation in loop order.
         """
-        improved_any = False
         fresh = self._fresh_ext
         self._fresh_ext = set()
-        # relaxation order over fresh external rows must not depend on
-        # set hash order: min() is order-independent per entry, but the
-        # compute charges are traced per relaxation in loop order
+        items: RelaxItems = []
         for x in sorted(fresh):
             pairs = self.cut_by_ext.get(x)
             if not pairs:
@@ -512,17 +552,23 @@ class Worker:
             row_x = self.ext_dvs.get(x)
             if row_x is None:
                 continue
-            for u, w in pairs:
-                r = self.row_of[u]
-                cand = row_x + w
-                mask = cand < self.dv[r]
+            items.append((row_x, [(self.row_of[u], w) for u, w in pairs]))
+        return items
+
+    def relax_cut_edges(self) -> bool:
+        """Relax cut edges against freshly received external rows.
+
+        ``d(u, t) <- min(d(u, t), w(u, x) + d(x, t))`` for each cut edge
+        ``(u, x)`` whose external row arrived since the last call.
+        """
+        items = self._relax_items()
+        improved = relax_cut_kernel(self.dv, self._dirty_cols, items)
+        for _row_x, pairs in items:
+            for _ in pairs:
                 self._charge(self.cost.relax_time(self.n_cols))
-                if mask.any():
-                    self.dv[r][mask] = cand[mask]
-                    self._dirty_cols |= mask
-                    self._mark_row_changed(r)
-                    improved_any = True
-        return improved_any
+        for r in improved:
+            self._mark_row_changed(r)
+        return bool(improved)
 
     def propagate_local(self) -> bool:
         """Min-plus propagation through the local sub-graph (paper's local
@@ -554,8 +600,6 @@ class Worker:
             self._dirty_cols[:] = False
             return False
         cols = np.flatnonzero(col_mask)
-        a = self.local_apsp[:, rows]            # (n, k)
-        b = self.dv[np.asarray(rows)][:, cols]  # (k, c)
         # The paper's recombination strategy performs the full local
         # Floyd–Warshall-style DV update each active RC step; the modeled
         # cost charges that dense fold.  The simulation computes only the
@@ -563,44 +607,62 @@ class Worker:
         # optimization (sources that did not change cannot improve anything
         # through a transitively-closed local APSP).
         self._charge(self.cost.minplus_time(n, n, self.n_cols))
-        # blocked batched fold: 32-64 sources per np.minimum call, with the
-        # (n x block x c) broadcast temporary capped at a fixed element
-        # budget.  Bitwise-identical to a per-source fold: float64 min is
-        # exact and order-independent, and distances never produce NaNs.
-        c = len(cols)
-        cand = np.full((n, c), np.inf, dtype=np.float64)
-        block = max(
-            1, min(_MINPLUS_MAX_BLOCK, _MINPLUS_BLOCK_ELEMS // max(1, n * c))
-        )
-        k = len(rows)
-        for j0 in range(0, k, block):
-            ab = a[:, j0:j0 + block]                    # (n, bk)
-            keep = np.isfinite(ab).any(axis=0)
-            if not keep.any():
-                continue
-            if not keep.all():
-                ab = ab[:, keep]
-            bb = b[j0:j0 + block][keep]                 # (bk, c)
-            np.minimum(
-                cand,
-                np.min(ab[:, :, None] + bb[None, :, :], axis=1),
-                out=cand,
-            )
-        sub = self.dv[:, cols]
-        improved = cand < sub
+        improved_rows = minplus_fold(self.local_apsp, self.dv, rows, cols)
         self._changed_rows.clear()
         self._dirty_cols[:] = False
-        if not improved.any():
-            return False
-        sub[improved] = cand[improved]
-        self.dv[:, cols] = sub
-        improved_rows = np.flatnonzero(improved.any(axis=1))
         # Improved rows need only be *sent* to subscribers, not re-used as
         # local sources: local_apsp is transitively closed, so chaining two
         # local hops can never beat the single-hop fold just performed.
         for r in improved_rows:
-            self._queue_row(self.owned[int(r)])
-        return True
+            self._queue_row(self.owned[r])
+        return bool(improved_rows)
+
+    # ------------------------------------------------------------------
+    # superstep task protocol (process backend)
+    # ------------------------------------------------------------------
+    def superstep_prepare(self) -> SuperstepTask:
+        """Snapshot one RC superstep's inputs for an off-process kernel.
+
+        Consumes the fresh-external set (exactly like the serial
+        :meth:`relax_cut_edges`) but leaves the change-tracking flags in
+        place; :meth:`superstep_apply` clears them once the kernel's
+        outcome is known.
+        """
+        return SuperstepTask(
+            n=self.n_local,
+            n_cols=self.n_cols,
+            relax_items=self._relax_items(),
+            changed_rows=sorted(self._changed_rows),
+            dirty_cols=self._dirty_cols.copy(),
+            full_repropagate=self._full_repropagate,
+        )
+
+    def superstep_apply(
+        self, task: SuperstepTask, result: SuperstepResult
+    ) -> bool:
+        """Charges + bookkeeping for a completed superstep kernel.
+
+        Replays the exact charge sequence of the serial
+        ``relax_cut_edges`` + ``propagate_local`` pair (one relax charge
+        per cut-edge relaxation, then the min-plus charge iff the fold
+        ran), queues improved rows to subscribers, and leaves the
+        change-tracking state exactly as the serial pair would.
+        """
+        for _ in range(task.n_relaxations):
+            self._charge(self.cost.relax_time(self.n_cols))
+        for r in result.relax_improved:
+            self._mark_row_changed(r)
+        # the serial pair always ends a superstep with clean tracking
+        # state: propagation either consumed it or cleared it unused
+        self._full_repropagate = False
+        self._changed_rows.clear()
+        if self._dirty_cols.size:
+            self._dirty_cols[:] = False
+        if result.prop_charged:
+            self._charge(self.cost.minplus_time(task.n, task.n, self.n_cols))
+        for r in result.prop_improved:
+            self._queue_row(self.owned[r])
+        return result.improved
 
     def request_full_repropagate(self) -> None:
         """Force the next :meth:`propagate_local` to use all rows/columns
@@ -770,7 +832,7 @@ class Worker:
             # cannot change any result (inf + w never improves anything).
             self._charge(self.cost.relax_time(self.n_local * self.n_cols))
             src_col = self.dv[:, col_src]
-            rows_f = np.flatnonzero(np.isfinite(src_col))
+            rows_f = np.flatnonzero(np.isfinite(src_col)).astype(np.int64)
             cols_f = np.flatnonzero(np.isfinite(row))
             if rows_f.size == 0 or cols_f.size == 0:
                 continue

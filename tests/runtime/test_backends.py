@@ -1,0 +1,226 @@
+"""Execution backends: process must be bitwise-identical to serial.
+
+The process backend runs the exact kernel functions serial runs, one
+rank per pool slot, merging outcomes in rank order — so closeness bits,
+the trace event sequence, the modeled clock, and the wire/fault
+accounting must all match exactly, on static and dynamic runs and under
+a seeded fault plan.  Also covers the shared-memory allocator and the
+backend factory.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+import pytest
+
+import repro
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.errors import ConfigurationError
+from repro.graph import barabasi_albert
+from repro.graph.changes import (
+    ChangeBatch,
+    ChangeStream,
+    EdgeAddition,
+    EdgeDeletion,
+    VertexAddition,
+)
+from repro.runtime import (
+    ProcessBackend,
+    SerialBackend,
+    available_backends,
+    make_backend,
+)
+from repro.runtime.backends.base import ExecutionBackend
+from repro.runtime.chaos import FaultPlan
+from repro.runtime.shm import ArrayAllocator, SharedMemoryAllocator
+
+
+def _bits(closeness: Dict[int, float]) -> List[Tuple[int, bytes]]:
+    return [(v, struct.pack("<d", closeness[v])) for v in sorted(closeness)]
+
+
+def _trace(engine: AnytimeAnywhereCloseness) -> List[Dict[str, Any]]:
+    dump = engine.cluster.tracer.to_json()
+    records = []
+    for rec in dump["records"]:
+        rec = dict(rec)
+        rec.pop("wall_seconds", None)
+        records.append(rec)
+    return records
+
+
+def _changes() -> ChangeStream:
+    return ChangeStream(
+        {
+            1: ChangeBatch(
+                vertex_additions=[
+                    VertexAddition(200, ((3, 1.0), (11, 1.0))),
+                    VertexAddition(201, ((200, 1.0), (0, 1.0))),
+                ],
+                edge_additions=[EdgeAddition(5, 40)],
+            ),
+            2: ChangeBatch(edge_deletions=[EdgeDeletion(5, 40)]),
+        }
+    )
+
+
+def _run(backend: str, *, changes=None, strategy=None, fault_plan=None):
+    g = barabasi_albert(70, 2, seed=7)
+    engine = AnytimeAnywhereCloseness(
+        g,
+        AnytimeConfig(
+            nprocs=4, seed=7, collect_snapshots=False, backend=backend
+        ),
+    )
+    engine.setup()
+    kwargs: Dict[str, Any] = {}
+    if changes is not None:
+        kwargs["changes"] = changes
+        kwargs["strategy"] = strategy
+    if fault_plan is not None:
+        kwargs["fault_plan"] = fault_plan
+    res = engine.run(**kwargs)
+    summary = res.summary()
+    summary.pop("wall_seconds", None)
+    fingerprint = (
+        _bits(res.closeness),
+        res.rc_steps,
+        res.modeled_seconds,
+        summary,
+        _trace(engine),
+    )
+    engine.cluster.close()
+    return fingerprint
+
+
+class TestProcessMatchesSerial:
+    """Acceptance criterion: bitwise identity across backends."""
+
+    def test_static_run_identical(self):
+        assert _run("serial") == _run("process")
+
+    def test_dynamic_run_identical(self):
+        assert _run(
+            "serial", changes=_changes(), strategy="cutedge"
+        ) == _run("process", changes=_changes(), strategy="cutedge")
+
+    def test_faulty_run_identical(self):
+        def plan():
+            return FaultPlan(
+                seed=11,
+                crashes=((2, 1),),
+                loss_prob=0.15,
+                dup_prob=0.05,
+                send_failure_prob=0.05,
+            )
+
+        serial = _run(
+            "serial", changes=_changes(), strategy="cutedge",
+            fault_plan=plan(),
+        )
+        process = _run(
+            "process", changes=_changes(), strategy="cutedge",
+            fault_plan=plan(),
+        )
+        assert serial == process
+
+    def test_one_shot_api_accepts_backend(self):
+        g = barabasi_albert(60, 2, seed=3)
+        results = {}
+        for backend in available_backends():
+            cfg = AnytimeConfig(
+                nprocs=3, seed=3, collect_snapshots=False, backend=backend
+            )
+            results[backend] = repro.closeness(g.copy(), config=cfg)
+        assert _bits(results["serial"].closeness) == _bits(
+            results["process"].closeness
+        )
+
+
+class TestBackendFactory:
+    def test_available_backends(self):
+        assert available_backends() == ("serial", "process")
+
+    def test_make_backend_by_name(self):
+        assert isinstance(make_backend("serial", 4), SerialBackend)
+        assert isinstance(make_backend("process", 4), ProcessBackend)
+
+    def test_make_backend_passthrough(self):
+        backend = SerialBackend()
+        assert make_backend(backend, 4) is backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_backend("threads", 4)
+
+    def test_config_validates_backend(self):
+        with pytest.raises(ConfigurationError):
+            AnytimeConfig(backend="threads")
+
+    def test_config_reads_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert AnytimeConfig().backend == "process"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert AnytimeConfig().backend == "serial"
+
+    def test_backend_is_abstract(self):
+        with pytest.raises(TypeError):
+            ExecutionBackend()  # type: ignore[abstract]
+
+
+class TestSharedMemoryAllocator:
+    def test_empty_is_shared_and_described(self):
+        alloc = SharedMemoryAllocator()
+        arr = alloc.empty((3, 5))
+        assert alloc.owns(arr)
+        name, shape = alloc.descriptor(arr)
+        assert shape == (3, 5)
+        assert isinstance(name, str) and name
+        alloc.release_all()
+
+    def test_adopt_copies_foreign_arrays(self):
+        alloc = SharedMemoryAllocator()
+        src = np.arange(6, dtype=np.float64).reshape(2, 3)
+        owned = alloc.adopt(src, None)
+        assert owned is not src
+        assert alloc.owns(owned)
+        np.testing.assert_array_equal(owned, src)
+        alloc.release_all()
+
+    def test_adopt_releases_replaced_block(self):
+        alloc = SharedMemoryAllocator()
+        first = alloc.empty((2, 2))
+        second = alloc.adopt(np.zeros((4, 4)), first)
+        assert not alloc.owns(first)
+        assert alloc.owns(second)
+        alloc.release_all()
+
+    def test_adopt_keeps_own_array(self):
+        alloc = SharedMemoryAllocator()
+        arr = alloc.empty((2, 2))
+        assert alloc.adopt(arr, arr) is arr
+        assert alloc.owns(arr)
+        alloc.release_all()
+
+    def test_descriptor_rejects_foreign_array(self):
+        alloc = SharedMemoryAllocator()
+        with pytest.raises(TypeError):
+            alloc.descriptor(np.zeros((2, 2)))
+
+    def test_zero_size_arrays_supported(self):
+        # dv/local_apsp start as (0, 0); shm segments cannot be 0 bytes
+        alloc = SharedMemoryAllocator()
+        arr = alloc.empty((0, 0))
+        assert arr.shape == (0, 0)
+        alloc.release_all()
+
+    def test_plain_allocator_is_passthrough(self):
+        alloc = ArrayAllocator()
+        src = np.zeros((2, 2))
+        assert alloc.adopt(src, None) is src
+        assert not alloc.shared
+        with pytest.raises(TypeError):
+            alloc.descriptor(src)
