@@ -1,0 +1,221 @@
+"""Observability overhead: observer-off vs JSONL vs Perfetto exporters.
+
+Runs the standard scale-free dynamic scenario three ways — no observers
+(the zero-cost default), the JSONL event exporter, and the Perfetto
+trace-event exporter — under both the ``serial`` and ``process``
+backends, measuring wall-clock overhead relative to the unobserved run
+and verifying closeness and the modeled clock stay **bitwise identical**
+with observers attached.
+
+Each variant runs ``--repeats`` times and the *minimum* wall time is
+compared (minimum-of-N is the standard way to strip scheduler noise from
+small wall-clock ratios).  The ``<5%`` overhead gate for the default
+JSONL observer is enforced at full scale on the serial backend, where
+kernel wall time is pure compute; at smoke scale (or when the run is too
+short to measure a stable ratio) the numbers are informational.
+
+Writes ``benchmarks/results/BENCH_obs_overhead.json`` and exits non-zero
+if any enforced criterion fails, so CI can gate on it::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import struct
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.bench.workloads import incremental_stream
+from repro.obs import canonical_line
+
+RESULTS = Path(__file__).parent / "results" / "BENCH_obs_overhead.json"
+
+#: hard ceiling on JSONL-observer wall overhead (fraction) at full scale
+MAX_JSONL_OVERHEAD = 0.05
+
+#: dynamic scenario scale (matches bench_backend_scaling's RC scenario)
+FULL_N = 1_000
+SMOKE_N = 200
+
+#: variant name -> observer spec factory (path-parameterized)
+VARIANTS = ("off", "jsonl", "perfetto")
+
+
+def closeness_bits(closeness: Dict[int, float]) -> List[Tuple[int, bytes]]:
+    return [(v, struct.pack("<d", closeness[v])) for v in sorted(closeness)]
+
+
+def run_once(
+    backend: str,
+    variant: str,
+    graph: Any,
+    changes: Any,
+    out_dir: Path,
+) -> Dict[str, Any]:
+    observers: Tuple[str, ...] = ()
+    export_path = out_dir / f"trace_{backend}_{variant}.out"
+    if variant == "jsonl":
+        observers = (f"jsonl:{export_path}",)
+    elif variant == "perfetto":
+        observers = (f"perfetto:{export_path}",)
+    config = AnytimeConfig(
+        nprocs=4,
+        seed=11,
+        collect_snapshots=False,
+        backend=backend,
+        observers=observers,
+    )
+    t0 = time.perf_counter()
+    with AnytimeAnywhereCloseness(graph.copy(), config) as engine:
+        engine.setup()
+        result = engine.run(changes=changes, strategy="cutedge")
+    wall = time.perf_counter() - t0
+    events: Optional[List[str]] = None
+    if variant == "jsonl":
+        events = [
+            canonical_line(line)
+            for line in export_path.read_text(encoding="utf-8").splitlines()
+        ]
+    return {
+        "wall": wall,
+        "bits": closeness_bits(result.closeness),
+        "modeled_seconds": result.modeled_seconds,
+        "wire_words": result.wire_words,
+        "events": events,
+    }
+
+
+def run_backend(
+    backend: str, graph: Any, changes: Any, repeats: int, out_dir: Path
+) -> Dict[str, Any]:
+    runs: Dict[str, List[Dict[str, Any]]] = {v: [] for v in VARIANTS}
+    for _ in range(repeats):
+        for variant in VARIANTS:
+            runs[variant].append(
+                run_once(backend, variant, graph, changes, out_dir)
+            )
+    base = runs["off"][0]
+    point: Dict[str, Any] = {"backend": backend, "repeats": repeats}
+    identical = True
+    for variant in VARIANTS:
+        walls = [r["wall"] for r in runs[variant]]
+        best = min(walls)
+        point[f"{variant}_wall_seconds"] = best
+        for r in runs[variant]:
+            if (
+                r["bits"] != base["bits"]
+                or r["modeled_seconds"] != base["modeled_seconds"]
+                or r["wire_words"] != base["wire_words"]
+            ):
+                identical = False
+    jsonl_events = [r["events"] for r in runs["jsonl"]]
+    point["jsonl_deterministic"] = all(
+        ev == jsonl_events[0] for ev in jsonl_events
+    )
+    point["bitwise_identical"] = identical
+    off = point["off_wall_seconds"]
+    for variant in ("jsonl", "perfetto"):
+        point[f"{variant}_overhead"] = (
+            point[f"{variant}_wall_seconds"] - off
+        ) / max(off, 1e-9)
+    return point
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="small CI-friendly scale"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="runs per variant; minimum wall time is compared"
+    )
+    parser.add_argument(
+        "--out", type=str, default=str(RESULTS), help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    n = SMOKE_N if args.smoke else FULL_N
+    per_step = 8 if args.smoke else 20
+    steps = 4 if args.smoke else 8
+    workload = incremental_stream(n, per_step, steps, seed=11)
+
+    points: List[Dict[str, Any]] = []
+    with tempfile.TemporaryDirectory(prefix="bench_obs_") as tmp:
+        for backend in ("serial", "process"):
+            points.append(
+                run_backend(
+                    backend,
+                    workload.base,
+                    workload.stream,
+                    max(1, args.repeats),
+                    Path(tmp),
+                )
+            )
+
+    gate_active = not args.smoke
+    failures: List[str] = []
+    for pt in points:
+        if not pt["bitwise_identical"]:
+            failures.append(
+                f"{pt['backend']}: closeness/modeled clock/wire words"
+                " changed with observers attached"
+            )
+        if not pt["jsonl_deterministic"]:
+            failures.append(
+                f"{pt['backend']}: JSONL export differs between repeated"
+                " identical runs (after stripping wall annotations)"
+            )
+    if gate_active:
+        serial = next(p for p in points if p["backend"] == "serial")
+        if serial["jsonl_overhead"] >= MAX_JSONL_OVERHEAD:
+            failures.append(
+                f"serial: JSONL observer overhead"
+                f" {serial['jsonl_overhead']:.1%} is at or above the"
+                f" {MAX_JSONL_OVERHEAD:.0%} ceiling"
+            )
+
+    report = {
+        "bench": "obs_overhead",
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count() or 1,
+        "gate_active": gate_active,
+        "max_jsonl_overhead": MAX_JSONL_OVERHEAD,
+        "n_vertices": n,
+        "points": points,
+        "failures": failures,
+        "pass": not failures,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    for pt in points:
+        print(
+            f"{pt['backend']:>8}: off {pt['off_wall_seconds']:.3f}s,"
+            f" jsonl {pt['jsonl_wall_seconds']:.3f}s"
+            f" ({pt['jsonl_overhead']:+.1%}),"
+            f" perfetto {pt['perfetto_wall_seconds']:.3f}s"
+            f" ({pt['perfetto_overhead']:+.1%}),"
+            f" bitwise_identical={pt['bitwise_identical']},"
+            f" jsonl_deterministic={pt['jsonl_deterministic']}"
+        )
+    print(f"gate_active={gate_active}; report written to {out}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("all enforced criteria met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from .core.engine import AnytimeAnywhereCloseness, RunResult, closeness
 from .errors import ReproError
 from .graph.changes import ChangeBatch, ChangeStream
 from .graph.graph import Graph
+from .obs import ConvergenceProbe, Observer, build_hub
 from .runtime.backends import available_backends
 from .runtime.chaos import FaultPlan
 
@@ -41,6 +42,9 @@ __all__ = [
     "RunResult",
     "closeness",
     "available_backends",
+    "ConvergenceProbe",
+    "Observer",
+    "build_hub",
     "FaultPlan",
     "Graph",
     "ChangeBatch",

@@ -112,6 +112,25 @@ def build_parser() -> argparse.ArgumentParser:
                          " way, only wall time differs")
     tp.add_argument("--json", type=str, default=None,
                     help="also dump the full trace to this JSON file")
+    tp.add_argument("--trace-out", type=str, action="append", default=None,
+                    metavar="FORMAT:PATH",
+                    help="attach a trace exporter (repeatable):"
+                         " jsonl:PATH, perfetto:PATH, or prom:PATH")
+    tp.add_argument("--probe-convergence", action="store_true",
+                    help="attach the per-superstep convergence probe")
+    tp.add_argument("--chaos-seed", type=int, default=None,
+                    help="run under seeded fault injection (message loss"
+                         " + duplication) to exercise the chaos metrics")
+
+    rp = sub.add_parser(
+        "report",
+        help="render a run's exported JSONL trace into a per-phase and"
+             " convergence summary",
+    )
+    rp.add_argument("trace", type=str,
+                    help="path to a jsonl trace written by --trace-out")
+    rp.add_argument("--out", type=str, default=None,
+                    help="write the report to this file as well")
     return parser
 
 
@@ -169,6 +188,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(format_table(rows))
         return 0
 
+    if args.command == "report":
+        from .obs import load_events, render_report
+
+        text = render_report(load_events(args.trace))
+        print(text, end="")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        return 0
+
     if args.command == "trace":
         from . import AnytimeAnywhereCloseness, AnytimeConfig
         from .bench.workloads import community_workload
@@ -177,17 +206,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.n_base, args.batch, seed=args.seed,
             inject_step=args.inject_step,
         )
-        cfg_kwargs = {}
+        cfg_kwargs: Dict[str, object] = {}
         if args.backend is not None:
             cfg_kwargs["backend"] = args.backend
-        engine = AnytimeAnywhereCloseness(
+        observers: List[str] = list(args.trace_out or [])
+        if args.probe_convergence:
+            observers.append("convergence")
+        if observers:
+            cfg_kwargs["observers"] = tuple(observers)
+        fault_plan = None
+        if args.chaos_seed is not None:
+            from .runtime.chaos import FaultPlan
+
+            fault_plan = FaultPlan(
+                seed=args.chaos_seed, loss_prob=0.05, dup_prob=0.05
+            )
+        with AnytimeAnywhereCloseness(
             workload.base,
             AnytimeConfig(nprocs=args.nprocs, seed=args.seed,
                           collect_snapshots=False, **cfg_kwargs),
-        )
-        engine.setup()
-        result = engine.run(changes=workload.stream, strategy=args.strategy)
-        tracer = engine.cluster.tracer
+        ) as engine:
+            engine.setup()
+            result = engine.run(
+                changes=workload.stream, strategy=args.strategy,
+                fault_plan=fault_plan,
+            )
+            tracer = engine.cluster.tracer
         rows = [
             {"phase": name, "modeled_seconds": secs}
             for name, secs in sorted(
@@ -219,6 +263,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f" {summary['wire_words']:,} words on the wire);"
             f" wall {summary['wall_seconds']:.2f}s"
         )
+        if result.faults_injected or result.retries:
+            print(
+                f"chaos: {result.faults_injected} faults injected,"
+                f" {result.retries} retries"
+            )
+        if result.convergence:
+            for probe, sample in sorted(result.convergence.items()):
+                pairs = ", ".join(
+                    f"{k}={v:.4g}" for k, v in sorted(sample.items())
+                )
+                print(f"{probe}: {pairs}")
+        for spec in observers:
+            if ":" in spec:
+                print(f"trace exported to {spec}")
         if args.json:
             tracer.save(args.json)
             print(f"full trace written to {args.json}")

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..model.cost import DEFAULT_COST, CostModel
@@ -66,6 +66,16 @@ class AnytimeConfig:
         and modeled clocks; only wall-clock time differs.  The default
         honors the ``REPRO_BACKEND`` environment variable so whole test
         suites can be re-run under another backend without code changes.
+    observers:
+        Observability specs handed to :func:`repro.obs.build_hub` —
+        exporter strings (``"jsonl:PATH"``, ``"perfetto:PATH"``,
+        ``"prom:PATH"``), the keywords ``"metrics"`` (in-memory metrics
+        registry only) / ``"convergence"`` (default per-superstep
+        quality probe), or ready-made ``Observer`` /
+        ``ConvergenceProbe`` instances.  Empty (the default) disables
+        all instrumentation at zero cost.  Enabling observers never
+        changes results: closeness, modeled clock, wire totals and
+        fault accounting stay bitwise identical.
     """
 
     nprocs: int = 16
@@ -89,6 +99,7 @@ class AnytimeConfig:
     backend: str = field(
         default_factory=lambda: os.environ.get("REPRO_BACKEND", "serial")
     )
+    observers: Sequence[object] = ()
 
     def __post_init__(self) -> None:
         if self.nprocs < 1:
@@ -119,6 +130,23 @@ class AnytimeConfig:
                 f"backend must be 'serial' or 'process',"
                 f" got {self.backend!r}"
             )
+        for spec in self.observers:
+            if not isinstance(spec, str):
+                continue  # Observer / ConvergenceProbe instances
+            if spec in ("metrics", "convergence"):
+                continue
+            # literal duplicate of obs.exporters formats: config must
+            # stay importable without pulling in repro.obs
+            fmt, sep, path = spec.partition(":")
+            if not sep or not path or fmt.strip().lower() not in (
+                "jsonl", "perfetto", "prom", "prometheus"
+            ):
+                raise ConfigurationError(
+                    f"invalid observer spec {spec!r}; expected"
+                    " 'metrics', 'convergence', or FORMAT:PATH with"
+                    " FORMAT in ('jsonl', 'perfetto', 'prom')"
+                )
+        self.observers = tuple(self.observers)
         if self.worker_speeds is not None:
             if len(self.worker_speeds) != self.nprocs:
                 raise ConfigurationError(

@@ -35,6 +35,8 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..graph.changes import ChangeBatch, ChangeStream
 from ..graph.graph import Graph
+from ..obs import build_hub
+from ..obs.observer import ObserverHub
 from ..runtime.cluster import Cluster
 from ..runtime.metrics import LoadSnapshot, snapshot_load
 from ..types import FloatArray, VertexId
@@ -88,6 +90,10 @@ class RunResult:
     boundary_rows_sparse: int = 0
     #: wire format the cluster ran with (``"dense"`` | ``"delta"``)
     wire_format: str = "delta"
+    # --- convergence telemetry (probe-instrumented runs only) ---------
+    #: last sample of each attached convergence probe, keyed by probe
+    #: name — the quantified quality statement for anytime interruptions
+    convergence: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def modeled_minutes(self) -> float:
@@ -135,6 +141,9 @@ class AnytimeAnywhereCloseness:
     ) -> None:
         self.graph = graph.copy()
         self.config = config or AnytimeConfig()
+        #: observability hub built from ``config.observers`` (the shared
+        #: disabled NULL_HUB when no observers are configured)
+        self.obs: ObserverHub = build_hub(tuple(self.config.observers))
         self.cluster: Optional[Cluster] = None
         self.snapshots: List[AnytimeSnapshot] = []
         #: per-RC-step load snapshots (populated when collecting snapshots)
@@ -147,6 +156,9 @@ class AnytimeAnywhereCloseness:
     def setup(self) -> None:
         """DD + IA: partition the graph and compute local approximations."""
         cfg = self.config
+        if self.cluster is not None:
+            # re-setup (baseline restarts): release the old backend
+            self.cluster.close()
         self.cluster = Cluster(
             self.graph,
             cfg.nprocs,
@@ -156,6 +168,7 @@ class AnytimeAnywhereCloseness:
             worker_speeds=cfg.worker_speeds,
             wire_format=cfg.wire_format,
             backend=cfg.backend,
+            obs=self.obs,
         )
         self.cluster.decompose(cfg.partitioner)
         self.cluster.run_initial_approximation()
@@ -251,6 +264,11 @@ class AnytimeAnywhereCloseness:
                 )
                 self.load_history.append(snapshot_load(cluster))
 
+        obs_on = self.obs.enabled
+        if obs_on:
+            self.obs.span_begin(
+                "run", "run", cluster.tracer.modeled_seconds
+            )
         try:
             steps = run_recombination(
                 cluster,
@@ -262,11 +280,34 @@ class AnytimeAnywhereCloseness:
                 budget_modeled_seconds=budget_modeled_seconds,
                 supervisor=supervisor,
             )
+        except BaseException:
+            if obs_on:
+                # balance the run span so exported traces stay valid
+                self.obs.span_end(
+                    "run",
+                    "run",
+                    cluster.tracer.modeled_seconds,
+                    attrs={"aborted": True},
+                )
+            raise
         finally:
             if injector is not None:
                 cluster.detach_chaos()
         self._next_step += steps
         pending_changes = bool(changes) and changes.last_step >= self._next_step
+        converged = cluster.converged_vote() and not pending_changes
+        if obs_on:
+            self.obs.span_end(
+                "run",
+                "run",
+                cluster.tracer.modeled_seconds,
+                attrs={
+                    "rc_steps": steps,
+                    "converged": converged,
+                    "wire_words": cluster.tracer.total_words,
+                },
+                wall=cluster.tracer.wall_seconds,
+            )
         logger.debug(
             "run finished: steps=%d, modeled=%.4fs, pending_changes=%s",
             steps, cluster.tracer.modeled_seconds, pending_changes,
@@ -278,7 +319,7 @@ class AnytimeAnywhereCloseness:
             wall_seconds=cluster.tracer.wall_seconds,
             snapshots=list(self.snapshots),
             load=snapshot_load(cluster),
-            converged=cluster.converged_vote() and not pending_changes,
+            converged=converged,
             faults_injected=(
                 injector.stats.faults_injected if injector else 0
             ),
@@ -293,6 +334,10 @@ class AnytimeAnywhereCloseness:
             boundary_rows_dense=cluster.boundary_rows_dense,
             boundary_rows_sparse=cluster.boundary_rows_sparse,
             wire_format=cluster.wire_format,
+            convergence={
+                name: dict(sample)
+                for name, sample in self.obs.last_samples.items()
+            },
         )
 
     def run_baseline_restart(
@@ -432,6 +477,32 @@ class AnytimeAnywhereCloseness:
     def modeled_seconds(self) -> float:
         return self._require_cluster().tracer.modeled_seconds
 
+    # ------------------------------------------------------------------
+    # lifecycle teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the cluster's backend resources and flush exporters.
+
+        Idempotent; also runs via the context-manager protocol, so
+        ``with AnytimeAnywhereCloseness(g, cfg) as engine: ...``
+        releases process-backend shm segments and finalizes trace files
+        even when a run raises mid-phase.
+        """
+        if self.cluster is not None:
+            # final counter refresh so the metric flush includes charges
+            # made after the last superstep (vote words, recovery)
+            self.cluster.refresh_metrics()
+            self.obs.close(self.cluster.tracer.modeled_seconds)
+            self.cluster.close()
+        else:
+            self.obs.close()
+
+    def __enter__(self) -> "AnytimeAnywhereCloseness":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
 
 def closeness(
     graph: Graph,
@@ -471,13 +542,15 @@ def closeness(
             f"conflicting nprocs: argument {nprocs} vs config"
             f" {config.nprocs}"
         )
-    engine = AnytimeAnywhereCloseness(graph, config)
-    engine.setup()
-    return engine.run(
-        changes=changes,
-        strategy=strategy,
-        budget_modeled_seconds=budget_modeled_seconds,
-        fault_plan=fault_plan,
-        recovery=recovery,
-        checkpoint_interval=checkpoint_interval,
-    )
+    # context manager: backend resources (process-pool shm segments) are
+    # released and exporters flushed even when the run raises mid-phase
+    with AnytimeAnywhereCloseness(graph, config) as engine:
+        engine.setup()
+        return engine.run(
+            changes=changes,
+            strategy=strategy,
+            budget_modeled_seconds=budget_modeled_seconds,
+            fault_plan=fault_plan,
+            recovery=recovery,
+            checkpoint_interval=checkpoint_interval,
+        )

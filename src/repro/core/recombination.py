@@ -97,20 +97,28 @@ def run_recombination(
         ):
             return steps_run
         cluster.tracer.begin("rc_step", step)
-        delivered = cluster.exchange_boundary()
-        rec = cluster.tracer._open
-        if rec is not None and delivered:
-            # rows landed this step (dense or delta): part of the canonical
-            # per-step trace, so wire-format bugs show up as trace diffs
-            rec.info["rows_delivered"] = (
-                rec.info.get("rows_delivered", 0.0) + delivered
-            )
-        cluster.relax_and_propagate()
-        if batch is not None:
-            strategy.apply(cluster, batch, step)  # type: ignore[union-attr]
-            if supervisor is not None:
-                supervisor.note_batch(batch)
+        try:
+            delivered = cluster.exchange_boundary()
+            rec = cluster.tracer._open
+            if rec is not None and delivered:
+                # rows landed this step (dense or delta): part of the
+                # canonical per-step trace, so wire-format bugs show up
+                # as trace diffs
+                rec.info["rows_delivered"] = (
+                    rec.info.get("rows_delivered", 0.0) + delivered
+                )
+            cluster.relax_and_propagate()
+            if batch is not None:
+                strategy.apply(cluster, batch, step)  # type: ignore[union-attr]
+                if supervisor is not None:
+                    supervisor.note_batch(batch)
+        except BaseException:
+            # close the phase so the tracer stays reusable and the span
+            # tree stays balanced; the partial charge is kept
+            cluster.tracer.abort()
+            raise
         cluster.tracer.end()
+        cluster.observe_superstep(step)
         if on_step is not None:
             on_step(step)
         step += 1

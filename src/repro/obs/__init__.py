@@ -1,0 +1,101 @@
+"""`repro.obs` — the unified observability layer.
+
+Four parts, threading through the engine, cluster, workers, and both
+execution backends:
+
+1. **Hierarchical spans** (:mod:`repro.obs.events`) — a structured
+   ``run → phase → superstep → rank_kernel`` event stream keyed on the
+   deterministic modeled clock (byte-identical across runs/backends);
+   wall time is annotation only.
+2. **Metrics registry** (:mod:`repro.obs.registry`) — typed counters /
+   gauges / histograms with well-known series for wire traffic, delta
+   hit rate, queue depths, chaos accounting, and load imbalance.
+3. **Convergence telemetry** (:mod:`repro.obs.convergence`) —
+   per-superstep quality probes so anytime interruptions come with a
+   quantified quality statement.
+4. **Exporters** (:mod:`repro.obs.exporters`) — JSONL, Chrome
+   trace-event/Perfetto, and Prometheus text, selected by
+   ``FORMAT:PATH`` specs via :func:`build_hub` /
+   ``AnytimeConfig.observers`` / CLI ``--trace-out``.
+
+Instrumentation is zero-cost-when-off: every call site guards on
+``hub.enabled`` and the default :data:`NULL_HUB` has no observers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from .convergence import ConvergenceProbe, DistanceOracle, exact_distance_oracle
+from .events import EVENT_KINDS, EVENT_LEVELS, SpanEvent, canonical_line
+from .exporters import (
+    JSONLExporter,
+    PerfettoExporter,
+    PrometheusExporter,
+    make_exporter,
+    parse_spec,
+)
+from .observer import NULL_HUB, NullObserver, Observer, ObserverHub
+from .registry import Histogram, MetricsRegistry
+from .report import TraceReport, load_events, render_report
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENT_LEVELS",
+    "NULL_HUB",
+    "ConvergenceProbe",
+    "DistanceOracle",
+    "Histogram",
+    "JSONLExporter",
+    "MetricsRegistry",
+    "NullObserver",
+    "Observer",
+    "ObserverHub",
+    "PerfettoExporter",
+    "PrometheusExporter",
+    "SpanEvent",
+    "TraceReport",
+    "build_hub",
+    "canonical_line",
+    "exact_distance_oracle",
+    "load_events",
+    "make_exporter",
+    "parse_spec",
+    "render_report",
+]
+
+#: a spec is an exporter string (``"jsonl:PATH"``, ``"perfetto:PATH"``,
+#: ``"prom:PATH"``), a keyword (``"metrics"``, ``"convergence"``), or a
+#: ready-made :class:`Observer` / :class:`ConvergenceProbe` instance
+ObserverSpec = Union[str, Observer, ConvergenceProbe]
+
+
+def build_hub(specs: Sequence[object] = ()) -> ObserverHub:
+    """Build an :class:`ObserverHub` from observer specs.
+
+    Keywords: ``"metrics"`` enables in-memory instrumentation without
+    writing any file (a :class:`NullObserver`), ``"convergence"``
+    attaches a default :class:`ConvergenceProbe`.  An empty spec list
+    returns the shared disabled :data:`NULL_HUB`.
+    """
+    if not specs:
+        return NULL_HUB
+    observers: list[Observer] = []
+    probes: list[ConvergenceProbe] = []
+    for spec in specs:
+        if isinstance(spec, Observer):
+            observers.append(spec)
+        elif isinstance(spec, ConvergenceProbe):
+            probes.append(spec)
+        elif spec == "metrics":
+            observers.append(NullObserver())
+        elif spec == "convergence":
+            probes.append(ConvergenceProbe())
+        elif isinstance(spec, str):
+            observers.append(make_exporter(spec))
+        else:
+            raise TypeError(
+                f"observer spec must be a string, Observer, or"
+                f" ConvergenceProbe, got {type(spec).__name__}"
+            )
+    return ObserverHub(observers, probes)

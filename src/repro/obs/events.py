@@ -1,0 +1,96 @@
+"""The structured event model of the observability layer.
+
+One run produces a totally ordered stream of :class:`SpanEvent` records
+arranged in a four-level hierarchy::
+
+    run  >  phase  >  superstep  >  rank_kernel
+
+* **run** — one ``engine.run()`` call (RC to convergence / budget),
+* **phase** — one tracer phase (``domain_decomposition``,
+  ``initial_approximation``, ``checkpoint``, ``fault_recovery``, ...),
+* **superstep** — one RC step (``rc_step`` tracer records),
+* **rank_kernel** — one rank's metered compute inside a BSP superstep.
+
+Determinism contract: every field except ``wall`` is a pure function of
+the algorithm's deterministic state — the event key is the **modeled
+clock** (``t``), never the host clock — so the exported stream is
+byte-identical across runs and across execution backends.  Wall time is
+carried as an *annotation only* and is stripped before any
+byte-comparison (see :func:`canonical_line`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+__all__ = [
+    "EVENT_KINDS",
+    "EVENT_LEVELS",
+    "SpanEvent",
+    "canonical_line",
+]
+
+#: the four span levels plus the synthetic level metric dumps land on
+EVENT_LEVELS = ("run", "phase", "superstep", "rank_kernel", "metrics")
+
+#: ``begin``/``end`` delimit spans; ``point`` is an instant observation;
+#: ``metric`` carries one metrics-registry series at flush time
+EVENT_KINDS = ("begin", "end", "point", "metric")
+
+#: attribute values are scalars so every exporter can serialize them
+AttrValue = Union[float, int, str, bool]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One record of the observability stream."""
+
+    #: monotone sequence number (deterministic tiebreak for equal ``t``)
+    seq: int
+    #: one of :data:`EVENT_KINDS`
+    kind: str
+    #: one of :data:`EVENT_LEVELS`
+    level: str
+    #: span / probe / series name (e.g. ``"rc_step"``, ``"convergence"``)
+    name: str
+    #: modeled-clock timestamp in seconds — the deterministic event key
+    t: float
+    #: RC step the event belongs to, when applicable
+    step: Optional[int] = None
+    #: rank the event belongs to (``rank_kernel`` level), when applicable
+    rank: Optional[int] = None
+    #: deterministic scalar payload (modeled times, counts, ratios)
+    attrs: Dict[str, AttrValue] = field(default_factory=dict)
+    #: wall-clock annotation; never part of the deterministic identity
+    wall: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict with a stable field set (schema-validated)."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "level": self.level,
+            "name": self.name,
+            "t": self.t,
+            "step": self.step,
+            "rank": self.rank,
+            "attrs": dict(self.attrs),
+            "wall": self.wall,
+        }
+
+    def to_json(self) -> str:
+        """One deterministic JSON line (keys sorted, wall included)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+def canonical_line(line: str) -> str:
+    """A JSONL event line with its wall annotation nulled.
+
+    Byte-identity tests compare canonical lines: two runs (or two
+    backends) must agree on everything except how long the host took.
+    """
+    obj = json.loads(line)
+    obj["wall"] = None
+    return json.dumps(obj, sort_keys=True)

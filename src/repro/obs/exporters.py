@@ -1,0 +1,188 @@
+"""Pluggable trace exporters: JSONL, Chrome trace-event, Prometheus.
+
+Exporters are :class:`~repro.obs.observer.Observer` subclasses selected
+by spec string (``"FORMAT:PATH"``) from :data:`AnytimeConfig.observers`
+or the CLI ``--trace-out`` flag:
+
+* ``jsonl:PATH`` — one :class:`SpanEvent` JSON object per line, in
+  emission order.  The deterministic archival format; `repro report`
+  and the byte-identity tests consume it.
+* ``perfetto:PATH`` — Chrome trace-event JSON (``{"traceEvents": []}``)
+  loadable in ``ui.perfetto.dev`` / ``chrome://tracing``.  Timestamps
+  are the modeled clock in microseconds; rank kernels land on one
+  thread track per rank.
+* ``prom:PATH`` — Prometheus text-exposition dump of the final metrics
+  registry (written at close; events are ignored).
+
+All writes are plain-text UTF-8 and deterministic except the ``wall``
+annotation on JSONL events (strip with
+:func:`repro.obs.events.canonical_line` before byte comparison).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Optional
+
+from .events import SpanEvent
+from .observer import Observer
+from .registry import MetricsRegistry
+
+__all__ = [
+    "JSONLExporter",
+    "PerfettoExporter",
+    "PrometheusExporter",
+    "make_exporter",
+    "parse_spec",
+]
+
+
+class JSONLExporter(Observer):
+    """Streams events to a JSON-lines file (one event per line)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: Optional[IO[str]] = None
+
+    def on_event(self, event: SpanEvent) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "w", encoding="utf-8")
+        self._fh.write(event.to_json())
+        self._fh.write("\n")
+
+    def close(self, registry: MetricsRegistry) -> None:
+        if self._fh is None:
+            # no events — still leave a valid (empty) export behind
+            self._fh = open(self.path, "w", encoding="utf-8")
+        self._fh.close()
+        self._fh = None
+
+
+#: trace-event thread ids: run/phase/superstep spans share the main
+#: track; rank kernels get one track per rank (tid = rank + 1)
+_MAIN_TID = 0
+
+
+class PerfettoExporter(Observer):
+    """Buffers events and writes Chrome trace-event JSON at close."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._events: List[Dict[str, object]] = []
+        self._max_rank = -1
+
+    @staticmethod
+    def _us(t: float) -> float:
+        return t * 1e6
+
+    def on_event(self, event: SpanEvent) -> None:
+        tid = _MAIN_TID if event.rank is None else event.rank + 1
+        if event.rank is not None and event.rank > self._max_rank:
+            self._max_rank = event.rank
+        args: Dict[str, object] = dict(event.attrs)
+        if event.step is not None:
+            args["step"] = event.step
+        base: Dict[str, object] = {
+            "name": event.name,
+            "cat": event.level,
+            "ts": self._us(event.t),
+            "pid": 0,
+            "tid": tid,
+        }
+        if event.kind == "begin":
+            self._events.append({**base, "ph": "B", "args": args})
+        elif event.kind == "end":
+            self._events.append({**base, "ph": "E", "args": args})
+        elif event.kind == "point":
+            dur = event.attrs.get("modeled_seconds")
+            if event.level == "rank_kernel" and isinstance(
+                dur, (int, float)
+            ):
+                # render metered kernels as complete slices on the
+                # rank's track instead of zero-width instants
+                self._events.append(
+                    {**base, "ph": "X", "dur": self._us(float(dur)),
+                     "args": args}
+                )
+            else:
+                self._events.append(
+                    {**base, "ph": "i", "s": "t", "args": args}
+                )
+        elif event.kind == "metric":
+            value = event.attrs.get("value", 0)
+            self._events.append(
+                {**base, "ph": "C", "args": {"value": value}}
+            )
+
+    def close(self, registry: MetricsRegistry) -> None:
+        meta: List[Dict[str, object]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": _MAIN_TID,
+                "args": {"name": "repro (modeled clock)"},
+            },
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": _MAIN_TID,
+                "args": {"name": "coordinator"},
+            },
+        ]
+        for rank in range(self._max_rank + 1):
+            meta.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": rank + 1,
+                    "args": {"name": f"rank {rank}"},
+                }
+            )
+        doc = {
+            "traceEvents": meta + self._events,
+            "displayTimeUnit": "ms",
+        }
+        with open(self.path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+        self._events = []
+
+
+class PrometheusExporter(Observer):
+    """Writes the final metrics registry as Prometheus text at close."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def close(self, registry: MetricsRegistry) -> None:
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write(registry.render_prometheus())
+
+
+_FORMATS = ("jsonl", "perfetto", "prom")
+
+
+def parse_spec(spec: str) -> "tuple[str, str]":
+    """Split a ``FORMAT:PATH`` exporter spec, validating the format."""
+    fmt, sep, path = spec.partition(":")
+    fmt = fmt.strip().lower()
+    if fmt == "prometheus":
+        fmt = "prom"
+    if not sep or not path or fmt not in _FORMATS:
+        raise ValueError(
+            f"invalid exporter spec {spec!r}; expected FORMAT:PATH with "
+            f"FORMAT one of {_FORMATS}"
+        )
+    return fmt, path
+
+
+def make_exporter(spec: str) -> Observer:
+    """Build an exporter from a ``FORMAT:PATH`` spec string."""
+    fmt, path = parse_spec(spec)
+    if fmt == "jsonl":
+        return JSONLExporter(path)
+    if fmt == "perfetto":
+        return PerfettoExporter(path)
+    return PrometheusExporter(path)

@@ -1,0 +1,181 @@
+"""Observers and the hub that fans events out to them.
+
+An :class:`Observer` consumes :class:`~repro.obs.events.SpanEvent`
+records (exporters are observers); the :class:`ObserverHub` owns the
+observer list, the shared :class:`~repro.obs.registry.MetricsRegistry`,
+the per-run event sequence counter, and any attached convergence probes.
+
+Zero-cost-when-off: instrumented call sites guard on ``hub.enabled``
+(one attribute read and a branch) and the default hub has no observers,
+so an unobserved run executes no observability code beyond the guards —
+the overhead benchmark pins this.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from .events import AttrValue, SpanEvent
+from .registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.cluster import Cluster
+    from .convergence import ConvergenceProbe
+
+__all__ = ["NULL_HUB", "NullObserver", "Observer", "ObserverHub"]
+
+
+class Observer:
+    """Base class for event consumers (exporters, test collectors)."""
+
+    def on_event(self, event: SpanEvent) -> None:
+        """Consume one event; must not mutate any algorithm state."""
+
+    def close(self, registry: MetricsRegistry) -> None:
+        """Flush/finalize, with the final metrics registry for dumps."""
+
+
+class NullObserver(Observer):
+    """Discards events.
+
+    Listing it still *enables* instrumentation (spans are walked, the
+    metrics registry fills), which is how ``observers=("metrics",)``
+    turns on in-memory telemetry without writing any file.
+    """
+
+
+class ObserverHub:
+    """Event fan-out + metrics registry + probe list for one engine."""
+
+    def __init__(
+        self,
+        observers: Sequence[Observer] = (),
+        probes: Sequence["ConvergenceProbe"] = (),
+    ) -> None:
+        self.observers: List[Observer] = list(observers)
+        self.probes: List["ConvergenceProbe"] = list(probes)
+        self.registry = MetricsRegistry()
+        #: last sample of each probe, keyed by probe name (the anytime
+        #: "quantified quality statement" attached to interrupted runs)
+        self.last_samples: Dict[str, Dict[str, float]] = {}
+        self._seq = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """True when any observer or probe is attached."""
+        return bool(self.observers) or bool(self.probes)
+
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        level: str,
+        name: str,
+        t: float,
+        *,
+        step: Optional[int] = None,
+        rank: Optional[int] = None,
+        attrs: Optional[Dict[str, AttrValue]] = None,
+        wall: Optional[float] = None,
+    ) -> None:
+        if not self.observers:
+            return
+        event = SpanEvent(
+            seq=self._seq,
+            kind=kind,
+            level=level,
+            name=name,
+            t=t,
+            step=step,
+            rank=rank,
+            attrs=attrs or {},
+            wall=wall,
+        )
+        self._seq += 1
+        for obs in self.observers:
+            obs.on_event(event)
+
+    def span_begin(
+        self,
+        level: str,
+        name: str,
+        t: float,
+        *,
+        step: Optional[int] = None,
+        rank: Optional[int] = None,
+    ) -> None:
+        self.emit("begin", level, name, t, step=step, rank=rank)
+
+    def span_end(
+        self,
+        level: str,
+        name: str,
+        t: float,
+        *,
+        step: Optional[int] = None,
+        rank: Optional[int] = None,
+        attrs: Optional[Dict[str, AttrValue]] = None,
+        wall: Optional[float] = None,
+    ) -> None:
+        self.emit(
+            "end", level, name, t, step=step, rank=rank, attrs=attrs,
+            wall=wall,
+        )
+
+    def point(
+        self,
+        level: str,
+        name: str,
+        t: float,
+        *,
+        step: Optional[int] = None,
+        rank: Optional[int] = None,
+        attrs: Optional[Dict[str, AttrValue]] = None,
+    ) -> None:
+        self.emit("point", level, name, t, step=step, rank=rank, attrs=attrs)
+
+    # ------------------------------------------------------------------
+    def sample_probes(self, cluster: "Cluster", step: int) -> None:
+        """Run every attached quality probe after one completed superstep."""
+        for probe in self.probes:
+            attrs = probe.sample(cluster, step)
+            self.last_samples[probe.name] = dict(attrs)
+            for key, value in attrs.items():
+                self.registry.gauge(f"repro_{probe.name}_{key}", value)
+            self.point(
+                "superstep",
+                probe.name,
+                cluster.tracer.now(),
+                step=step,
+                attrs=dict(attrs),
+            )
+
+    # ------------------------------------------------------------------
+    def flush_metrics(self, t: float) -> None:
+        """Emit one ``metric`` event per registry series (JSONL dumps)."""
+        if not self.observers:
+            return
+        for key, value in self.registry.snapshot().items():
+            self.emit(
+                "metric", "metrics", key, t, attrs={"value": value}
+            )
+
+    def close(self, t: Optional[float] = None) -> None:
+        """Close every observer exactly once (flushes exporter files).
+
+        Pass the final modeled clock as ``t`` to dump the metrics
+        registry as ``metric`` events before the exporters close.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if t is not None:
+            self.flush_metrics(t)
+        for obs in self.observers:
+            obs.close(self.registry)
+
+
+#: the shared disabled hub — default for unobserved clusters/tracers
+NULL_HUB = ObserverHub()

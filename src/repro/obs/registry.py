@@ -1,0 +1,204 @@
+"""The metrics registry: typed counters, gauges, and histograms.
+
+A registry is a flat map of *series* — a metric name plus a sorted label
+set — to float values, updated in place by the cluster and its workers.
+The process backend needs no extra plumbing: worker compute charges and
+message counters are replayed coordinator-side by the ``*_apply`` merge
+(in rank order), so every registry update happens in the coordinating
+process under both backends and the aggregated values are identical.
+
+Well-known series (the names the exporters, the report renderer, and the
+benchmarks agree on) are module constants; ad-hoc series are fine too.
+
+Determinism: values derive only from modeled quantities (words, rows,
+modeled seconds, imbalance ratios) — never from the host clock — so the
+rendered dump is byte-identical across runs and backends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ACTIVE_WORKERS",
+    "BOUNDARY_ROWS",
+    "BOUNDARY_WORDS",
+    "DELTA_HIT_RATE",
+    "FAULTS",
+    "LOAD_CUT_IMBALANCE",
+    "LOAD_VERTEX_IMBALANCE",
+    "PENDING_ROWS",
+    "RANK_COMPUTE_SECONDS",
+    "RETRIES",
+    "UNACKED_ROWS",
+    "WIRE_WORDS",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+# --- well-known series ------------------------------------------------
+#: total words charged to the modeled wire (counter)
+WIRE_WORDS = "repro_wire_words_total"
+#: boundary-exchange payload words, labeled by wire format (counter)
+BOUNDARY_WORDS = "repro_boundary_words_total"
+#: boundary rows shipped, labeled ``encoding=dense|sparse`` (counter)
+BOUNDARY_ROWS = "repro_boundary_rows_total"
+#: fraction of boundary rows that went out as sparse deltas (gauge)
+DELTA_HIT_RATE = "repro_delta_hit_rate"
+#: DV rows queued for exchange, labeled by rank (gauge)
+PENDING_ROWS = "repro_pending_rows"
+#: DV rows in flight awaiting acknowledgement, labeled by rank (gauge)
+UNACKED_ROWS = "repro_unacked_rows"
+#: packet retransmissions forced by chaos losses/failures (counter)
+RETRIES = "repro_retries_total"
+#: injected fault events (counter)
+FAULTS = "repro_faults_total"
+#: per-worker vertex-count imbalance, max/mean - 1 (gauge, §IV.C.1.a)
+LOAD_VERTEX_IMBALANCE = "repro_load_vertex_imbalance"
+#: per-worker cut-degree imbalance, max/mean - 1 (gauge, §IV.C.1.a)
+LOAD_CUT_IMBALANCE = "repro_load_cut_imbalance"
+#: workers owning at least one vertex (gauge)
+ACTIVE_WORKERS = "repro_active_workers"
+#: modeled seconds of one rank's kernel in one superstep (histogram)
+RANK_COMPUTE_SECONDS = "repro_rank_compute_modeled_seconds"
+
+#: default histogram bucket upper bounds (modeled seconds, log-spaced)
+_DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _series_key(name: str, labels: Labels) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _labels(items: Dict[str, str]) -> Labels:
+    return tuple(sorted((str(k), str(v)) for k, v in items.items()))
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts, Prometheus-style)."""
+
+    def __init__(self, buckets: Sequence[float] = _DEFAULT_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(sorted(buckets))
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)  # +inf last
+        self.total = 0.0
+        self.n = 0
+
+    def observe(self, value: float) -> None:
+        self.total += value
+        self.n += 1
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """``(le, count)`` pairs with cumulative counts, +Inf last."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            out.append((repr(bound), running))
+        out.append(("+Inf", running + self.counts[-1]))
+        return out
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms keyed by name + sorted labels."""
+
+    def __init__(self) -> None:
+        #: metric base name -> "counter" | "gauge" | "histogram"
+        self._types: Dict[str, str] = {}
+        #: full series key -> current value (counters and gauges)
+        self._values: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def _declare(self, name: str, kind: str) -> None:
+        existing = self._types.setdefault(name, kind)
+        if existing != kind:
+            raise ValueError(
+                f"metric {name!r} already declared as {existing}, not {kind}"
+            )
+
+    def inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` to a counter series."""
+        self._declare(name, "counter")
+        key = _series_key(name, _labels(labels))
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def counter_set(self, name: str, total: float, **labels: str) -> None:
+        """Set a counter series to a known cumulative total.
+
+        The cluster keeps its own monotone totals (wire words, boundary
+        rows); sampling copies them in rather than re-deriving deltas.
+        """
+        self._declare(name, "counter")
+        self._values[_series_key(name, _labels(labels))] = total
+
+    def gauge(self, name: str, value: float, **labels: str) -> None:
+        """Set a gauge series to its current value."""
+        self._declare(name, "gauge")
+        self._values[_series_key(name, _labels(labels))] = value
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        """Record one observation into a histogram series."""
+        self._declare(name, "histogram")
+        key = _series_key(name, _labels(labels))
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram()
+        hist.observe(value)
+
+    # ------------------------------------------------------------------
+    def type_of(self, name: str) -> Optional[str]:
+        return self._types.get(name)
+
+    def value(self, name: str, **labels: str) -> Optional[float]:
+        return self._values.get(_series_key(name, _labels(labels)))
+
+    def snapshot(self) -> Dict[str, float]:
+        """All scalar series (counters + gauges), sorted by key."""
+        out = dict(sorted(self._values.items()))
+        for key, hist in sorted(self._histograms.items()):
+            out[f"{key}_count"] = float(hist.n)
+            out[f"{key}_sum"] = hist.total
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text-exposition dump of every series."""
+        lines: List[str] = []
+        by_name: Dict[str, List[str]] = {}
+        for key in self._values:
+            base = key.split("{", 1)[0]
+            by_name.setdefault(base, []).append(key)
+        for base in sorted(by_name):
+            lines.append(f"# TYPE {base} {self._types[base]}")
+            for key in sorted(by_name[base]):
+                lines.append(f"{key} {self._values[key]:.17g}")
+        hist_names = sorted(
+            {key.split("{", 1)[0] for key in self._histograms}
+        )
+        for base in hist_names:
+            lines.append(f"# TYPE {base} histogram")
+            for key in sorted(self._histograms):
+                if key.split("{", 1)[0] != base:
+                    continue
+                hist = self._histograms[key]
+                name, brace, rest = key.partition("{")
+                for le, count in hist.cumulative():
+                    if brace:
+                        labeled = f'{name}_bucket{{{rest[:-1]},le="{le}"}}'
+                    else:
+                        labeled = f'{name}_bucket{{le="{le}"}}'
+                    lines.append(f"{labeled} {count}")
+                lines.append(f"{name}_sum{brace}{rest} {hist.total:.17g}")
+                lines.append(f"{name}_count{brace}{rest} {hist.n}")
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,140 @@
+"""Render an exported JSONL trace into a human-readable run report.
+
+Backs the ``repro report`` CLI subcommand: load a ``jsonl:PATH`` export
+(written during a run) and summarize where modeled time went per phase,
+how the convergence probes evolved per superstep, and the final metrics
+registry — without rerunning anything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["TraceReport", "load_events", "render_report"]
+
+
+def load_events(path: str) -> List[Dict[str, Any]]:
+    """Load one event dict per non-empty line of a JSONL export."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+@dataclass
+class TraceReport:
+    """Aggregated view of one run's event stream."""
+
+    #: per-phase rows: name, count, modeled seconds, span of steps
+    phases: List[Dict[str, Any]] = field(default_factory=list)
+    #: per-superstep probe samples: step, then probe attrs
+    convergence: List[Dict[str, Any]] = field(default_factory=list)
+    #: final metric series -> value (from ``metric`` flush events)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    #: run-level end attrs (modeled seconds, converged, ...)
+    run: Dict[str, Any] = field(default_factory=dict)
+
+
+def _aggregate(events: List[Dict[str, Any]]) -> TraceReport:
+    report = TraceReport()
+    # phase/superstep spans: pair begins with ends by (level, name) stack
+    open_spans: Dict[Tuple[str, str], List[Dict[str, Any]]] = {}
+    phase_agg: Dict[str, Dict[str, Any]] = {}
+    phase_order: List[str] = []
+    for ev in events:
+        kind, level = ev.get("kind"), ev.get("level")
+        key = (str(level), str(ev.get("name")))
+        if kind == "begin":
+            open_spans.setdefault(key, []).append(ev)
+        elif kind == "end":
+            stack = open_spans.get(key)
+            begin = stack.pop() if stack else None
+            if level == "run":
+                report.run = dict(ev.get("attrs") or {})
+                report.run["modeled_seconds"] = ev.get("t")
+            elif level in ("phase", "superstep"):
+                name = str(ev.get("name"))
+                agg = phase_agg.get(name)
+                if agg is None:
+                    agg = phase_agg[name] = {
+                        "phase": name,
+                        "count": 0,
+                        "modeled_seconds": 0.0,
+                    }
+                    phase_order.append(name)
+                agg["count"] += 1
+                if begin is not None:
+                    agg["modeled_seconds"] += float(ev["t"]) - float(
+                        begin["t"]
+                    )
+                for k, v in (ev.get("attrs") or {}).items():
+                    if isinstance(v, (int, float)) and not isinstance(
+                        v, bool
+                    ):
+                        agg[k] = agg.get(k, 0.0) + v
+        elif kind == "point" and level == "superstep":
+            row: Dict[str, Any] = {"step": ev.get("step")}
+            row.update(ev.get("attrs") or {})
+            report.convergence.append(row)
+        elif kind == "metric":
+            value = (ev.get("attrs") or {}).get("value")
+            if isinstance(value, (int, float)):
+                report.metrics[str(ev.get("name"))] = float(value)
+    report.phases = [phase_agg[name] for name in phase_order]
+    return report
+
+
+def render_report(events: List[Dict[str, Any]]) -> str:
+    """Render the per-phase + convergence + metrics summary as text."""
+    # deferred: repro.bench imports the engine, which imports repro.obs
+    from ..bench.reporting import format_table
+
+    report = _aggregate(events)
+    sections: List[str] = []
+
+    if report.run:
+        pairs = ", ".join(
+            f"{k}={v}" for k, v in sorted(report.run.items())
+        )
+        sections.append(f"run: {pairs}")
+
+    sections.append("phases (modeled time by span):")
+    if report.phases:
+        cols = ["phase", "count", "modeled_seconds"]
+        extra = sorted(
+            {
+                k
+                for row in report.phases
+                for k in row
+                if k not in cols
+            }
+        )
+        sections.append(format_table(report.phases, cols + extra))
+    else:
+        sections.append("(no phase spans in trace)")
+
+    sections.append("")
+    sections.append("convergence (per-superstep probes):")
+    if report.convergence:
+        cols = ["step"] + sorted(
+            {k for row in report.convergence for k in row if k != "step"}
+        )
+        sections.append(format_table(report.convergence, cols))
+    else:
+        sections.append("(no convergence probe samples in trace)")
+
+    if report.metrics:
+        sections.append("")
+        sections.append("final metrics:")
+        rows = [
+            {"series": k, "value": v}
+            for k, v in sorted(report.metrics.items())
+        ]
+        sections.append(format_table(rows, ["series", "value"]))
+
+    return "\n".join(sections) + "\n"

@@ -35,6 +35,8 @@ from ..model.schedules import (
     SequentialAllToAll,
     tree_broadcast_time,
 )
+from ..obs import registry as series
+from ..obs.observer import NULL_HUB, ObserverHub
 from ..partition.base import Partition, Partitioner
 from ..types import FloatArray, Rank, VertexId
 from .backends import BackendSpec, make_backend
@@ -63,6 +65,7 @@ class Cluster:
         worker_speeds: Optional[Sequence[float]] = None,
         wire_format: str = "delta",
         backend: BackendSpec = "serial",
+        obs: Optional[ObserverHub] = None,
     ) -> None:
         if nprocs < 1:
             raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
@@ -84,7 +87,11 @@ class Cluster:
         self.logp = logp
         self.schedule = schedule or SequentialAllToAll()
         self.wire_format = wire_format
-        self.tracer = Tracer()
+        #: observability hub (disabled NULL_HUB by default); the tracer
+        #: emits phase/superstep spans to it, the cluster adds
+        #: rank-kernel events and per-superstep metric samples
+        self.obs = obs if obs is not None else NULL_HUB
+        self.tracer = Tracer(hub=self.obs)
         self.index = GlobalIndex(graph.vertex_list())
         #: where the per-rank compute kernels execute (serial / process);
         #: workers allocate dv / local_apsp through the backend so the
@@ -114,6 +121,7 @@ class Cluster:
         #: active fault injector (None = reliable network)
         self.chaos: Optional["FaultInjector"] = None
         self._pre_chaos_speeds: Optional[List[float]] = None
+        self._closed = False
 
     # ------------------------------------------------------------------
     # ownership
@@ -136,6 +144,22 @@ class Cluster:
         """BSP barrier: charge the slowest worker's metered compute."""
         times = [w.take_compute_seconds() for w in self.workers]
         t = max(times) if times else 0.0
+        if self.obs.enabled:
+            start = self.tracer.now()
+            rec = self.tracer._open
+            step = rec.step if rec is not None else None
+            for rank, seconds in enumerate(times):
+                self.obs.registry.observe(
+                    series.RANK_COMPUTE_SECONDS, seconds, rank=str(rank)
+                )
+                self.obs.point(
+                    "rank_kernel",
+                    "kernel",
+                    start,
+                    step=step,
+                    rank=rank,
+                    attrs={"modeled_seconds": seconds},
+                )
         self.tracer.add_compute(t)
         return t
 
@@ -360,11 +384,93 @@ class Cluster:
     def close(self) -> None:
         """Release backend resources (shared-memory segments).
 
-        Optional: abandoned clusters release the same resources when
-        garbage collected; explicit close is for long-lived processes
-        (benchmarks, services) that churn through many clusters.
+        Idempotent: safe to call any number of times, including via the
+        context-manager protocol *and* explicitly.  Abandoned clusters
+        release the same resources when garbage collected; explicit
+        close is for long-lived processes (benchmarks, services) that
+        churn through many clusters — and for ``finally`` paths that
+        must not leak shm segments when a run raises mid-phase.
         """
+        if self._closed:
+            return
+        self._closed = True
         self.backend.close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # observability sampling
+    # ------------------------------------------------------------------
+    def observe_superstep(self, step: int) -> None:
+        """Sample the well-known metric series after one completed RC
+        superstep, and run any attached convergence probes.
+
+        Pure observation — touches only the observability hub, never the
+        modeled clock or algorithm state, so results are bitwise
+        identical with observers on or off.
+        """
+        if not self.obs.enabled:
+            return
+        self.refresh_metrics()
+        self.obs.sample_probes(self, step)
+
+    def refresh_metrics(self) -> None:
+        """Copy the cluster's current totals into the metrics registry.
+
+        Runs after every superstep and once more at engine close, so the
+        final flush reflects charges made after the last superstep (the
+        convergence vote's all-reduce words, recovery traffic).
+        """
+        if not self.obs.enabled:
+            return
+        from .metrics import snapshot_load
+
+        reg = self.obs.registry
+        reg.counter_set(series.WIRE_WORDS, float(self.tracer.total_words))
+        reg.counter_set(
+            series.BOUNDARY_WORDS,
+            float(self.boundary_words),
+            format=self.wire_format,
+        )
+        reg.counter_set(
+            series.BOUNDARY_ROWS,
+            float(self.boundary_rows_dense),
+            encoding="dense",
+        )
+        reg.counter_set(
+            series.BOUNDARY_ROWS,
+            float(self.boundary_rows_sparse),
+            encoding="sparse",
+        )
+        rows_total = self.boundary_rows_dense + self.boundary_rows_sparse
+        if rows_total:
+            reg.gauge(
+                series.DELTA_HIT_RATE,
+                self.boundary_rows_sparse / rows_total,
+            )
+        for w in self.workers:
+            reg.gauge(
+                series.PENDING_ROWS,
+                float(w.pending_row_count()),
+                rank=str(w.rank),
+            )
+            reg.gauge(
+                series.UNACKED_ROWS,
+                float(w.unacked_row_count()),
+                rank=str(w.rank),
+            )
+        if self.chaos is not None:
+            stats = self.chaos.stats
+            reg.counter_set(series.RETRIES, float(stats.retries))
+            reg.counter_set(series.FAULTS, float(stats.faults_injected))
+        load = snapshot_load(self)
+        reg.gauge(series.LOAD_VERTEX_IMBALANCE, load.vertex_imbalance)
+        reg.gauge(series.LOAD_CUT_IMBALANCE, load.cut_imbalance)
+        reg.gauge(series.ACTIVE_WORKERS, float(load.active_workers))
 
     def any_pending(self) -> bool:
         """Convergence vote (modeled as a tiny all-reduce)."""

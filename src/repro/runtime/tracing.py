@@ -16,7 +16,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from ..obs.events import AttrValue
+from ..obs.observer import NULL_HUB, ObserverHub
+
 __all__ = ["PhaseRecord", "Tracer"]
+
+
+def _span_level(name: str) -> str:
+    """Map a tracer phase name onto the span hierarchy: RC steps are
+    ``superstep`` spans, every other phase is a ``phase`` span."""
+    return "superstep" if name == "rc_step" else "phase"
 
 
 @dataclass
@@ -40,7 +49,7 @@ class PhaseRecord:
 class Tracer:
     """Collects phase records and aggregates the cluster clocks."""
 
-    def __init__(self) -> None:
+    def __init__(self, hub: Optional[ObserverHub] = None) -> None:
         self.records: List[PhaseRecord] = []
         self.modeled_seconds = 0.0
         self.wall_seconds = 0.0
@@ -48,15 +57,37 @@ class Tracer:
         self.total_words = 0
         self._open: Optional[PhaseRecord] = None
         self._open_wall_start = 0.0
+        #: observability hub phase spans are emitted to (disabled default)
+        self.hub = hub if hub is not None else NULL_HUB
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """The modeled clock *including* the open phase's running charge.
+
+        This is the deterministic timestamp span events are keyed on.
+        """
+        if self._open is not None:
+            return self.modeled_seconds + self._open.modeled_total
+        return self.modeled_seconds
 
     # ------------------------------------------------------------------
     def begin(self, name: str, step: Optional[int] = None) -> PhaseRecord:
-        """Open a phase record; nested phases are not supported."""
+        """Open a phase record.
+
+        Nested phases are rejected: opening a phase while another is
+        open raises ``RuntimeError`` (an auto-close here would silently
+        misattribute the first record's wall time).  Exception paths
+        that must leave the tracer reusable call :meth:`abort` instead.
+        """
         if self._open is not None:
             raise RuntimeError(f"phase {self._open.name!r} is still open")
         rec = PhaseRecord(name=name, step=step)
         self._open = rec
         self._open_wall_start = time.perf_counter()
+        if self.hub.enabled:
+            self.hub.span_begin(
+                _span_level(name), name, self.modeled_seconds, step=step
+            )
         return rec
 
     def add_compute(self, seconds: float) -> None:
@@ -93,7 +124,35 @@ class Tracer:
         self.total_messages += rec.messages
         self.total_words += rec.words
         self._open = None
+        if self.hub.enabled:
+            attrs: Dict[str, AttrValue] = {
+                "modeled_compute": rec.modeled_compute,
+                "modeled_comm": rec.modeled_comm,
+                "messages": rec.messages,
+                "words": rec.words,
+            }
+            attrs.update(rec.info)
+            self.hub.span_end(
+                _span_level(rec.name),
+                rec.name,
+                self.modeled_seconds,
+                step=rec.step,
+                attrs=attrs,
+                wall=rec.wall_seconds,
+            )
         return rec
+
+    def abort(self) -> Optional[PhaseRecord]:
+        """Close the open phase (if any) on an exception path.
+
+        The partial charge is kept — the modeled work *did* happen — and
+        the record (and its span-end event) is marked ``aborted`` so the
+        exported span tree stays balanced.  No-op when no phase is open.
+        """
+        if self._open is None:
+            return None
+        self._open.info["aborted"] = 1.0
+        return self.end()
 
     def _require_open(self) -> PhaseRecord:
         if self._open is None:

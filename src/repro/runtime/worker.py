@@ -339,6 +339,16 @@ class Worker:
             or self._full_repropagate
         )
 
+    def pending_row_count(self) -> int:
+        """Rows queued for the next boundary exchange (over all peers)."""
+        return sum(len(q) for q in self._pending)
+
+    def unacked_row_count(self) -> int:
+        """Rows in flight awaiting acknowledgement (chaos exchanges)."""
+        return sum(
+            len(ids) for chan in self._unacked for ids in chan.values()
+        )
+
     def _encode_row(self, dst: Rank, v: VertexId, out: DeltaRows) -> bool:
         """Encode ``v``'s current row for ``dst`` into ``out``.
 

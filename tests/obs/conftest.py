@@ -1,0 +1,48 @@
+"""Shared helpers for the observability suite."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.bench.workloads import incremental_stream
+from repro.core.engine import RunResult
+from repro.runtime.chaos import FaultPlan
+
+SCENARIOS = ("static", "dynamic", "chaos")
+
+
+def run_scenario(
+    scenario: str,
+    *,
+    backend: str = "serial",
+    observers: Sequence[object] = (),
+    nprocs: int = 4,
+    n_base: int = 80,
+    seed: int = 5,
+) -> Tuple[RunResult, AnytimeAnywhereCloseness]:
+    """One small standard run per scenario; returns (result, engine).
+
+    The engine is closed (context manager) before returning, so exporter
+    files are flushed and shm is released; ``engine`` is handed back only
+    for inspecting ``engine.obs`` state.
+    """
+    assert scenario in SCENARIOS
+    workload = incremental_stream(n_base, 6, 3, seed=seed)
+    changes = None if scenario == "static" else workload.stream
+    fault_plan: Optional[FaultPlan] = None
+    if scenario == "chaos":
+        fault_plan = FaultPlan(seed=13, loss_prob=0.1, dup_prob=0.05)
+    config = AnytimeConfig(
+        nprocs=nprocs,
+        seed=seed,
+        collect_snapshots=False,
+        backend=backend,
+        observers=tuple(observers),
+    )
+    with AnytimeAnywhereCloseness(workload.base.copy(), config) as engine:
+        engine.setup()
+        result = engine.run(
+            changes=changes, strategy="cutedge", fault_plan=fault_plan
+        )
+    return result, engine

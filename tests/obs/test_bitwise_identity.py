@@ -1,0 +1,76 @@
+"""Observers must never change results — the core acceptance pin.
+
+With observers attached (JSONL exporter + convergence probe) the
+closeness values (bit for bit), the modeled clock, the wire word totals,
+and the fault accounting must equal an unobserved run, for static /
+dynamic / chaos scenarios under both execution backends.  The exported
+JSONL itself must be deterministic (byte-identical after stripping the
+wall annotation) across repeats *and* across backends.
+"""
+
+import struct
+
+import pytest
+
+from repro.obs import canonical_line
+
+from .conftest import SCENARIOS, run_scenario
+
+
+def _bits(closeness):
+    return [(v, struct.pack("<d", closeness[v])) for v in sorted(closeness)]
+
+
+def _canonical_trace(path):
+    return [
+        canonical_line(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+    ]
+
+
+@pytest.mark.parametrize("backend", ["serial", "process"])
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_observers_do_not_change_results(scenario, backend, tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    off, _ = run_scenario(scenario, backend=backend)
+    on, _ = run_scenario(
+        scenario,
+        backend=backend,
+        observers=(f"jsonl:{trace}", "convergence"),
+    )
+    assert _bits(on.closeness) == _bits(off.closeness)
+    assert on.modeled_seconds == off.modeled_seconds
+    assert on.wire_words == off.wire_words
+    assert on.boundary_words == off.boundary_words
+    assert on.rc_steps == off.rc_steps
+    assert on.converged == off.converged
+    # fault accounting (nonzero only in the chaos scenario)
+    assert on.faults_injected == off.faults_injected
+    assert on.retries == off.retries
+    assert on.recoveries == off.recoveries
+    assert on.fault_events == off.fault_events
+    if scenario == "chaos":
+        assert off.faults_injected > 0
+    # observed run carries the quantified quality statement
+    assert off.convergence == {}
+    sample = on.convergence["convergence"]
+    assert sample["pending_rows"] == 0.0
+    assert sample["residual_max"] == 0.0
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_trace_identical_across_repeats_and_backends(scenario, tmp_path):
+    traces = {}
+    for tag, backend in (
+        ("serial_a", "serial"),
+        ("serial_b", "serial"),
+        ("process", "process"),
+    ):
+        path = tmp_path / f"{tag}.jsonl"
+        run_scenario(
+            scenario, backend=backend, observers=(f"jsonl:{path}",)
+        )
+        traces[tag] = _canonical_trace(path)
+    assert traces["serial_a"], "export must not be empty"
+    assert traces["serial_a"] == traces["serial_b"]
+    assert traces["serial_a"] == traces["process"]

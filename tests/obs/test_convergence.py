@@ -1,0 +1,89 @@
+"""Convergence telemetry: probes, oracles, and anytime quality claims."""
+
+import math
+
+import pytest
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.centrality.exact import apsp_dijkstra
+from repro.graph import barabasi_albert
+from repro.obs import ConvergenceProbe, exact_distance_oracle
+
+from .conftest import run_scenario
+
+
+class TestDistanceOracle:
+    def test_matches_apsp(self):
+        g = barabasi_albert(30, 2, seed=3)
+        oracle = exact_distance_oracle(g)
+        dist, ids = apsp_dijkstra(g)
+        for i, u in enumerate(ids):
+            row = oracle.row(u)
+            assert row is not None
+            for j, v in enumerate(ids):
+                assert row[v] == pytest.approx(float(dist[i, j]))
+
+    def test_unknown_source_is_none(self):
+        g = barabasi_albert(10, 2, seed=3)
+        assert exact_distance_oracle(g).row(9999) is None
+
+
+class TestProbe:
+    def test_history_covers_every_superstep(self):
+        probe = ConvergenceProbe()
+        result, _ = run_scenario("dynamic", observers=(probe,))
+        assert sorted(probe.history) == list(range(result.rc_steps))
+        first = probe.history[0]
+        assert math.isinf(first["residual_max"])
+        last = probe.history[result.rc_steps - 1]
+        assert last["residual_max"] == 0.0
+        assert last["pending_rows"] == 0.0
+        assert last["unacked_rows"] == 0.0
+        assert last["resolved_fraction"] == pytest.approx(1.0)
+
+    def test_oracle_match_reaches_one_at_convergence(self):
+        g = barabasi_albert(50, 2, seed=7)
+        probe = ConvergenceProbe(oracle=exact_distance_oracle(g))
+        config = AnytimeConfig(
+            nprocs=4, seed=7, collect_snapshots=False, observers=(probe,)
+        )
+        with AnytimeAnywhereCloseness(g, config) as engine:
+            engine.setup()
+            result = engine.run()
+        assert result.converged
+        fractions = [
+            s["oracle_match_fraction"] for _, s in sorted(probe.history.items())
+        ]
+        assert fractions[-1] == pytest.approx(1.0)
+        # quality is monotonically non-decreasing toward the truth
+        assert all(b >= a - 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+    def test_interrupted_run_carries_quality_statement(self):
+        """The anytime claim: a budget-interrupted run still reports
+        *how good* its answer is (RunResult.convergence)."""
+        g = barabasi_albert(80, 2, seed=9)
+        config = AnytimeConfig(
+            nprocs=4,
+            seed=9,
+            collect_snapshots=False,
+            observers=("convergence",),
+        )
+        with AnytimeAnywhereCloseness(g, config) as engine:
+            engine.setup()
+            result = engine.run(budget_modeled_seconds=1e-9)
+        assert not result.converged
+        sample = result.convergence["convergence"]
+        assert set(sample) >= {
+            "residual_max",
+            "residual_mean",
+            "pending_rows",
+            "unacked_rows",
+            "resolved_fraction",
+        }
+        assert 0.0 <= sample["resolved_fraction"] <= 1.0
+
+    def test_probe_results_in_run_result_on_full_run(self):
+        result, engine = run_scenario("static", observers=("convergence",))
+        assert result.convergence["convergence"] == (
+            engine.obs.last_samples["convergence"]
+        )

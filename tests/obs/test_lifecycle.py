@@ -1,0 +1,95 @@
+"""Lifecycle: idempotent close, context managers, shm release on raise."""
+
+import pytest
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig, closeness
+from repro.centrality import exact_closeness
+from repro.graph import barabasi_albert
+from repro.obs import ObserverHub
+from repro.runtime import Cluster
+from repro.partition import MultilevelPartitioner
+
+
+def _graph(n=40, seed=3):
+    return barabasi_albert(n, 2, seed=seed)
+
+
+class TestClusterClose:
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_close_is_idempotent(self, backend):
+        c = Cluster(_graph(), 4, backend=backend)
+        c.decompose(MultilevelPartitioner(seed=0))
+        c.close()
+        c.close()  # double close must be a no-op
+        assert c._closed
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_context_manager_closes(self, backend):
+        with Cluster(_graph(), 4, backend=backend) as c:
+            c.decompose(MultilevelPartitioner(seed=0))
+            c.run_initial_approximation()
+        assert c._closed
+
+    def test_context_manager_closes_on_raise(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with Cluster(_graph(), 4, backend="process") as c:
+                raise RuntimeError("boom")
+        assert c._closed
+
+
+class TestEngineLifecycle:
+    def test_engine_close_without_setup(self):
+        engine = AnytimeAnywhereCloseness(_graph(), AnytimeConfig(nprocs=2))
+        engine.close()  # no cluster yet: still safe, closes the hub
+        engine.close()
+
+    @pytest.mark.parametrize("backend", ["serial", "process"])
+    def test_engine_context_manager_closes_cluster(self, backend):
+        config = AnytimeConfig(nprocs=4, seed=3, backend=backend)
+        with AnytimeAnywhereCloseness(_graph(), config) as engine:
+            engine.setup()
+            engine.run()
+        assert engine.cluster is not None
+        assert engine.cluster._closed
+
+    def test_engine_releases_shm_when_run_raises(self):
+        """A raising run must still release process-backend resources
+        and leave balanced spans in the trace (satellite a)."""
+        config = AnytimeConfig(nprocs=4, seed=3, backend="process")
+        with pytest.raises(RuntimeError, match="interrupted"):
+            with AnytimeAnywhereCloseness(_graph(), config) as engine:
+                engine.setup()
+                raise RuntimeError("interrupted mid-run")
+        assert engine.cluster._closed
+
+    def test_setup_twice_closes_first_cluster(self):
+        config = AnytimeConfig(nprocs=4, seed=3, backend="process")
+        with AnytimeAnywhereCloseness(_graph(), config) as engine:
+            engine.setup()
+            first = engine.cluster
+            engine.setup()
+            assert first._closed
+            assert engine.cluster is not first
+        assert engine.cluster._closed
+
+    def test_closeness_facade_closes_and_matches_exact(self):
+        g = _graph(30)
+        result = closeness(g, nprocs=3)
+        exact = exact_closeness(g)
+        for v, c in exact.items():
+            assert result.closeness[v] == pytest.approx(c, abs=1e-9)
+
+    def test_hub_closed_once_per_engine(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        config = AnytimeConfig(
+            nprocs=2, seed=3, observers=(f"jsonl:{trace}",)
+        )
+        with AnytimeAnywhereCloseness(_graph(), config) as engine:
+            engine.setup()
+            engine.run()
+        assert isinstance(engine.obs, ObserverHub)
+        assert engine.obs._closed
+        content = trace.read_text(encoding="utf-8")
+        assert content  # exporter flushed by the context exit
+        engine.close()  # second close: file must not be rewritten empty
+        assert trace.read_text(encoding="utf-8") == content

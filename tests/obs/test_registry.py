@@ -1,0 +1,151 @@
+"""Unit tests for the metrics registry, histograms, and the hub."""
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry, NullObserver, ObserverHub
+from repro.obs.events import SpanEvent, canonical_line
+from repro.obs.observer import NULL_HUB
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        r = MetricsRegistry()
+        r.inc("repro_x_total", 2.0)
+        r.inc("repro_x_total", 3.0)
+        assert r.value("repro_x_total") == 5.0
+        assert r.type_of("repro_x_total") == "counter"
+
+    def test_counter_set_overwrites(self):
+        r = MetricsRegistry()
+        r.counter_set("repro_x_total", 10.0)
+        r.counter_set("repro_x_total", 17.0)
+        assert r.value("repro_x_total") == 17.0
+
+    def test_gauge_and_labels_sorted(self):
+        r = MetricsRegistry()
+        r.gauge("repro_g", 1.5, zeta="z", alpha="a")
+        # labels render sorted regardless of kwargs order
+        assert 'repro_g{alpha="a",zeta="z"}' in r.snapshot()
+        assert r.value("repro_g", alpha="a", zeta="z") == 1.5
+
+    def test_type_conflict_raises(self):
+        r = MetricsRegistry()
+        r.inc("repro_x_total")
+        with pytest.raises(ValueError):
+            r.gauge("repro_x_total", 1.0)
+
+    def test_snapshot_sorted_and_includes_histograms(self):
+        r = MetricsRegistry()
+        r.gauge("b_gauge", 2.0)
+        r.inc("a_total", 1.0)
+        r.observe("h_seconds", 0.5)
+        r.observe("h_seconds", 1.5)
+        snap = r.snapshot()
+        keys = list(snap)
+        assert keys == sorted(keys)
+        assert snap["h_seconds_count"] == 2.0
+        assert snap["h_seconds_sum"] == 2.0
+
+    def test_render_prometheus_format(self):
+        r = MetricsRegistry()
+        r.inc("repro_x_total", 4.0, kind="k")
+        r.gauge("repro_g", 0.25)
+        r.observe("repro_h_seconds", 0.003, rank="1")
+        text = r.render_prometheus()
+        assert "# TYPE repro_x_total counter" in text
+        assert 'repro_x_total{kind="k"} 4' in text
+        assert "# TYPE repro_g gauge" in text
+        assert "repro_g 0.25" in text
+        assert "# TYPE repro_h_seconds histogram" in text
+        assert 'repro_h_seconds_bucket{rank="1",le="+Inf"} 1' in text
+        assert 'repro_h_seconds_sum{rank="1"} 0.003' in text
+        assert 'repro_h_seconds_count{rank="1"} 1' in text
+        assert text.endswith("\n")
+
+    def test_empty_render(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestHistogram:
+    def test_cumulative_counts(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        assert h.cumulative() == [
+            ("1.0", 2),
+            ("10.0", 3),
+            ("+Inf", 4),
+        ]
+        assert h.n == 4
+        assert h.total == pytest.approx(56.2)
+
+    def test_boundary_value_lands_in_bucket(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(1.0)  # le is inclusive, Prometheus-style
+        assert h.cumulative() == [("1.0", 1), ("+Inf", 1)]
+
+
+class _Collector(NullObserver):
+    def __init__(self):
+        self.events = []
+        self.closes = 0
+
+    def on_event(self, event):
+        self.events.append(event)
+
+    def close(self, registry):
+        self.closes += 1
+
+
+class TestHub:
+    def test_null_hub_disabled(self):
+        assert NULL_HUB.enabled is False
+        # emitting on a disabled hub is a no-op, not an error
+        NULL_HUB.span_begin("phase", "x", 0.0)
+
+    def test_sequence_numbers_monotone(self):
+        col = _Collector()
+        hub = ObserverHub([col])
+        assert hub.enabled
+        hub.span_begin("phase", "x", 0.0)
+        hub.point("phase", "y", 0.5)
+        hub.span_end("phase", "x", 1.0)
+        assert [e.seq for e in col.events] == [0, 1, 2]
+        assert [e.kind for e in col.events] == ["begin", "point", "end"]
+
+    def test_close_is_idempotent_and_flushes_metrics(self):
+        col = _Collector()
+        hub = ObserverHub([col])
+        hub.registry.inc("repro_x_total", 7.0)
+        hub.close(t=2.0)
+        hub.close(t=3.0)
+        assert col.closes == 1
+        metrics = [e for e in col.events if e.kind == "metric"]
+        assert len(metrics) == 1
+        assert metrics[0].name == "repro_x_total"
+        assert metrics[0].attrs == {"value": 7.0}
+        assert metrics[0].t == 2.0
+
+
+class TestEvents:
+    def test_to_json_is_key_sorted(self):
+        ev = SpanEvent(
+            seq=0, kind="begin", level="phase", name="x", t=0.25,
+            step=1, rank=None, attrs={"b": 1, "a": 2}, wall=0.5,
+        )
+        line = ev.to_json()
+        assert line.index('"attrs"') < line.index('"kind"')
+
+    def test_canonical_line_strips_wall_only(self):
+        ev = SpanEvent(
+            seq=3, kind="end", level="phase", name="x", t=1.0,
+            step=None, rank=None, attrs={}, wall=0.123,
+        )
+        other = SpanEvent(
+            seq=3, kind="end", level="phase", name="x", t=1.0,
+            step=None, rank=None, attrs={}, wall=9.9,
+        )
+        assert canonical_line(ev.to_json()) == canonical_line(
+            other.to_json()
+        )
+        assert canonical_line(ev.to_json()) != ev.to_json()

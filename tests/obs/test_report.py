@@ -1,0 +1,68 @@
+"""Trace loading/aggregation and the `repro report` renderer."""
+
+from repro.obs import load_events, render_report
+from repro.obs.report import TraceReport, _aggregate
+
+from .conftest import run_scenario
+
+
+def _instrumented_trace(tmp_path, scenario="dynamic"):
+    path = tmp_path / "trace.jsonl"
+    result, _ = run_scenario(
+        scenario, observers=(f"jsonl:{path}", "convergence")
+    )
+    return result, load_events(path)
+
+
+class TestAggregate:
+    def test_run_and_phase_structure(self, tmp_path):
+        result, events = _instrumented_trace(tmp_path)
+        report = _aggregate(events)
+        assert isinstance(report, TraceReport)
+        assert report.run["modeled_seconds"] == result.modeled_seconds
+        assert report.run["rc_steps"] == result.rc_steps
+        assert report.run["wire_words"] == result.wire_words
+        phases = {p["phase"]: p for p in report.phases}
+        assert phases["rc_step"]["count"] == result.rc_steps
+        assert "domain_decomposition" in phases
+        assert "initial_approximation" in phases
+        # modeled span durations never exceed the whole run
+        total = sum(p["modeled_seconds"] for p in report.phases)
+        assert total <= result.modeled_seconds + 1e-12
+
+    def test_convergence_rows_and_metrics(self, tmp_path):
+        result, events = _instrumented_trace(tmp_path)
+        report = _aggregate(events)
+        steps = [row["step"] for row in report.convergence]
+        assert steps == list(range(result.rc_steps))
+        assert report.convergence[-1]["pending_rows"] == 0.0
+        assert report.metrics["repro_wire_words_total"] == float(
+            result.wire_words
+        )
+
+
+class TestRender:
+    def test_report_renders_phases_convergence_metrics(self, tmp_path):
+        result, events = _instrumented_trace(tmp_path)
+        text = render_report(events)
+        assert "run:" in text
+        assert f"rc_steps={result.rc_steps}" in text
+        assert "rc_step" in text
+        assert "domain_decomposition" in text
+        assert "convergence (per-superstep probes):" in text
+        assert "resolved_fraction" in text
+        assert "final metrics:" in text
+        assert "repro_wire_words_total" in text
+
+    def test_render_without_probes_or_metrics(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        # no convergence probe; metric flush still happens at close
+        run_scenario("static", observers=(f"jsonl:{path}",))
+        text = render_report(load_events(path))
+        assert "run:" in text
+        assert "rc_step" in text
+        assert "(no convergence probe samples in trace)" in text
+
+    def test_render_empty_trace(self):
+        text = render_report([])  # degrades, never crashes
+        assert "(no phase spans in trace)" in text

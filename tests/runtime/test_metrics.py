@@ -1,0 +1,84 @@
+"""Load-imbalance metrics (§IV.C.1.a): snapshot_load and LoadSnapshot.
+
+Covers the two situations the observability layer reports on: skewed
+assignments (imbalance gauges) and a ``redistribute`` recovery retiring
+a rank (``active_workers`` dropping below P mid-run).
+"""
+
+import pytest
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.graph import barabasi_albert
+from repro.obs import registry as series
+from repro.partition import RoundRobinPartitioner
+from repro.runtime import Cluster, snapshot_load
+from repro.runtime.chaos import FaultPlan
+
+from ..conftest import star_graph
+
+
+class TestLoadSnapshot:
+    def test_all_workers_active_after_decompose(self):
+        c = Cluster(barabasi_albert(40, 2, seed=0), 4)
+        c.decompose(RoundRobinPartitioner())
+        snap = snapshot_load(c)
+        assert snap.active_workers == 4
+        assert sum(snap.vertices) == 40
+
+    def test_vertex_imbalance_on_uneven_roundrobin(self):
+        # 10 vertices over 4 ranks -> blocks of 3,3,2,2: max/mean - 1 = 0.2
+        c = Cluster(barabasi_albert(10, 2, seed=1), 4)
+        c.decompose(RoundRobinPartitioner())
+        snap = snapshot_load(c)
+        assert snap.vertex_imbalance == pytest.approx(0.2)
+
+    def test_cut_imbalance_on_skewed_star(self):
+        # round-robin over a star: the hub's owner carries every cut
+        # edge while leaf-only ranks carry one per leaf -> heavy skew
+        c = Cluster(star_graph(12), 4)
+        c.decompose(RoundRobinPartitioner())
+        snap = snapshot_load(c)
+        assert snap.cut_imbalance > 0.9
+        assert snap.vertex_imbalance < snap.cut_imbalance
+
+    def test_total_cut_edges_counts_each_edge_once(self):
+        c = Cluster(star_graph(8), 4)
+        c.decompose(RoundRobinPartitioner())
+        snap = snapshot_load(c)
+        assert snap.total_cut_edges == sum(snap.cut_edges) // 2
+
+
+class TestRedistributeRetiresRank:
+    def _run_with_crash(self, observers=()):
+        g = barabasi_albert(60, 2, seed=5)
+        config = AnytimeConfig(
+            nprocs=4,
+            seed=5,
+            collect_snapshots=False,
+            recovery="redistribute",
+            observers=observers,
+        )
+        plan = FaultPlan(seed=1, crashes=((1, 2),))
+        with AnytimeAnywhereCloseness(g, config) as engine:
+            engine.setup()
+            result = engine.run(fault_plan=plan)
+        return result, engine
+
+    def test_active_workers_drops_after_redistribute(self):
+        result, engine = self._run_with_crash()
+        assert result.recoveries == 1
+        snap = snapshot_load(engine.cluster)
+        assert snap.active_workers == 3
+        assert snap.vertices[2] == 0
+        assert sum(snap.vertices) == 60
+        assert result.load.active_workers == 3
+        # survivors absorb the dead block -> imbalance rises above the
+        # near-even pre-crash assignment
+        assert snap.vertex_imbalance > 0.0
+
+    def test_active_workers_gauge_tracks_retirement(self):
+        _, engine = self._run_with_crash(observers=("metrics",))
+        reg = engine.obs.registry
+        assert reg.value(series.ACTIVE_WORKERS) == 3.0
+        assert reg.value(series.LOAD_VERTEX_IMBALANCE) > 0.0
+        assert reg.value(series.FAULTS) >= 1.0

@@ -62,6 +62,95 @@ def test_by_phase_aggregation():
     assert agg["ia"] == pytest.approx(4.0)
 
 
+def test_nested_phase_error_names_the_open_phase():
+    # regression pin: the tracer must keep *raising* on nested begins
+    # (never auto-close — that would misattribute the open record's
+    # wall time); the message names the offender for debuggability
+    t = Tracer()
+    t.begin("domain_decomposition")
+    with pytest.raises(RuntimeError, match="domain_decomposition"):
+        t.begin("rc_step")
+    # the original phase is still open and can be ended normally
+    rec = t.end()
+    assert rec.name == "domain_decomposition"
+
+
+def test_reopen_after_end_is_fine():
+    t = Tracer()
+    t.begin("rc_step", step=0)
+    t.end()
+    rec = t.begin("rc_step", step=1)
+    assert rec.step == 1
+    t.end()
+    assert len(t.records) == 2
+
+
+def test_abort_closes_open_phase_with_marker():
+    t = Tracer()
+    t.begin("rc_step", step=3)
+    t.add_compute(2.0)
+    rec = t.abort()
+    assert rec is not None
+    assert rec.info["aborted"] == 1.0
+    # the partial charge is kept: the modeled work did happen
+    assert t.modeled_seconds == pytest.approx(2.0)
+    assert t._open is None
+    t.begin("rc_step", step=4)  # tracer is reusable afterwards
+    t.end()
+
+
+def test_abort_without_open_phase_is_noop():
+    t = Tracer()
+    assert t.abort() is None
+    assert t.records == []
+
+
+def test_now_includes_open_phase_charge():
+    t = Tracer()
+    t.add_compute(1.0)
+    assert t.now() == pytest.approx(1.0)
+    t.begin("rc_step")
+    t.add_compute(0.25)
+    t.add_comm(0.5)
+    assert t.now() == pytest.approx(1.75)
+    assert t.modeled_seconds == pytest.approx(1.0)  # not folded in yet
+    t.end()
+    assert t.now() == pytest.approx(1.75)
+
+
+def test_span_events_emitted_to_hub():
+    from repro.obs import ObserverHub
+    from repro.obs.observer import Observer
+
+    class Collector(Observer):
+        def __init__(self):
+            self.events = []
+
+        def on_event(self, event):
+            self.events.append(event)
+
+    col = Collector()
+    t = Tracer(hub=ObserverHub([col]))
+    t.begin("domain_decomposition")
+    t.add_compute(1.0)
+    t.end()
+    t.begin("rc_step", step=0)
+    t.add_comm(0.5, messages=2, words=10)
+    t.end()
+    kinds = [(e.kind, e.level, e.name) for e in col.events]
+    assert kinds == [
+        ("begin", "phase", "domain_decomposition"),
+        ("end", "phase", "domain_decomposition"),
+        ("begin", "superstep", "rc_step"),
+        ("end", "superstep", "rc_step"),
+    ]
+    end = col.events[-1]
+    assert end.step == 0
+    assert end.t == pytest.approx(1.5)
+    assert end.attrs["words"] == 10
+    assert end.wall is not None
+
+
 def test_summary_keys():
     t = Tracer()
     t.begin("p")

@@ -43,13 +43,14 @@ def codes(findings: List[Finding]) -> List[str]:
 # framework
 # ----------------------------------------------------------------------
 class TestFramework:
-    def test_all_five_rules_registered(self) -> None:
+    def test_all_six_rules_registered(self) -> None:
         assert Registry.codes() == [
             "RPL001",
             "RPL002",
             "RPL003",
             "RPL004",
             "RPL005",
+            "RPL006",
         ]
 
     def test_rules_have_docs(self) -> None:
@@ -201,7 +202,7 @@ class TestRPL002:
             def f():
                 ranks = {1, 2, 3}
                 for r in ranks:
-                    print(r)
+                    handle(r)
         """
         findings = lint_source(tmp_path, "src/repro/runtime/w.py", source)
         assert codes(findings) == ["RPL002"]
@@ -212,7 +213,7 @@ class TestRPL002:
 
             def f(ranks: Set[int]) -> None:
                 for r in ranks:
-                    print(r)
+                    handle(r)
         """
         findings = lint_source(tmp_path, "src/repro/runtime/w.py", source)
         assert codes(findings) == ["RPL002"]
@@ -227,7 +228,7 @@ class TestRPL002:
 
                 def f(self, v: int) -> None:
                     for dst in self.subscribers.get(v, ()):
-                        print(dst)
+                        handle(dst)
         """
         findings = lint_source(tmp_path, "src/repro/runtime/w.py", source)
         assert codes(findings) == ["RPL002"]
@@ -246,7 +247,7 @@ class TestRPL002:
             def f():
                 ranks = {1, 2, 3}
                 for r in sorted(ranks):
-                    print(r)
+                    handle(r)
                 return sorted(v for v in ranks if v > 1)
         """
         findings = lint_source(tmp_path, "src/repro/runtime/w.py", source)
@@ -257,9 +258,9 @@ class TestRPL002:
         source = """
             def f(d):
                 for k in d:
-                    print(k)
+                    handle(k)
                 for k, v in d.items():
-                    print(k, v)
+                    handle(k, v)
         """
         findings = lint_source(tmp_path, "src/repro/runtime/w.py", source)
         assert findings == []
@@ -270,7 +271,7 @@ class TestRPL002:
         source = """
             def f():
                 for r in {1, 2, 3}:
-                    print(r)
+                    handle(r)
         """
         findings = lint_source(tmp_path, "src/repro/graph/g.py", source)
         assert findings == []
@@ -280,7 +281,7 @@ class TestRPL002:
             def f(a, b):
                 merged = set(a) | set(b)
                 for x in merged:
-                    print(x)
+                    handle(x)
         """
         findings = lint_source(tmp_path, "src/repro/partition/p.py", source)
         assert codes(findings) == ["RPL002"]
@@ -291,7 +292,7 @@ class TestRPL002:
                 xs = {1, 2}
                 xs = sorted(xs)
                 for x in xs:
-                    print(x)
+                    handle(x)
         """
         findings = lint_source(tmp_path, "src/repro/runtime/w.py", source)
         assert findings == []
@@ -301,7 +302,7 @@ class TestRPL002:
             def f():
                 ranks = {1, 2, 3}
                 for r in ranks:  # repro-lint: disable=RPL002
-                    print(r)
+                    handle(r)
         """
         findings = lint_source(tmp_path, "src/repro/runtime/w.py", source)
         assert findings == []
@@ -507,6 +508,68 @@ class TestRPL005:
                     run()
                 except Exception:  # repro-lint: disable=RPL005
                     pass
+        """
+        findings = lint_source(tmp_path, "src/repro/runtime/w.py", source)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL006 — bare print() in library code
+# ----------------------------------------------------------------------
+class TestRPL006:
+    def test_flags_bare_print(self, tmp_path: Path) -> None:
+        source = """
+            def debug(x):
+                print("value", x)
+        """
+        findings = lint_source(tmp_path, "src/repro/runtime/w.py", source)
+        assert codes(findings) == ["RPL006"]
+
+    def test_allowlisted_cli_is_clean(self, tmp_path: Path) -> None:
+        source = """
+            def main():
+                print("table")
+        """
+        findings = lint_source(tmp_path, "src/repro/cli.py", source)
+        assert findings == []
+
+    def test_allowlisted_bench_is_clean(self, tmp_path: Path) -> None:
+        source = """
+            def progress():
+                print("running...")
+        """
+        findings = lint_source(tmp_path, "src/repro/bench/b.py", source)
+        assert findings == []
+
+    def test_method_named_print_is_clean(self, tmp_path: Path) -> None:
+        source = """
+            def render(doc):
+                doc.print()
+        """
+        findings = lint_source(tmp_path, "src/repro/obs/x.py", source)
+        assert findings == []
+
+    def test_custom_allowlist(self, tmp_path: Path) -> None:
+        config = LintConfig(print_allowlist=("repro/tools_io/",))
+        flagged = lint_source(
+            tmp_path,
+            "src/repro/cli.py",
+            "print('hi')\n",
+            config=config,
+        )
+        assert codes(flagged) == ["RPL006"]
+        clean = lint_source(
+            tmp_path,
+            "src/repro/tools_io/p.py",
+            "print('hi')\n",
+            config=config,
+        )
+        assert clean == []
+
+    def test_suppression(self, tmp_path: Path) -> None:
+        source = """
+            def debug(x):
+                print(x)  # repro-lint: disable=RPL006
         """
         findings = lint_source(tmp_path, "src/repro/runtime/w.py", source)
         assert findings == []

@@ -50,6 +50,14 @@ class LintConfig:
         "repro/runtime/",
         "repro/core/",
     )
+    #: modules allowed to call bare print() (RPL006 allowlist): the CLI
+    #: is the user-facing output surface, the bench harness prints
+    #: progress — everything else must emit telemetry via repro.obs
+    print_allowlist: Tuple[str, ...] = (
+        "repro/cli.py",
+        "repro/__main__.py",
+        "repro/bench/",
+    )
     #: per-file suppressions: path fragment -> list of rule codes
     per_file_ignores: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
 
@@ -76,6 +84,9 @@ class LintConfig:
 
     def in_fault_path(self, path: Path) -> bool:
         return self._matches(path, self.fault_path_packages)
+
+    def allows_print(self, path: Path) -> bool:
+        return self._matches(path, self.print_allowlist)
 
     def file_ignores(self, path: Path) -> Tuple[str, ...]:
         p = self._norm(path)

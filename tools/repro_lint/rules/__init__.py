@@ -8,4 +8,5 @@ from . import (  # noqa: F401  (imported for registration side effects)
     rpl003_wall_clock,
     rpl004_uncharged_send,
     rpl005_overbroad_except,
+    rpl006_bare_print,
 )

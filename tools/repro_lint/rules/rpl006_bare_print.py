@@ -1,0 +1,51 @@
+"""RPL006 — bare ``print()`` in library code.
+
+``print()`` inside ``repro`` library modules is telemetry that bypasses
+the observability layer: it cannot be disabled, exported, or compared
+across runs, and it corrupts machine-readable CLI output.  Library code
+must emit telemetry through ``repro.obs`` (span events, metric series)
+or the standard ``logging`` module.
+
+Legitimate print surfaces — the CLI, ``__main__``, and the benchmark
+harness — live on the configurable allowlist (``print_allowlist``).
+One-off diagnostics can carry ``# repro-lint: disable=RPL006``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, LintRule, Registry
+
+
+@Registry.register
+class BarePrintRule(LintRule):
+    code = "RPL006"
+    name = "bare-print"
+    description = (
+        "library code must not call print(); route telemetry through"
+        " repro.obs (or logging) so it is exportable and deterministic"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.config.in_target(ctx.path):
+            return
+        if ctx.config.allows_print(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            # only the bare builtin: obj.print()/self.print() are
+            # methods, and a local rebinding shadows the builtin
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "bare print() in library code; emit telemetry via"
+                    " repro.obs or logging (CLI/bench surfaces belong"
+                    " on the print_allowlist)",
+                )

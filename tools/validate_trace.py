@@ -1,0 +1,127 @@
+"""Validate a repro.obs JSONL trace against the checked-in JSON Schema.
+
+A dependency-free validator implementing exactly the JSON-Schema subset
+``tools/schemas/trace_event.schema.json`` uses — ``type`` (including
+union lists), ``enum``, ``minimum``, ``required``, ``properties``, and
+``additionalProperties`` (boolean or sub-schema).  The container image
+pins its dependency set, so pulling in the ``jsonschema`` package is not
+an option; this keeps CI able to verify the export contract anyway.
+
+Usage (CI and tests)::
+
+    python tools/validate_trace.py TRACE.jsonl [SCHEMA.json]
+
+Exit status 0 when every line validates, 1 otherwise (errors on stderr).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["validate", "validate_trace_file", "main"]
+
+DEFAULT_SCHEMA = Path(__file__).parent / "schemas" / "trace_event.schema.json"
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    # bool is an int subclass in Python; JSON Schema keeps them distinct
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(
+            value, bool
+        )
+    if name == "string":
+        return isinstance(value, str)
+    if name == "boolean":
+        return isinstance(value, bool)
+    if name == "null":
+        return value is None
+    if name == "object":
+        return isinstance(value, dict)
+    if name == "array":
+        return isinstance(value, list)
+    raise ValueError(f"unsupported schema type {name!r}")
+
+
+def validate(
+    instance: Any, schema: Dict[str, Any], path: str = "$"
+) -> Iterator[str]:
+    """Yield one message per violation of ``schema`` by ``instance``."""
+    stype = schema.get("type")
+    if stype is not None:
+        names = stype if isinstance(stype, list) else [stype]
+        if not any(_type_ok(instance, n) for n in names):
+            yield (
+                f"{path}: expected type {'|'.join(names)},"
+                f" got {type(instance).__name__}"
+            )
+            return  # further keyword checks assume the right type
+    if "enum" in schema and instance not in schema["enum"]:
+        yield f"{path}: {instance!r} not in enum {schema['enum']}"
+    if "minimum" in schema and _type_ok(instance, "number"):
+        if instance < schema["minimum"]:
+            yield f"{path}: {instance!r} below minimum {schema['minimum']}"
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                yield f"{path}: missing required property {key!r}"
+        props: Dict[str, Any] = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            if key in props:
+                yield from validate(value, props[key], f"{path}.{key}")
+            elif extra is False:
+                yield f"{path}: unexpected property {key!r}"
+            elif isinstance(extra, dict):
+                yield from validate(value, extra, f"{path}.{key}")
+
+
+def validate_trace_file(
+    trace_path: Path, schema_path: Optional[Path] = None
+) -> List[str]:
+    """All violations in a JSONL trace file (empty list = valid)."""
+    schema = json.loads(
+        (schema_path or DEFAULT_SCHEMA).read_text(encoding="utf-8")
+    )
+    errors: List[str] = []
+    with open(trace_path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: invalid JSON ({exc})")
+                continue
+            errors.extend(
+                f"line {lineno}: {msg}"
+                for msg in validate(event, schema)
+            )
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args: Tuple[str, ...] = tuple(sys.argv[1:] if argv is None else argv)
+    if not 1 <= len(args) <= 2:
+        print(
+            "usage: validate_trace.py TRACE.jsonl [SCHEMA.json]",
+            file=sys.stderr,
+        )
+        return 2
+    trace = Path(args[0])
+    schema = Path(args[1]) if len(args) == 2 else None
+    errors = validate_trace_file(trace, schema)
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        print(f"{trace}: OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
