@@ -15,7 +15,7 @@ threads the warm Dijkstra rerun is nearly free and checkpointing can only
 lose.
 """
 
-from repro import AnytimeAnywhereCloseness, AnytimeConfig, FaultPlan
+from repro import AnytimeAnywhereCloseness, AnytimeConfig, FaultPlan, HealthPolicy
 from repro.graph import barabasi_albert
 from repro.model.cost import DEFAULT_COST
 from repro.runtime.chaos import RECOVERY_POLICIES
@@ -31,6 +31,25 @@ SWEEP_COLUMNS = [
     "ckpt_overhead_ms",
     "total_modeled_minutes",
     "converged",
+]
+
+STRAGGLER_COLUMNS = [
+    "variant",
+    "modeled_seconds",
+    "speculations",
+    "missed_deadlines",
+    "closeness_identical",
+]
+
+LADDER_COLUMNS = [
+    "scenario",
+    "rung",
+    "recoveries",
+    "mttr_modeled_ms",
+    "degraded",
+    "degraded_reason",
+    "finite_fraction",
+    "alive_fraction",
 ]
 
 
@@ -147,3 +166,121 @@ def test_recovery_policy_sweep(benchmark, scale, emit):
         for i in (1, 8)
     }
     assert over[1] > over[8]
+
+
+def _run_once(graph, scale, *, fault_plan=None, health=None, **cfg_kwargs):
+    engine = AnytimeAnywhereCloseness(
+        graph.copy(),
+        AnytimeConfig(
+            nprocs=scale.nprocs, seed=scale.seed, collect_snapshots=False,
+            health=health, **cfg_kwargs,
+        ),
+    )
+    engine.setup()
+    return engine.run(fault_plan=fault_plan)
+
+
+def run_straggler_mitigation(scale):
+    """Fault-free vs an 8x straggler, with and without speculation.
+
+    The acceptance bar for the health layer: speculation must recover
+    most of the straggler's modeled-time damage while leaving the
+    closeness values bitwise untouched.
+    """
+    graph = barabasi_albert(scale.n_base, scale.m, seed=scale.seed)
+    plan = FaultPlan(stragglers=((scale.nprocs // 2, 8.0),))
+
+    free = _run_once(graph, scale)
+    unmit = _run_once(graph, scale, fault_plan=plan)
+    mit = _run_once(graph, scale, fault_plan=plan, health=HealthPolicy())
+
+    def row(variant, res):
+        return {
+            "variant": variant,
+            "modeled_seconds": res.modeled_seconds,
+            "speculations": res.speculations,
+            "missed_deadlines": res.missed_deadlines,
+            "closeness_identical": res.closeness == free.closeness,
+        }
+
+    return [
+        row("fault_free", free),
+        row("straggler_unmitigated", unmit),
+        row("straggler_mitigated", mit),
+    ]
+
+
+def test_straggler_mitigation(benchmark, scale, emit):
+    rows = benchmark.pedantic(
+        lambda: run_straggler_mitigation(scale), rounds=1, iterations=1
+    )
+    emit("ablation_straggler_mitigation", rows, STRAGGLER_COLUMNS)
+    free, unmit, mit = rows
+    # speculation never changes the answer, only the modeled clock
+    assert all(r["closeness_identical"] for r in rows)
+    assert mit["speculations"] > 0
+    # mitigation claws back modeled time the straggler cost, and the
+    # fault-free run stays the floor (speculation is not free)
+    assert free["modeled_seconds"] <= mit["modeled_seconds"]
+    assert mit["modeled_seconds"] < unmit["modeled_seconds"]
+
+
+def run_escalation_ladder(scale):
+    """MTTR by escalation rung, plus degraded-quality accounting.
+
+    One scenario climbs the full warm -> checkpoint -> redistribute
+    ladder and converges; the other exhausts a crash budget of 2 and
+    returns a degraded partial result with its quality statement.
+    """
+    graph = barabasi_albert(scale.n_base, scale.m, seed=scale.seed)
+    victim = scale.nprocs // 2
+    crashes = tuple((1 + 2 * i, victim) for i in range(3))
+
+    def rows_for(scenario, res):
+        out = []
+        for rung, n in sorted(res.recoveries_by_rung.items()):
+            out.append(
+                {
+                    "scenario": scenario,
+                    "rung": rung,
+                    "recoveries": n,
+                    "mttr_modeled_ms": res.mttr_by_rung[rung] * 1e3,
+                    "degraded": res.degraded,
+                    "degraded_reason": res.degraded_reason or "-",
+                    "finite_fraction": res.quality.get("finite_fraction", 1.0),
+                    "alive_fraction": res.quality.get("alive_fraction", 1.0),
+                }
+            )
+        return out
+
+    ladder = _run_once(
+        graph, scale, fault_plan=FaultPlan(crashes=crashes),
+        recovery="escalate", checkpoint_interval=2,
+    )
+    degraded = _run_once(
+        graph, scale, fault_plan=FaultPlan(crashes=crashes),
+        recovery="escalate", checkpoint_interval=2,
+        health=HealthPolicy(crash_budget=2),
+    )
+    return rows_for("full_ladder", ladder) + rows_for(
+        "crash_budget_2", degraded
+    )
+
+
+def test_escalation_ladder(benchmark, scale, emit):
+    rows = benchmark.pedantic(
+        lambda: run_escalation_ladder(scale), rounds=1, iterations=1
+    )
+    emit("ablation_escalation_ladder", rows, LADDER_COLUMNS)
+    ladder = [r for r in rows if r["scenario"] == "full_ladder"]
+    assert {r["rung"] for r in ladder} == {
+        "warm", "checkpoint", "redistribute"
+    }
+    assert all(not r["degraded"] for r in ladder)
+    assert all(r["mttr_modeled_ms"] > 0 for r in ladder)
+    budget = [r for r in rows if r["scenario"] == "crash_budget_2"]
+    assert budget and all(r["degraded"] for r in budget)
+    assert all(r["degraded_reason"] == "crash-budget" for r in budget)
+    # the partial result still resolved a usable fraction of the DV
+    assert all(0.0 < r["finite_fraction"] < 1.0 for r in budget)
+    assert all(r["alive_fraction"] < 1.0 for r in budget)

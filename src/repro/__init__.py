@@ -33,6 +33,7 @@ from .graph.graph import Graph
 from .obs import ConvergenceProbe, Observer, build_hub
 from .runtime.backends import available_backends
 from .runtime.chaos import FaultPlan
+from .runtime.health import HealthPolicy
 
 __version__ = "1.0.0"
 
@@ -46,6 +47,7 @@ __all__ = [
     "Observer",
     "build_hub",
     "FaultPlan",
+    "HealthPolicy",
     "Graph",
     "ChangeBatch",
     "ChangeStream",

@@ -121,6 +121,27 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("--chaos-seed", type=int, default=None,
                     help="run under seeded fault injection (message loss"
                          " + duplication) to exercise the chaos metrics")
+    tp.add_argument("--chaos-crash", type=str, action="append", default=None,
+                    metavar="STEP:RANK",
+                    help="crash RANK at superstep STEP (repeatable);"
+                         " implies fault injection")
+    tp.add_argument("--chaos-straggler", type=str, action="append",
+                    default=None, metavar="RANK:FACTOR",
+                    help="slow RANK down by FACTOR (repeatable);"
+                         " implies fault injection")
+    tp.add_argument("--chaos-loss", type=float, default=None,
+                    metavar="P", help="message loss probability")
+    tp.add_argument("--chaos-dup", type=float, default=None,
+                    metavar="P", help="message duplication probability")
+    tp.add_argument("--recovery", type=str, default=None,
+                    choices=["warm", "checkpoint", "redistribute",
+                             "escalate"],
+                    help="crash recovery policy (escalate climbs the"
+                         " warm -> checkpoint -> redistribute ladder)")
+    tp.add_argument("--health", action="store_true",
+                    help="attach the health monitor: deadline tracking,"
+                         " speculative straggler mitigation, seeded"
+                         " backoff, graceful degradation")
 
     rp = sub.add_parser(
         "report",
@@ -132,6 +153,51 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--out", type=str, default=None,
                     help="write the report to this file as well")
     return parser
+
+
+def _parse_pairs(
+    specs: Optional[List[str]], flag: str, second: type
+) -> tuple:
+    """Parse repeatable ``A:B`` pair flags like ``--chaos-crash 2:1``."""
+    out = []
+    for spec in specs or []:
+        try:
+            a, b = spec.split(":", 1)
+            out.append((int(a), second(b)))
+        except ValueError:
+            raise SystemExit(
+                f"{flag} expects A:B (got {spec!r})"
+            ) from None
+    return tuple(out)
+
+
+def _fault_plan_from_args(args: argparse.Namespace):
+    """Build a FaultPlan from the --chaos-* flags, or None if absent."""
+    crashes = _parse_pairs(args.chaos_crash, "--chaos-crash", int)
+    stragglers = _parse_pairs(
+        args.chaos_straggler, "--chaos-straggler", float
+    )
+    # --chaos-seed alone keeps its historical meaning: a light mixed
+    # loss/duplication plan for exercising the chaos metrics
+    implied = crashes or stragglers or (
+        args.chaos_loss is not None or args.chaos_dup is not None
+    )
+    if args.chaos_seed is None and not implied:
+        return None
+    from .runtime.chaos import FaultPlan
+
+    if implied:
+        loss = args.chaos_loss or 0.0
+        dup = args.chaos_dup or 0.0
+    else:
+        loss, dup = 0.05, 0.05
+    return FaultPlan(
+        seed=args.chaos_seed if args.chaos_seed is not None else 0,
+        crashes=crashes,
+        stragglers=stragglers,
+        loss_prob=loss,
+        dup_prob=dup,
+    )
 
 
 def _scale_from_args(args: argparse.Namespace) -> ScenarioScale:
@@ -214,13 +280,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             observers.append("convergence")
         if observers:
             cfg_kwargs["observers"] = tuple(observers)
-        fault_plan = None
-        if args.chaos_seed is not None:
-            from .runtime.chaos import FaultPlan
+        if args.recovery is not None:
+            cfg_kwargs["recovery"] = args.recovery
+        if args.health:
+            from .runtime.health import HealthPolicy
 
-            fault_plan = FaultPlan(
-                seed=args.chaos_seed, loss_prob=0.05, dup_prob=0.05
-            )
+            cfg_kwargs["health"] = HealthPolicy()
+        fault_plan = _fault_plan_from_args(args)
         with AnytimeAnywhereCloseness(
             workload.base,
             AnytimeConfig(nprocs=args.nprocs, seed=args.seed,
@@ -266,7 +332,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if result.faults_injected or result.retries:
             print(
                 f"chaos: {result.faults_injected} faults injected,"
-                f" {result.retries} retries"
+                f" {result.retries} retries,"
+                f" {result.recoveries} recoveries"
+            )
+        if result.recoveries_by_rung:
+            rungs = ", ".join(
+                f"{rung}={n} (mttr {result.mttr_by_rung[rung]:.4g}s)"
+                for rung, n in sorted(result.recoveries_by_rung.items())
+            )
+            print(f"recovery ladder: {rungs}")
+        if result.missed_deadlines or result.speculations:
+            print(
+                f"health: {result.missed_deadlines} missed deadlines,"
+                f" {result.speculations} speculative re-executions,"
+                f" {result.backoff_modeled_seconds:.4g}s modeled backoff"
+            )
+        if result.degraded:
+            quality = ", ".join(
+                f"{k}={v:.4g}" for k, v in sorted(result.quality.items())
+            )
+            print(
+                f"DEGRADED ({result.degraded_reason}): partial anytime"
+                f" result returned; quality: {quality}"
             )
         if result.convergence:
             for probe, sample in sorted(result.convergence.items()):

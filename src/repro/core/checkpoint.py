@@ -30,6 +30,7 @@ Dijkstra (see :mod:`repro.runtime.supervisor`).
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
@@ -172,8 +173,23 @@ def save_checkpoint(
     arrays["meta_json"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
-    with open(path, "wb") as fh:
-        np.savez_compressed(fh, **arrays)
+    # crash-safe write: stage into a sibling temp file, force it to disk,
+    # then atomically rename over the destination.  A crash mid-write
+    # leaves either the previous complete checkpoint or a stray .tmp —
+    # never a truncated file at the final path.
+    tmp = str(path) + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 _REQUIRED_ARRAYS = (

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..errors import ConfigurationError
 from ..model.cost import DEFAULT_COST, CostModel
@@ -12,6 +12,9 @@ from ..model.logp import DEFAULT_LOGP, LogPParams
 from ..model.schedules import CommSchedule, SequentialAllToAll
 from ..partition.base import Partitioner
 from ..partition.multilevel import MultilevelPartitioner
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.health import HealthPolicy
 
 __all__ = ["AnytimeConfig"]
 
@@ -47,11 +50,20 @@ class AnytimeConfig:
         Seed for partitioner randomness when defaults are constructed.
     recovery:
         Default crash-recovery policy for fault-injected runs
-        (``"warm"`` | ``"checkpoint"`` | ``"redistribute"``); see
-        :mod:`repro.runtime.supervisor`.
+        (``"warm"`` | ``"checkpoint"`` | ``"redistribute"`` |
+        ``"escalate"``); see :mod:`repro.runtime.supervisor`.
+        ``"escalate"`` climbs the per-rank ladder warm -> checkpoint ->
+        redistribute and degrades gracefully when health budgets run out.
     checkpoint_interval:
-        RC steps between the supervisor's in-memory checkpoints (only
-        used by the ``"checkpoint"`` policy).
+        RC steps between the supervisor's in-memory checkpoints (used by
+        the ``"checkpoint"`` and ``"escalate"`` policies).
+    health:
+        Optional :class:`~repro.runtime.health.HealthPolicy` enabling the
+        self-healing runtime for fault-injected runs: per-rank liveness
+        tracking, deadline-driven straggler speculation, modeled retry
+        backoff and graceful degradation.  ``None`` (the default) keeps
+        the pre-health behavior, except that ``recovery="escalate"``
+        builds a default policy internally.
     wire_format:
         Boundary-row encoding: ``"delta"`` (default) ships only the
         columns that improved since the last send on each channel, with
@@ -95,6 +107,7 @@ class AnytimeConfig:
     worker_speeds: Optional[List[float]] = None
     recovery: str = "warm"
     checkpoint_interval: int = 8
+    health: Optional["HealthPolicy"] = None
     wire_format: str = "delta"
     backend: str = field(
         default_factory=lambda: os.environ.get("REPRO_BACKEND", "serial")
@@ -112,12 +125,24 @@ class AnytimeConfig:
             )
         # literal duplicate of runtime.chaos.RECOVERY_POLICIES: config must
         # stay importable without pulling in the runtime package
-        if self.recovery not in ("warm", "checkpoint", "redistribute"):
+        if self.recovery not in (
+            "warm", "checkpoint", "redistribute", "escalate"
+        ):
             raise ConfigurationError(
                 f"unknown recovery policy {self.recovery!r}"
             )
         if self.checkpoint_interval < 1:
             raise ConfigurationError("checkpoint_interval must be >= 1")
+        if self.health is not None:
+            # lazy import: the runtime package is only pulled in when the
+            # self-healing features are actually requested
+            from ..runtime.health import HealthPolicy
+
+            if not isinstance(self.health, HealthPolicy):
+                raise ConfigurationError(
+                    "health must be a repro.runtime.health.HealthPolicy,"
+                    f" got {type(self.health).__name__}"
+                )
         if self.wire_format not in ("dense", "delta"):
             raise ConfigurationError(
                 f"wire_format must be 'dense' or 'delta',"

@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, WorkerError
 from ..graph.changes import ChangeBatch, ChangeStream
 from ..graph.graph import Graph
 from ..obs import build_hub
@@ -47,6 +47,7 @@ from .strategies import DynamicStrategy, make_strategy
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..runtime.chaos import FaultPlan
+    from ..runtime.health import HealthMonitor
 
 logger = logging.getLogger("repro.engine")
 
@@ -79,6 +80,27 @@ class RunResult:
     recovery_modeled_seconds: float = 0.0
     #: canonical fault event trace (byte-identical for identical plans)
     fault_events: List[str] = field(default_factory=list)
+    # --- self-healing accounting (health-instrumented runs only) ------
+    #: True when recovery budgets ran out and the run returned a partial
+    #: result instead of raising (graceful anytime degradation)
+    degraded: bool = False
+    #: why the run degraded: ``"crash-budget"`` | ``"dead-fraction"`` |
+    #: ``"retry-budget"`` (empty when not degraded)
+    degraded_reason: str = ""
+    #: quantified quality of a degraded partial result (finite-entry
+    #: fraction, alive fraction, undelivered-row gauges); empty unless
+    #: ``degraded``
+    quality: Dict[str, float] = field(default_factory=dict)
+    #: superstep deadlines missed by straggling ranks
+    missed_deadlines: int = 0
+    #: speculative kernel re-executions that beat the straggler
+    speculations: int = 0
+    #: modeled seconds of exponential retry backoff charged to the clock
+    backoff_modeled_seconds: float = 0.0
+    #: recoveries per escalation-ladder rung / recovery-policy label
+    recoveries_by_rung: Dict[str, int] = field(default_factory=dict)
+    #: mean modeled time-to-recovery per ladder rung (MTTR breakdown)
+    mttr_by_rung: Dict[str, float] = field(default_factory=dict)
     # --- wire accounting ----------------------------------------------
     #: total words charged to the modeled wire across the whole run
     wire_words: int = 0
@@ -121,6 +143,11 @@ class RunResult:
             "retries": self.retries,
             "recoveries": self.recoveries,
             "recovery_modeled_seconds": self.recovery_modeled_seconds,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "missed_deadlines": self.missed_deadlines,
+            "speculations": self.speculations,
+            "backoff_modeled_seconds": self.backoff_modeled_seconds,
             "wire_format": self.wire_format,
             "wire_words": self.wire_words,
             "boundary_words": self.boundary_words,
@@ -227,20 +254,38 @@ class AnytimeAnywhereCloseness:
         (see :class:`~repro.runtime.chaos.FaultPlan`): the boundary
         exchange switches to the sequenced ack/retry protocol and the
         supervisor answers scheduled crashes with the ``recovery`` policy
-        (``"warm"`` | ``"checkpoint"`` | ``"redistribute"``; defaults from
-        the config, as does ``checkpoint_interval``).  The result carries
-        the fault/recovery accounting and the canonical event trace.
+        (``"warm"`` | ``"checkpoint"`` | ``"redistribute"`` |
+        ``"escalate"``; defaults from the config, as does
+        ``checkpoint_interval``).  The result carries the fault/recovery
+        accounting and the canonical event trace.
+
+        With ``config.health`` set (or ``recovery="escalate"``, which
+        builds a default policy), the self-healing runtime engages:
+        superstep deadlines feed the per-rank health state machine,
+        straggling kernels are speculatively re-executed (bitwise-
+        identical results, shorter modeled barrier), retransmissions pay
+        seeded exponential backoff on the modeled clock, and exhausted
+        budgets degrade the run gracefully — a partial
+        ``RunResult(degraded=True)`` with a quantified quality statement
+        instead of an exception.
         """
         cluster = self._require_cluster()
         cfg = self.config
         dyn = self.resolve_strategy(strategy) if changes else None
         injector = None
         supervisor = None
+        monitor = None
         if fault_plan is not None:
             from ..runtime.chaos import FaultInjector
             from ..runtime.supervisor import Supervisor
 
             injector = FaultInjector(fault_plan, cfg.nprocs)
+            if cfg.health is not None:
+                from ..runtime.health import HealthMonitor
+
+                monitor = HealthMonitor(
+                    cfg.health, cfg.nprocs, seed=fault_plan.seed
+                )
             supervisor = Supervisor(
                 cluster,
                 injector,
@@ -250,14 +295,24 @@ class AnytimeAnywhereCloseness:
                     if checkpoint_interval is not None
                     else cfg.checkpoint_interval
                 ),
+                monitor=monitor,
             )
+            # the supervisor self-creates a monitor for "escalate" runs
+            # without an explicit HealthPolicy
+            monitor = supervisor.monitor
             cluster.attach_chaos(injector)
+            if monitor is not None:
+                cluster.attach_health(monitor)
         elif recovery is not None or checkpoint_interval is not None:
             raise ConfigurationError(
                 "recovery/checkpoint_interval only apply with a fault_plan"
             )
 
+        completed_steps = 0
+
         def observer(step: int) -> None:
+            nonlocal completed_steps
+            completed_steps += 1
             if cfg.collect_snapshots:
                 self.snapshots.append(
                     take_snapshot(cluster, step, wf_improved=cfg.wf_improved)
@@ -265,6 +320,7 @@ class AnytimeAnywhereCloseness:
                 self.load_history.append(snapshot_load(cluster))
 
         obs_on = self.obs.enabled
+        degraded_reason = ""
         if obs_on:
             self.obs.span_begin(
                 "run", "run", cluster.tracer.modeled_seconds
@@ -280,6 +336,23 @@ class AnytimeAnywhereCloseness:
                 budget_modeled_seconds=budget_modeled_seconds,
                 supervisor=supervisor,
             )
+        except WorkerError:
+            # exhausted per-packet retry budget (a partitioned network)
+            if monitor is None or not monitor.policy.graceful_degradation:
+                if obs_on:
+                    self.obs.span_end(
+                        "run",
+                        "run",
+                        cluster.tracer.modeled_seconds,
+                        attrs={"aborted": True},
+                    )
+                raise
+            steps = completed_steps
+            degraded_reason = "retry-budget"
+            assert injector is not None
+            injector.record_degraded(
+                self._next_step + steps, "retry-budget"
+            )
         except BaseException:
             if obs_on:
                 # balance the run span so exported traces stay valid
@@ -293,9 +366,18 @@ class AnytimeAnywhereCloseness:
         finally:
             if injector is not None:
                 cluster.detach_chaos()
+            if monitor is not None:
+                cluster.detach_health()
+        if not degraded_reason and supervisor is not None:
+            degraded_reason = supervisor.degraded_reason
+        degraded = bool(degraded_reason)
         self._next_step += steps
         pending_changes = bool(changes) and changes.last_step >= self._next_step
-        converged = cluster.converged_vote() and not pending_changes
+        converged = (
+            not degraded
+            and cluster.converged_vote()
+            and not pending_changes
+        )
         if obs_on:
             self.obs.span_end(
                 "run",
@@ -309,8 +391,10 @@ class AnytimeAnywhereCloseness:
                 wall=cluster.tracer.wall_seconds,
             )
         logger.debug(
-            "run finished: steps=%d, modeled=%.4fs, pending_changes=%s",
+            "run finished: steps=%d, modeled=%.4fs, pending_changes=%s"
+            " degraded=%s",
             steps, cluster.tracer.modeled_seconds, pending_changes,
+            degraded_reason or False,
         )
         return RunResult(
             closeness=self.current_closeness(),
@@ -327,6 +411,22 @@ class AnytimeAnywhereCloseness:
             recoveries=supervisor.recoveries if supervisor else 0,
             recovery_modeled_seconds=(
                 supervisor.recovery_modeled_seconds if supervisor else 0.0
+            ),
+            degraded=degraded,
+            degraded_reason=degraded_reason,
+            quality=(
+                self._partial_quality(monitor) if degraded else {}
+            ),
+            missed_deadlines=monitor.missed_deadlines if monitor else 0,
+            speculations=monitor.speculations if monitor else 0,
+            backoff_modeled_seconds=(
+                monitor.backoff_seconds if monitor else 0.0
+            ),
+            recoveries_by_rung=(
+                dict(supervisor.recoveries_by_rung) if supervisor else {}
+            ),
+            mttr_by_rung=(
+                dict(supervisor.mttr_by_rung) if supervisor else {}
             ),
             fault_events=injector.trace_lines() if injector else [],
             wire_words=cluster.tracer.total_words,
@@ -420,6 +520,41 @@ class AnytimeAnywhereCloseness:
         from ..runtime.faults import crash_and_recover
 
         crash_and_recover(self._require_cluster(), rank)
+
+    # ------------------------------------------------------------------
+    # degraded-result quality
+    # ------------------------------------------------------------------
+    def _partial_quality(
+        self, monitor: Optional["HealthMonitor"]
+    ) -> Dict[str, float]:
+        """Quantify how good a degraded partial result is.
+
+        ``finite_fraction`` — share of DV entries that hold a finite
+        (possibly still loose) upper bound; ``alive_fraction`` — share of
+        ranks not retired; ``pending_rows`` / ``unacked_rows`` — updates
+        that never reached their consumers.  All values are deterministic
+        functions of the cluster state, so degraded results pin
+        byte-for-byte like converged ones.
+        """
+        cluster = self._require_cluster()
+        total = 0
+        finite = 0
+        for w in cluster.workers:
+            if w.n_local:
+                total += w.dv.size
+                finite += int(np.isfinite(w.dv).sum())
+        return {
+            "finite_fraction": (finite / total) if total else 0.0,
+            "alive_fraction": (
+                monitor.alive_fraction() if monitor is not None else 1.0
+            ),
+            "pending_rows": float(
+                sum(w.pending_row_count() for w in cluster.workers)
+            ),
+            "unacked_rows": float(
+                sum(w.unacked_row_count() for w in cluster.workers)
+            ),
+        }
 
     # ------------------------------------------------------------------
     # queries

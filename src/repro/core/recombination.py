@@ -84,6 +84,11 @@ def run_recombination(
             return steps_run  # interrupted: anytime result stands
         if supervisor is not None:
             supervisor.before_step(step)
+            if supervisor.degraded_reason:
+                # graceful degradation: recovery budgets are exhausted;
+                # stop here — the surviving ranks' rows remain valid
+                # upper bounds and form the partial anytime result
+                return steps_run
         batch = changes.at_step(step) if changes else None
         future_changes = bool(changes) and changes.last_step > step
         future_faults = (

@@ -25,11 +25,15 @@ __all__ = [
     "BOUNDARY_WORDS",
     "DELTA_HIT_RATE",
     "FAULTS",
+    "BACKOFF_SECONDS",
+    "HEALTH_STATE",
     "LOAD_CUT_IMBALANCE",
     "LOAD_VERTEX_IMBALANCE",
+    "MISSED_DEADLINES",
     "PENDING_ROWS",
     "RANK_COMPUTE_SECONDS",
     "RETRIES",
+    "SPECULATIONS",
     "UNACKED_ROWS",
     "WIRE_WORDS",
     "Histogram",
@@ -61,6 +65,14 @@ LOAD_CUT_IMBALANCE = "repro_load_cut_imbalance"
 ACTIVE_WORKERS = "repro_active_workers"
 #: modeled seconds of one rank's kernel in one superstep (histogram)
 RANK_COMPUTE_SECONDS = "repro_rank_compute_modeled_seconds"
+#: liveness state per rank: 0=healthy 1=suspect 2=degraded 3=dead (gauge)
+HEALTH_STATE = "repro_rank_health_state"
+#: superstep deadlines missed by straggling ranks (counter)
+MISSED_DEADLINES = "repro_missed_deadlines_total"
+#: speculative kernel re-executions that beat the straggler (counter)
+SPECULATIONS = "repro_speculations_total"
+#: modeled seconds of exponential retry backoff (counter)
+BACKOFF_SECONDS = "repro_backoff_modeled_seconds_total"
 
 #: default histogram bucket upper bounds (modeled seconds, log-spaced)
 _DEFAULT_BUCKETS = (

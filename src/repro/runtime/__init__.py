@@ -16,6 +16,7 @@ from .chaos import (
 )
 from .cluster import Cluster
 from .debug import check_cluster_invariants
+from .health import HealthMonitor, HealthPolicy, HealthState
 from .faults import (
     crash_and_recover,
     crash_worker,
@@ -55,6 +56,9 @@ __all__ = [
     "FaultStats",
     "FaultPlan",
     "FaultInjector",
+    "HealthMonitor",
+    "HealthPolicy",
+    "HealthState",
     "Supervisor",
     "Worker",
     "GlobalIndex",

@@ -23,6 +23,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import List
 
+from ...types import FloatArray
+from ..kernels import SuperstepResult, SuperstepTask, run_superstep
 from ..shm import ArrayAllocator
 from ..worker import Worker
 
@@ -45,6 +47,19 @@ class ExecutionBackend(ABC):
     @abstractmethod
     def relax_and_propagate(self, workers: List[Worker]) -> bool:
         """Run one RC superstep on every worker; True if anything improved."""
+
+    def run_speculative(
+        self, task: SuperstepTask, dv: FloatArray, apsp: FloatArray
+    ) -> SuperstepResult:
+        """Re-execute one rank's superstep on private array copies.
+
+        The straggler-mitigation backup: runs the exact superstep kernel
+        against the caller's copies of ``dv`` / ``local_apsp`` so the
+        result can be verified bitwise-identical against the straggling
+        rank's own outcome.  Backends may run it anywhere (the process
+        backend ships it to a pool child); the default runs in-process.
+        """
+        return run_superstep(task, dv, apsp)
 
     def close(self) -> None:
         """Release backend resources (shared memory, pool slots)."""

@@ -85,6 +85,18 @@ def _child_superstep(
     return run_superstep(task, _attached(dv_desc), _attached(apsp_desc))
 
 
+def _child_speculative(
+    task: SuperstepTask, dv: FloatArray, apsp: FloatArray
+) -> Tuple[SuperstepResult, FloatArray]:
+    """Speculative re-execution on plain (pickled) array copies.
+
+    The arrays are private copies, not shared memory, so the mutated
+    ``dv`` must travel back with the result for the coordinator-side
+    bitwise-identity check.
+    """
+    return run_superstep(task, dv, apsp), dv
+
+
 # ----------------------------------------------------------------------
 # coordinator-side: persistent pool, grown on demand and shared by all
 # ProcessBackend instances in this process
@@ -174,6 +186,18 @@ class ProcessBackend(ExecutionBackend):
             c = w.superstep_apply(task, result)
             changed = changed or c
         return changed
+
+    def run_speculative(
+        self, task: SuperstepTask, dv: FloatArray, apsp: FloatArray
+    ) -> SuperstepResult:
+        pool = _get_pool(max(self.nprocs, 1))
+        result, out_dv = pool.submit(
+            _child_speculative, task, dv, apsp
+        ).result()
+        # the child mutated its own pickled copy; mirror it into the
+        # caller's array so the identity check sees the backup's outcome
+        dv[:, :] = out_dv
+        return result
 
     def close(self) -> None:
         self.allocator.release_all()

@@ -45,7 +45,9 @@ __all__ = [
 
 #: The recovery policies the supervisor implements (kept here so that
 #: configuration validation does not need to import the supervisor).
-RECOVERY_POLICIES = ("warm", "checkpoint", "redistribute")
+#: ``escalate`` climbs the ladder warm -> checkpoint -> redistribute
+#: per rank and degrades gracefully once health budgets are exhausted.
+RECOVERY_POLICIES = ("warm", "checkpoint", "redistribute", "escalate")
 
 
 @dataclass(frozen=True)
@@ -53,8 +55,11 @@ class FaultEvent:
     """One injected fault (or the recovery that answered it).
 
     ``kind`` is one of ``crash``, ``recovery``, ``loss``, ``duplicate``,
-    ``send_failure``, ``ack_loss``, ``retry``, ``straggler``.  Unused
-    coordinate fields stay at ``-1`` so the serialized form is stable.
+    ``send_failure``, ``ack_loss``, ``retry``, ``straggler``,
+    ``backoff`` (a modeled retransmission delay charged by the health
+    monitor) or ``degraded`` (the run gave up recovering and returned a
+    partial result).  Unused coordinate fields stay at ``-1`` so the
+    serialized form is stable.
     """
 
     step: int
@@ -85,6 +90,8 @@ class FaultStats:
     send_failures: int = 0
     acks_lost: int = 0
     retries: int = 0
+    #: modeled backoff delays charged before retransmissions (health)
+    backoffs: int = 0
 
     @property
     def faults_injected(self) -> int:
@@ -254,6 +261,28 @@ class FaultInjector:
         self.stats.retries += 1
         self.events.append(
             FaultEvent(step=self.step, kind="retry", src=src, dst=dst, seq=seq)
+        )
+
+    def record_backoff(
+        self, src: Rank, dst: Rank, seq: int, delay: float
+    ) -> None:
+        """A modeled backoff delay charged before a retransmission.
+
+        ``delay`` is formatted with a fixed precision so the event trace
+        stays byte-stable across platforms.
+        """
+        self.stats.backoffs += 1
+        self.events.append(
+            FaultEvent(
+                step=self.step, kind="backoff",
+                src=src, dst=dst, seq=seq, detail=f"{delay:.9e}",
+            )
+        )
+
+    def record_degraded(self, step: int, reason: str, rank: Rank = -1) -> None:
+        """The run stopped recovering and returned a partial result."""
+        self.events.append(
+            FaultEvent(step=step, kind="degraded", rank=rank, detail=reason)
         )
 
     # ------------------------------------------------------------------

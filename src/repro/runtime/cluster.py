@@ -25,7 +25,11 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import CommunicationError, ConfigurationError
+from ..errors import (
+    CommunicationError,
+    ConfigurationError,
+    RuntimeSimulationError,
+)
 from ..graph.graph import Graph
 from ..graph.views import extract_local_subgraph
 from ..model.cost import DEFAULT_COST, CostModel
@@ -41,12 +45,18 @@ from ..partition.base import Partition, Partitioner
 from ..types import FloatArray, Rank, VertexId
 from .backends import BackendSpec, make_backend
 from .index import GlobalIndex
+from .kernels import SuperstepTask
 from .message import DeltaRows, dense_row_words, dv_payload_words
 from .tracing import Tracer
 from .worker import Worker
 
 if TYPE_CHECKING:  # pragma: no cover
     from .chaos import FaultInjector
+    from .health import HealthMonitor
+
+#: per-rank speculative-execution capture: the rank's superstep task plus
+#: private copies of its dv / local_apsp to re-execute the kernel on
+SpecContext = Dict[Rank, Tuple[SuperstepTask, FloatArray, FloatArray]]
 
 __all__ = ["Cluster"]
 
@@ -121,6 +131,11 @@ class Cluster:
         #: active fault injector (None = reliable network)
         self.chaos: Optional["FaultInjector"] = None
         self._pre_chaos_speeds: Optional[List[float]] = None
+        #: active health monitor (None = no self-healing instrumentation)
+        self.health: Optional["HealthMonitor"] = None
+        #: non-None only during a superstep barrier with health attached;
+        #: holds the speculative captures of suspected straggler ranks
+        self._spec_context: Optional[SpecContext] = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -141,9 +156,18 @@ class Cluster:
     # time accounting primitives
     # ------------------------------------------------------------------
     def sync_compute(self) -> float:
-        """BSP barrier: charge the slowest worker's metered compute."""
+        """BSP barrier: charge the slowest worker's metered compute.
+
+        With a health monitor attached and a superstep speculation
+        context set (see :meth:`relax_and_propagate`), the barrier time
+        is instead the straggler-mitigated maximum: ranks past the
+        deadline whose kernels were speculatively re-executed finish at
+        ``deadline + backup_time`` (first completion wins).
+        """
         times = [w.take_compute_seconds() for w in self.workers]
         t = max(times) if times else 0.0
+        if self.health is not None and self._spec_context is not None:
+            t = self._mitigated_barrier(times)
         if self.obs.enabled:
             start = self.tracer.now()
             rec = self.tracer._open
@@ -162,6 +186,62 @@ class Cluster:
                 )
         self.tracer.add_compute(t)
         return t
+
+    def _mitigated_barrier(self, times: List[float]) -> float:
+        """Deadline-driven straggler mitigation for one superstep barrier.
+
+        Feeds the barrier's metered times into the health state machine,
+        then — for flagged ranks whose work was captured before the
+        superstep — *actually re-executes* the rank's kernel on private
+        copies via the backend and verifies the backup's DV is bitwise
+        identical to the straggler's own outcome.  The mitigated rank
+        finishes at ``deadline + (1 + overhead) x reference-speed
+        duration`` (the supervisor notices the miss at the deadline and
+        the backup runs on a healthy reference-speed slot; whichever
+        copy finishes first wins).  Results never change — speed only
+        affects the modeled clock — so mitigated runs keep closeness
+        bitwise-identical to the fault-free run.
+        """
+        monitor = self.health
+        spec = self._spec_context
+        assert monitor is not None and spec is not None
+        flagged = monitor.observe_superstep(
+            times, [w.unacked_row_count() for w in self.workers]
+        )
+        if not times:
+            return 0.0
+        effective = list(times)
+        deadline = monitor.last_deadline
+        if monitor.policy.speculate and deadline > 0.0:
+            for r in flagged:
+                captured = spec.get(r)
+                if captured is None:
+                    continue
+                task, dv_copy, apsp_copy = captured
+                self.backend.run_speculative(task, dv_copy, apsp_copy)
+                w = self.workers[r]
+                if not np.array_equal(dv_copy, w.dv):
+                    raise RuntimeSimulationError(
+                        f"speculative re-execution of rank {r} diverged"
+                        " from the straggler's own superstep result"
+                    )
+                ref_speed = (
+                    self._pre_chaos_speeds[r]
+                    if self._pre_chaos_speeds is not None
+                    else w.speed
+                )
+                backup = times[r] * (w.speed / ref_speed) * (
+                    1.0 + monitor.policy.speculation_overhead
+                )
+                mitigated = min(times[r], deadline + backup)
+                if mitigated < times[r]:
+                    monitor.speculations += 1
+                    monitor.speculation_saved_seconds += times[r] - mitigated
+                    effective[r] = mitigated
+        rec = self.tracer._open
+        if rec is not None and monitor.speculations:
+            rec.info["speculations"] = float(monitor.speculations)
+        return max(effective)
 
     def charge_serial_compute(self, seconds: float) -> None:
         """Charge compute that runs on one processor (e.g. coordination)."""
@@ -281,6 +361,24 @@ class Cluster:
             w.flush_unacked()
 
     # ------------------------------------------------------------------
+    # health / self-healing
+    # ------------------------------------------------------------------
+    def attach_health(self, monitor: "HealthMonitor") -> None:
+        """Drive the per-rank health state machine from superstep barriers
+        and enable deadline-driven straggler mitigation + modeled retry
+        backoff.  Detach with :meth:`detach_health`."""
+        if monitor.nprocs != self.nprocs:
+            raise ConfigurationError(
+                f"health monitor built for {monitor.nprocs} workers,"
+                f" cluster has {self.nprocs}"
+            )
+        self.health = monitor
+
+    def detach_health(self) -> None:
+        self.health = None
+        self._spec_context = None
+
+    # ------------------------------------------------------------------
     # RC-step primitives
     # ------------------------------------------------------------------
     def exchange_boundary(self) -> int:
@@ -337,6 +435,8 @@ class Cluster:
         #: (src, dst, seq, payload, copies delivered on the wire)
         deliveries: List[Tuple[Rank, Rank, int, DeltaRows, int]] = []
         retries = 0
+        #: modeled seconds of exponential-backoff delay before retransmits
+        backoff = 0.0
         for src in range(self.nprocs):
             w = self.workers[src]
             for dst in range(self.nprocs):
@@ -348,6 +448,12 @@ class Cluster:
                     if is_retry:
                         retries += 1
                         chaos.record_retry(src, dst, seq)
+                        if self.health is not None:
+                            delay = self.health.backoff_delay(
+                                w.attempt_count(dst, seq)
+                            )
+                            backoff += delay
+                            chaos.record_backoff(src, dst, seq, delay)
                     outcome = chaos.send_outcome(src, dst, seq)
                     if outcome == "send_failure":
                         continue  # never hit the wire; retried next step
@@ -369,16 +475,48 @@ class Cluster:
                 if not chaos.ack_lost(src, dst, seq):
                     self.workers[src].ack_packet(dst, seq)
         self.charge_comm_words(messages + acks)
-        if retries:
-            rec = self.tracer._open
-            if rec is not None:
+        if backoff:
+            # backoff is wait time on the modeled clock, priced like comm
+            self.tracer.add_comm(backoff)
+        rec = self.tracer._open
+        if rec is not None:
+            if retries:
                 rec.info["retries"] = rec.info.get("retries", 0.0) + retries
+            if backoff:
+                rec.info["backoff_seconds"] = (
+                    rec.info.get("backoff_seconds", 0.0) + backoff
+                )
         return delivered
 
     def relax_and_propagate(self) -> bool:
-        """Cut-edge relaxation + local min-plus propagation on all workers."""
-        changed = self.backend.relax_and_propagate(self.workers)
-        self.sync_compute()
+        """Cut-edge relaxation + local min-plus propagation on all workers.
+
+        With a health monitor attached this is the *mitigated* superstep:
+        before running the backend, each known-slow rank's task and array
+        state are captured so :meth:`_mitigated_barrier` can speculatively
+        re-execute its kernel if the rank misses the deadline.  Only this
+        superstep barrier is mitigated — the IA phase and recovery
+        barriers run unmodified (one-shot phases, no deadline baseline).
+        """
+        if self.health is not None:
+            ctx: SpecContext = {}
+            pre = self._pre_chaos_speeds
+            if pre is not None and self.health.policy.speculate:
+                for r, w in enumerate(self.workers):
+                    if w.speed < pre[r]:
+                        ctx[r] = (
+                            w.peek_superstep_task(),
+                            w.dv.copy(),
+                            w.local_apsp.copy(),
+                        )
+            # an empty dict still arms the barrier: the state machine must
+            # observe every superstep even when nothing can be speculated
+            self._spec_context = ctx
+        try:
+            changed = self.backend.relax_and_propagate(self.workers)
+            self.sync_compute()
+        finally:
+            self._spec_context = None
         return changed
 
     def close(self) -> None:
@@ -467,6 +605,19 @@ class Cluster:
             stats = self.chaos.stats
             reg.counter_set(series.RETRIES, float(stats.retries))
             reg.counter_set(series.FAULTS, float(stats.faults_injected))
+        if self.health is not None:
+            mon = self.health
+            for w in self.workers:
+                reg.gauge(
+                    series.HEALTH_STATE,
+                    float(mon.state_value(w.rank)),
+                    rank=str(w.rank),
+                )
+            reg.counter_set(
+                series.MISSED_DEADLINES, float(mon.missed_deadlines)
+            )
+            reg.counter_set(series.SPECULATIONS, float(mon.speculations))
+            reg.counter_set(series.BACKOFF_SECONDS, mon.backoff_seconds)
         load = snapshot_load(self)
         reg.gauge(series.LOAD_VERTEX_IMBALANCE, load.vertex_imbalance)
         reg.gauge(series.LOAD_CUT_IMBALANCE, load.cut_imbalance)

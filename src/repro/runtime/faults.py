@@ -148,7 +148,10 @@ def recover_worker_from_snapshot(
     # everything restored must flow to subscribers and re-propagate
     w.request_full_repropagate()
     _rewire_rank(cluster, rank)
-    for v in w.subscribers:
+    # sorted for replay determinism: _queue_row only adds to per-channel
+    # sets today, but iterating a dict in rebuild order would make this
+    # path's behavior hostage to _rewire_rank's wiring order
+    for v in sorted(w.subscribers):
         w._queue_row(v)
     cluster.sync_compute()
     check_cluster_invariants(cluster)
@@ -194,6 +197,9 @@ def redistribute_worker(
                 votes[r] = votes.get(r, 0) + 1
         if votes:
             best = max(votes.values())
+            # iterating votes (dict) is safe here: min() with the
+            # (load, rank) key is order-independent — ties break on the
+            # rank itself, never on encounter order
             dst = min(
                 (r for r, c in votes.items() if c == best),
                 key=lambda r: (loads[r], r),
@@ -279,6 +285,9 @@ def _rewire_rank(cluster: "Cluster", rank: Rank) -> None:
     for peer in cluster.workers:
         if peer.rank != rank:
             peer.unsubscribe_rank(rank)
+    # cut_by_ext iterates in load_subgraph's insertion order, which is a
+    # pure function of the (sorted) local sub-graph — deterministic, and
+    # subscribe() itself is order-insensitive (keyed dict of sets)
     for x in w.cut_by_ext:
         cluster.workers[cluster.owner_of(x)].subscribe(x, rank)
     for peer in cluster.workers:

@@ -21,6 +21,16 @@ the modeled clock:
     Degraded mode: no replacement process.  The dead rank's sub-graph
     migrates to the survivors and the computation finishes on P−1
     processors.
+``escalate``
+    The self-healing ladder: each rank's *first* crash gets a warm
+    restart, its second a checkpoint restore (falling back to warm when
+    no usable snapshot exists), and from the third on it is retired via
+    redistribution.  When a rank exhausts its
+    :attr:`~repro.runtime.health.HealthPolicy.crash_budget`, or retiring
+    one more rank would push the dead fraction past
+    ``max_dead_fraction``, the supervisor stops recovering and flags the
+    run degraded — the engine then returns a partial result instead of
+    raising.
 
 Checkpointing is ordered *before* same-step crashes, so a checkpoint
 scheduled at a crash step is taken from live state, not wiped state.
@@ -30,7 +40,7 @@ state, preserving the injector's byte-identical event traces.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from ..errors import ConfigurationError
 from ..types import Rank
@@ -41,6 +51,7 @@ from .faults import (
     recover_worker_from_snapshot,
     redistribute_worker,
 )
+from .health import HealthMonitor, HealthPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.checkpoint import ClusterStateSnapshot
@@ -60,6 +71,7 @@ class Supervisor:
         *,
         recovery: str = "warm",
         checkpoint_interval: int = 8,
+        monitor: Optional[HealthMonitor] = None,
     ) -> None:
         if recovery not in RECOVERY_POLICIES:
             raise ConfigurationError(
@@ -72,12 +84,34 @@ class Supervisor:
         self.injector = injector
         self.recovery = recovery
         self.checkpoint_interval = checkpoint_interval
+        if monitor is None and recovery == "escalate":
+            # escalation needs crash budgets and dead-fraction limits even
+            # when the engine was not given an explicit HealthPolicy
+            monitor = HealthMonitor(
+                HealthPolicy(), cluster.nprocs, seed=injector.plan.seed
+            )
+        self.monitor = monitor
         self._snapshot: Optional["ClusterStateSnapshot"] = None
-        #: ranks retired by the redistribute policy (own no vertices)
+        #: ranks retired by redistribution / budget exhaustion
         self.dead_ranks: Set[Rank] = set()
         self.recoveries = 0
         self.recovery_modeled_seconds = 0.0
         self.checkpoint_modeled_seconds = 0.0
+        #: recoveries and modeled seconds per ladder rung / policy label
+        self.recoveries_by_rung: Dict[str, int] = {}
+        self._rung_seconds: Dict[str, float] = {}
+        #: non-empty once the run can no longer be recovered; the RC loop
+        #: stops at the next step boundary and returns a partial result
+        self.degraded_reason = ""
+
+    @property
+    def mttr_by_rung(self) -> Dict[str, float]:
+        """Mean modeled time-to-recovery per ladder rung / policy label."""
+        return {
+            rung: self._rung_seconds[rung] / count
+            for rung, count in sorted(self.recoveries_by_rung.items())
+            if count
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -89,7 +123,7 @@ class Supervisor:
         """RC-step preamble: periodic checkpoint, then scheduled crashes."""
         self.injector.begin_step(step)
         if (
-            self.recovery == "checkpoint"
+            self.recovery in ("checkpoint", "escalate")
             and step % self.checkpoint_interval == 0
         ):
             self._take_checkpoint(step)
@@ -140,6 +174,14 @@ class Supervisor:
 
     def _handle_crash(self, step: int, rank: Rank) -> None:
         cluster = self.cluster
+        if rank in self.dead_ranks:
+            # the rank was already retired; the scheduled crash still
+            # happens (and is recorded) but there is nothing to recover
+            self.injector.record_crash(step, rank)
+            return
+        if self.recovery == "escalate":
+            self._handle_crash_escalate(step, rank)
+            return
         self.injector.record_crash(step, rank)
         rec = cluster.tracer.begin("fault_recovery", step)
         crash_worker(cluster, rank)
@@ -159,6 +201,72 @@ class Supervisor:
             recover_worker(cluster, rank)
             policy = "warm"
         cluster.tracer.end()
+        self._finish_recovery(step, rank, policy, rec.modeled_total)
+
+    def _finish_recovery(
+        self, step: int, rank: Rank, policy: str, seconds: float
+    ) -> None:
         self.recoveries += 1
-        self.recovery_modeled_seconds += rec.modeled_total
+        self.recovery_modeled_seconds += seconds
+        self.recoveries_by_rung[policy] = (
+            self.recoveries_by_rung.get(policy, 0) + 1
+        )
+        self._rung_seconds[policy] = (
+            self._rung_seconds.get(policy, 0.0) + seconds
+        )
         self.injector.record_recovery(step, rank, policy)
+
+    def _handle_crash_escalate(self, step: int, rank: Rank) -> None:
+        """Climb the ladder warm -> checkpoint -> redistribute per rank,
+        degrading gracefully once health budgets are exhausted."""
+        cluster = self.cluster
+        monitor = self.monitor
+        assert monitor is not None
+        self.injector.record_crash(step, rank)
+        count = monitor.note_crash(rank)
+        policy = monitor.policy
+        if count > policy.crash_budget:
+            crash_worker(cluster, rank)
+            self.dead_ranks.add(rank)
+            monitor.mark_dead(rank)
+            self._degrade(step, rank, "crash-budget")
+            return
+        if count >= 3:
+            # third strike: retiring the rank — unless that would leave
+            # too few survivors, in which case the run degrades instead
+            if (len(self.dead_ranks) + 1) / cluster.nprocs > (
+                policy.max_dead_fraction
+            ):
+                crash_worker(cluster, rank)
+                self.dead_ranks.add(rank)
+                monitor.mark_dead(rank)
+                self._degrade(step, rank, "dead-fraction")
+                return
+        rec = cluster.tracer.begin("fault_recovery", step)
+        crash_worker(cluster, rank)
+        if count == 1:
+            recover_worker(cluster, rank)
+            rung = "warm"
+        elif count == 2 and self._snapshot_usable_for(rank):
+            recover_worker_from_snapshot(cluster, rank, self._snapshot)
+            rung = "checkpoint"
+        elif count == 2:
+            recover_worker(cluster, rank)
+            rung = "warm-fallback"
+        else:
+            redistribute_worker(cluster, rank, exclude=self.dead_ranks)
+            self.dead_ranks.add(rank)
+            monitor.mark_dead(rank)
+            rung = "redistribute"
+        rec.info["rung"] = float(
+            {"warm": 1, "checkpoint": 2, "warm-fallback": 2,
+             "redistribute": 3}[rung]
+        )
+        cluster.tracer.end()
+        self._finish_recovery(step, rank, rung, rec.modeled_total)
+
+    def _degrade(self, step: int, rank: Rank, reason: str) -> None:
+        """Stop recovering: flag the run for graceful degradation."""
+        if not self.degraded_reason:
+            self.degraded_reason = reason
+        self.injector.record_degraded(step, reason, rank)

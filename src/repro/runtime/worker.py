@@ -497,6 +497,14 @@ class Worker:
         self._unacked[dst].pop(seq, None)
         self._attempts[dst].pop(seq, None)
 
+    def attempt_count(self, dst: Rank, seq: int) -> int:
+        """Send attempts so far for packet ``(dst, seq)`` (>= 1).
+
+        Read by the cluster right after :meth:`outbound_packets` marks a
+        retry, to size the health monitor's modeled backoff delay.
+        """
+        return self._attempts[dst].get(seq, 1)
+
     def receive_packet(
         self,
         src: Rank,
@@ -642,6 +650,27 @@ class Worker:
             n=self.n_local,
             n_cols=self.n_cols,
             relax_items=self._relax_items(),
+            changed_rows=sorted(self._changed_rows),
+            dirty_cols=self._dirty_cols.copy(),
+            full_repropagate=self._full_repropagate,
+        )
+
+    def peek_superstep_task(self) -> SuperstepTask:
+        """Snapshot the next superstep's inputs *without* consuming them.
+
+        Used by the straggler-mitigation path to capture a speculative
+        copy of a suspect rank's work before the real superstep runs.
+        :meth:`_relax_items` consumes the fresh-external set, so it is
+        saved and restored around the call; the returned task holds the
+        same item list (same sorted order) the real superstep will see.
+        """
+        saved_fresh = set(self._fresh_ext)
+        items = self._relax_items()
+        self._fresh_ext = saved_fresh
+        return SuperstepTask(
+            n=self.n_local,
+            n_cols=self.n_cols,
+            relax_items=items,
             changed_rows=sorted(self._changed_rows),
             dirty_cols=self._dirty_cols.copy(),
             full_repropagate=self._full_repropagate,

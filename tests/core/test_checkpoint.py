@@ -117,6 +117,67 @@ def test_worker_speeds_survive(tmp_path):
     assert [w.speed for w in restored.cluster.workers] == [2.0, 1.0, 1.0, 1.0]
 
 
+class TestAtomicWrite:
+    """save_checkpoint stages via temp file + fsync + atomic rename."""
+
+    def test_successful_save_leaves_no_temp_file(self, tmp_path):
+        _g, engine = make_engine(n=40)
+        engine.run()
+        path = tmp_path / "c.npz"
+        save_checkpoint(engine, path)
+        assert path.is_file()
+        assert not (tmp_path / "c.npz.tmp").exists()
+
+    def test_interrupted_write_preserves_previous_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash mid-write must never corrupt the checkpoint at the
+        final path: the previous complete file stays untouched and no
+        partial .tmp is left behind."""
+        import numpy as np
+
+        from repro.core import checkpoint as cp
+
+        g, engine = make_engine(n=40)
+        engine.run()
+        path = tmp_path / "c.npz"
+        save_checkpoint(engine, path)
+        good = path.read_bytes()
+
+        def exploding_savez(fh, **arrays):
+            fh.write(b"PK\x03\x04 partial garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", exploding_savez)
+        with pytest.raises(OSError, match="disk full"):
+            cp.save_checkpoint(engine, path)
+        monkeypatch.undo()
+        # previous complete checkpoint untouched, partial staged file gone
+        assert path.read_bytes() == good
+        assert not (tmp_path / "c.npz.tmp").exists()
+        restored = load_checkpoint(path)
+        assert restored.current_closeness() == engine.current_closeness()
+
+    def test_truncated_partial_is_never_picked_up(self, tmp_path):
+        """A stray truncated .tmp (crash between write and rename) must
+        not shadow the real checkpoint, and loading a truncated file at
+        the final path fails loudly rather than yielding garbage."""
+        _g, engine = make_engine(n=40)
+        engine.run()
+        path = tmp_path / "c.npz"
+        save_checkpoint(engine, path)
+        blob = path.read_bytes()
+        # crash-between-write-and-rename leftovers are invisible to load
+        (tmp_path / "c.npz.tmp").write_bytes(blob[: len(blob) // 3])
+        restored = load_checkpoint(path)
+        assert restored.current_closeness() == engine.current_closeness()
+        # and a truncated file at the final path is rejected, not read
+        trunc = tmp_path / "trunc.npz"
+        trunc.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(trunc)
+
+
 class TestFileValidation:
     """Corrupted / foreign / wrong-version checkpoint files."""
 

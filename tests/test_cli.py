@@ -66,3 +66,46 @@ def test_scaling_command(capsys):
     assert main(["scaling", "--small"]) == 0
     out = capsys.readouterr().out
     assert "speedup" in out
+
+
+def test_trace_straggler_health(capsys):
+    assert main([
+        "trace", "--n-base", "150", "--batch", "10", "--nprocs", "4",
+        "--chaos-straggler", "1:8.0", "--health",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "speculative re-executions" in out
+    assert "missed deadlines" in out
+    assert "DEGRADED" not in out
+
+
+def test_trace_escalate_recovery_ladder(capsys):
+    assert main([
+        "trace", "--n-base", "150", "--batch", "10", "--nprocs", "4",
+        "--chaos-crash", "1:0", "--chaos-crash", "2:0",
+        "--chaos-crash", "3:0", "--recovery", "escalate",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "recovery ladder:" in out
+    assert "warm=1" in out and "redistribute=1" in out
+    assert "mttr" in out
+
+
+def test_trace_degraded_output(capsys):
+    # loss so heavy that the retry budget is exhausted; with --health the
+    # run degrades gracefully instead of raising
+    assert main([
+        "trace", "--n-base", "120", "--batch", "10", "--nprocs", "4",
+        "--chaos-seed", "6", "--chaos-loss", "0.95", "--health",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "DEGRADED (retry-budget)" in out
+    assert "finite_fraction=" in out
+
+
+def test_trace_bad_chaos_pair_rejected():
+    with pytest.raises(SystemExit):
+        main([
+            "trace", "--n-base", "120", "--nprocs", "4",
+            "--chaos-crash", "nonsense",
+        ])

@@ -201,3 +201,77 @@ class TestChaosDeterminism:
             )
         assert results[0] == results[1]
         assert results[0][2] > 0, "the plan injected no faults"
+
+    def test_health_mitigated_runs_identical(self) -> None:
+        """Straggler mitigation (speculation + seeded backoff) must be
+        as repeatable as the fault-free path: same modeled trace bits,
+        same backoff delays, same closeness."""
+        from repro import HealthPolicy
+
+        plan = FaultPlan(seed=13, stragglers=((1, 8.0),), loss_prob=0.1)
+        results = []
+        for _ in range(2):
+            g = barabasi_albert(70, 2, seed=7)
+            engine = AnytimeAnywhereCloseness(
+                g,
+                AnytimeConfig(
+                    nprocs=4,
+                    seed=7,
+                    collect_snapshots=False,
+                    health=HealthPolicy(),
+                ),
+            )
+            engine.setup()
+            res = engine.run(fault_plan=plan)
+            results.append(
+                (
+                    _closeness_bits(res.closeness),
+                    tuple(res.fault_events),
+                    res.speculations,
+                    res.missed_deadlines,
+                    res.backoff_modeled_seconds,
+                    res.modeled_seconds,
+                    _modeled_trace(engine),
+                )
+            )
+        assert results[0] == results[1]
+        assert results[0][2] > 0, "no speculation was triggered"
+
+    def test_degraded_runs_identical(self) -> None:
+        """Graceful degradation is pinned too: the partial closeness, the
+        quality statement, and the fault log of a budget-exhausted run
+        are byte-for-byte repeatable."""
+        from repro import HealthPolicy
+
+        plan = FaultPlan(seed=17, crashes=((1, 0), (2, 0), (3, 0)))
+        results = []
+        for _ in range(2):
+            g = barabasi_albert(70, 2, seed=7)
+            engine = AnytimeAnywhereCloseness(
+                g,
+                AnytimeConfig(
+                    nprocs=4,
+                    seed=7,
+                    collect_snapshots=False,
+                    recovery="escalate",
+                    checkpoint_interval=2,
+                    health=HealthPolicy(crash_budget=2),
+                ),
+            )
+            engine.setup()
+            res = engine.run(fault_plan=plan)
+            results.append(
+                (
+                    res.degraded,
+                    res.degraded_reason,
+                    _closeness_bits(res.closeness),
+                    tuple(sorted(res.quality.items())),
+                    tuple(res.fault_events),
+                    res.recoveries_by_rung,
+                    res.modeled_seconds,
+                    _modeled_trace(engine),
+                )
+            )
+        assert results[0] == results[1]
+        assert results[0][0] is True, "the plan did not exhaust the budget"
+        assert results[0][1] == "crash-budget"

@@ -348,3 +348,114 @@ def test_vertex_removal_removes_all_traces(g, data):
     assert victim not in g
     for v in g.vertices():
         assert victim not in set(g.neighbors(v))
+
+
+# ----------------------------------------------------------------------
+# self-healing: combined fault plans x escalation ladder
+# ----------------------------------------------------------------------
+def _chaos_run(g, plan, policy):
+    """One escalate-ladder run under ``plan``; returns the RunResult and
+    the canonical fault-event trace."""
+    import repro
+
+    cfg = AnytimeConfig(
+        nprocs=3,
+        collect_snapshots=False,
+        recovery="escalate",
+        checkpoint_interval=2,
+        health=policy,
+    )
+    result = repro.closeness(g, config=cfg, fault_plan=plan)
+    return result, tuple(result.fault_events)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=SETTINGS["suppress_health_check"])
+@given(
+    g=connected_graphs(min_n=4, max_n=12),
+    seed=st.integers(0, 2**20),
+    crashes=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 2)),
+        max_size=3, unique=True,
+    ),
+    loss=st.sampled_from((0.0, 0.1, 0.3)),
+    dup=st.sampled_from((0.0, 0.1)),
+    straggler=st.sampled_from((None, (1, 4.0), (2, 16.0))),
+    crash_budget=st.integers(1, 3),
+)
+def test_combined_faults_complete_or_degrade_gracefully(
+    g, seed, crashes, loss, dup, straggler, crash_budget
+):
+    """Self-healing closure property: any combination of crash x loss x
+    duplication x straggler faults, pushed through the escalation ladder,
+    either converges to the exact answer or degrades gracefully — never
+    raises — and identical (plan, seed, config) runs are byte-identical
+    in both fault trace and closeness."""
+    from repro import HealthPolicy
+    from repro.runtime.chaos import FaultPlan
+
+    plan = FaultPlan(
+        seed=seed,
+        crashes=tuple(crashes),
+        loss_prob=loss,
+        dup_prob=dup,
+        stragglers=(straggler,) if straggler else (),
+        max_retries=6,
+    )
+    policy = HealthPolicy(crash_budget=crash_budget)
+    result, trace = _chaos_run(g, plan, policy)
+    if result.degraded:
+        assert result.degraded_reason in (
+            "crash-budget", "dead-fraction", "retry-budget"
+        )
+        assert not result.converged
+        assert result.quality  # quantified quality statement present
+        assert 0.0 <= result.quality["finite_fraction"] <= 1.0
+        assert any("kind=degraded" in line for line in trace)
+    else:
+        assert result.converged
+        exact = exact_closeness(g)
+        for v, c in exact.items():
+            assert result.closeness[v] == pytest.approx(c, abs=1e-9)
+    # determinism: same plan + seed + config => byte-identical outcome
+    result2, trace2 = _chaos_run(g, plan, policy)
+    assert trace2 == trace
+    assert result2.closeness == result.closeness
+    assert result2.degraded == result.degraded
+    assert result2.modeled_seconds == result.modeled_seconds
+
+
+def test_combined_faults_process_backend_matches_serial():
+    """One deterministic mixed-fault escalate run must be bitwise
+    identical across the serial and process backends."""
+    import repro
+    from repro import HealthPolicy
+    from repro.graph import barabasi_albert
+    from repro.runtime.chaos import FaultPlan
+
+    g = barabasi_albert(60, 2, seed=5)
+    plan = FaultPlan(
+        seed=11,
+        crashes=((1, 0), (3, 1)),
+        loss_prob=0.15,
+        dup_prob=0.1,
+        stragglers=((2, 6.0),),
+        max_retries=10,
+    )
+    results = {}
+    for backend in ("serial", "process"):
+        cfg = AnytimeConfig(
+            nprocs=3,
+            collect_snapshots=False,
+            recovery="escalate",
+            checkpoint_interval=2,
+            health=HealthPolicy(),
+            backend=backend,
+        )
+        results[backend] = repro.closeness(g, config=cfg, fault_plan=plan)
+    s, p = results["serial"], results["process"]
+    assert p.closeness == s.closeness
+    assert p.fault_events == s.fault_events
+    assert p.modeled_seconds == s.modeled_seconds
+    assert p.degraded == s.degraded
+    assert p.speculations == s.speculations

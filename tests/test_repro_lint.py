@@ -43,7 +43,7 @@ def codes(findings: List[Finding]) -> List[str]:
 # framework
 # ----------------------------------------------------------------------
 class TestFramework:
-    def test_all_six_rules_registered(self) -> None:
+    def test_all_rules_registered(self) -> None:
         assert Registry.codes() == [
             "RPL001",
             "RPL002",
@@ -51,6 +51,7 @@ class TestFramework:
             "RPL004",
             "RPL005",
             "RPL006",
+            "RPL007",
         ]
 
     def test_rules_have_docs(self) -> None:
@@ -572,6 +573,119 @@ class TestRPL006:
                 print(x)  # repro-lint: disable=RPL006
         """
         findings = lint_source(tmp_path, "src/repro/runtime/w.py", source)
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL007 — wall-clock retry backoff
+# ----------------------------------------------------------------------
+class TestRPL007:
+    def test_flags_sleep_in_retry_loop(self, tmp_path: Path) -> None:
+        source = """
+            import time
+
+            def deliver(packet, max_retries):
+                for attempt in range(max_retries):
+                    if send(packet):
+                        return
+                    time.sleep(0.1 * attempt)
+        """
+        findings = lint_source(
+            tmp_path, "src/repro/runtime/net.py", source, select=["RPL007"]
+        )
+        assert codes(findings) == ["RPL007"]
+
+    def test_flags_unseeded_jitter_in_backoff_loop(
+        self, tmp_path: Path
+    ) -> None:
+        source = """
+            import random
+
+            def resend(ch):
+                backoff = 1.0
+                while ch.pending():
+                    backoff *= 2 * (1 + random.random())
+                    ch.charge(backoff)
+        """
+        findings = lint_source(
+            tmp_path, "src/repro/runtime/net.py", source, select=["RPL007"]
+        )
+        assert codes(findings) == ["RPL007"]
+
+    def test_flags_seedless_default_rng_in_retry_loop(
+        self, tmp_path: Path
+    ) -> None:
+        source = """
+            import numpy as np
+
+            def jittered_retries(n):
+                for attempt in range(n):
+                    rng = np.random.default_rng()
+                    yield rng.random()
+        """
+        findings = lint_source(
+            tmp_path, "src/repro/runtime/net.py", source, select=["RPL007"]
+        )
+        assert codes(findings) == ["RPL007"]
+
+    def test_modeled_clock_backoff_is_clean(self, tmp_path: Path) -> None:
+        # the blessed pattern: seeded generator + modeled-clock charge
+        source = """
+            import numpy as np
+
+            def resend(ch, tracer, seed):
+                rng = np.random.default_rng(seed)
+                for attempt in range(ch.max_retries):
+                    delay = 1e-3 * 2 ** attempt * (1 + 0.1 * rng.random())
+                    tracer.add_comm(delay)
+        """
+        findings = lint_source(
+            tmp_path, "src/repro/runtime/net.py", source, select=["RPL007"]
+        )
+        assert findings == []
+
+    def test_sleep_outside_retry_loop_not_flagged(
+        self, tmp_path: Path
+    ) -> None:
+        # plain sleeps are RPL003's wall-clock problem, not RPL007's
+        source = """
+            import time
+
+            def warmup(items):
+                for item in items:
+                    time.sleep(0.5)
+        """
+        findings = lint_source(
+            tmp_path, "src/repro/runtime/net.py", source, select=["RPL007"]
+        )
+        assert findings == []
+
+    def test_bench_allowlist_may_sleep(self, tmp_path: Path) -> None:
+        source = """
+            import time
+
+            def poll(job):
+                for attempt in range(10):
+                    if job.done():
+                        return
+                    time.sleep(1.0)
+        """
+        findings = lint_source(
+            tmp_path, "src/repro/bench/poll.py", source, select=["RPL007"]
+        )
+        assert findings == []
+
+    def test_suppression(self, tmp_path: Path) -> None:
+        source = """
+            import time
+
+            def deliver(packet, retries):
+                for attempt in range(retries):
+                    time.sleep(1)  # repro-lint: disable=RPL007
+        """
+        findings = lint_source(
+            tmp_path, "src/repro/runtime/net.py", source, select=["RPL007"]
+        )
         assert findings == []
 
 

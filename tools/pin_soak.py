@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Canonicalize a chaos-soak artifact for pinned-digest comparison.
+
+Usage: python tools/pin_soak.py FILE
+
+Prints a canonical form of FILE to stdout with the host-wall-clock
+noise removed, so repeated runs of the same seeded scenario — and the
+serial vs process backends — can be compared byte-for-byte:
+
+- ``*.jsonl`` trace exports: each line is parsed as JSON, the ``wall``
+  field (the only legitimately nondeterministic one) is dropped, and
+  the object is re-dumped with sorted keys.
+- CLI ``*.out`` captures: ``trace exported to ...`` lines (embed the
+  artifact filename) are dropped, ``wall X.XXs`` readings are masked,
+  and the ``wall_seconds`` column of any summary table is masked by
+  matching the header row.
+
+No third-party dependencies; stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from typing import List, Optional
+
+
+def canonical_jsonl(lines: List[str]) -> List[str]:
+    out = []
+    for line in lines:
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        obj.pop("wall", None)
+        out.append(json.dumps(obj, sort_keys=True))
+    return out
+
+
+def canonical_out(lines: List[str]) -> List[str]:
+    out = []
+    wall_col: Optional[int] = None
+    for line in lines:
+        line = line.rstrip("\n")
+        if line.startswith("trace exported to "):
+            continue
+        tokens = line.split()
+        if "wall_seconds" in tokens:
+            wall_col = tokens.index("wall_seconds")
+        elif (
+            wall_col is not None
+            and len(tokens) > wall_col
+            and not set(line) <= {"-", " "}
+        ):
+            tokens[wall_col] = "WALL"
+            line = "  ".join(tokens)
+        else:
+            # table over (blank line / new section): stop masking
+            if not tokens:
+                wall_col = None
+        line = re.sub(r"wall [0-9.]+s", "wall WALL", line)
+        out.append(line)
+    return out
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = argv[1]
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.readlines()
+    canon = (
+        canonical_jsonl(lines)
+        if path.endswith(".jsonl")
+        else canonical_out(lines)
+    )
+    for line in canon:
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

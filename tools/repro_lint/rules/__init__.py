@@ -9,4 +9,5 @@ from . import (  # noqa: F401  (imported for registration side effects)
     rpl004_uncharged_send,
     rpl005_overbroad_except,
     rpl006_bare_print,
+    rpl007_wall_clock_backoff,
 )

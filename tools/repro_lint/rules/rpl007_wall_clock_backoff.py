@@ -1,0 +1,152 @@
+"""RPL007 — wall-clock retry backoff.
+
+Retry/backoff loops are where wall-clock habits from production code
+sneak into the simulator: ``time.sleep(delay)`` between attempts, or
+jitter drawn from the process-global ``random`` module.  Both are wrong
+here — a retransmission delay is *modeled time* and must be charged to
+the LogP clock (``Tracer.add_comm`` /
+``HealthMonitor.backoff_delay``), and jitter must come from a seeded
+generator so the delay sequence — and with it every downstream trace —
+is byte-identical across runs.
+
+The rule looks for loops that smell like retry machinery (an identifier
+mentioning ``retry``/``attempt``/``backoff``/``reconnect`` anywhere in
+the loop) and flags, inside them:
+
+* real sleeps — ``time.sleep`` / ``asyncio.sleep``: the simulation must
+  never stall the host; charge the modeled clock instead,
+* unseeded jitter — module-level ``random.*`` / ``numpy.random.*``
+  draws or seedless ``Random()`` / ``default_rng()`` constructions.
+
+The bench/tracing harness may legitimately sleep (it measures the
+host), so the rule honors the RPL003 wall-clock allowlist.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..core import FileContext, Finding, LintRule, Registry
+
+#: identifier fragments that mark a loop as retry/backoff machinery
+_RETRY_HINTS = (
+    "retry",
+    "retries",
+    "attempt",
+    "backoff",
+    "reconnect",
+    "redeliver",
+    "retransmit",
+)
+
+#: calls that stall the host process for real wall-clock time
+_SLEEP_CALLS = {"time.sleep", "asyncio.sleep"}
+
+#: seedable constructors (flagged only when called without a seed)
+_SEEDABLE = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+}
+
+#: module prefixes whose plain functions draw from hidden global state
+_GLOBAL_RNG_PREFIXES = ("random.", "numpy.random.")
+
+
+def _loop_identifiers(loop: ast.AST) -> Set[str]:
+    """Every identifier fragment mentioned anywhere inside ``loop``."""
+    names: Set[str] = set()
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Name):
+            names.add(node.id.lower())
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr.lower())
+        elif isinstance(node, ast.arg):
+            names.add(node.arg.lower())
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            names.add(node.name.lower())
+    return names
+
+
+def _is_retry_loop(loop: ast.AST) -> bool:
+    return any(
+        hint in name
+        for name in _loop_identifiers(loop)
+        for hint in _RETRY_HINTS
+    )
+
+
+def _has_seed_argument(node: ast.Call) -> bool:
+    if node.args:
+        first = node.args[0]
+        return not (
+            isinstance(first, ast.Constant) and first.value is None
+        )
+    for kw in node.keywords:
+        if kw.arg in ("seed", "x") and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        ):
+            return True
+        if kw.arg is None:  # **kwargs may carry the seed; trust it
+            return True
+    return False
+
+
+@Registry.register
+class WallClockBackoffRule(LintRule):
+    code = "RPL007"
+    name = "wall-clock-backoff"
+    description = (
+        "retry/backoff loops must charge modeled-clock delays with"
+        " seeded jitter; real time.sleep() calls and unseeded random"
+        " draws break the simulation's determinism"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.config.in_target(ctx.path):
+            return
+        if ctx.config.allows_wall_clock(ctx.path):
+            return
+        seen: Set[int] = set()
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.While, ast.AsyncFor)):
+                continue
+            if not _is_retry_loop(loop):
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call) or id(node) in seen:
+                    continue
+                seen.add(id(node))
+                target = ctx.resolve_call_target(node.func)
+                if target is None:
+                    continue
+                if target in _SLEEP_CALLS:
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"{target}() stalls the host inside a retry loop;"
+                        " charge the delay to the modeled LogP clock"
+                        " (Tracer.add_comm / HealthMonitor.backoff_delay)"
+                        " instead",
+                    )
+                elif target in _SEEDABLE:
+                    if not _has_seed_argument(node):
+                        yield ctx.finding(
+                            node,
+                            self.code,
+                            f"{target}() without a seed inside a retry"
+                            " loop makes the backoff jitter — and every"
+                            " downstream trace — irreproducible; pass an"
+                            " explicit seed",
+                        )
+                elif target.startswith(_GLOBAL_RNG_PREFIXES):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"{target}() draws backoff jitter from hidden"
+                        " global RNG state; use a seeded generator"
+                        " instance so retry delays replay byte-identically",
+                    )
