@@ -7,7 +7,7 @@ truth and rank-level agreement of the induced centrality ordering.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Set
 
 import numpy as np
 
@@ -102,7 +102,7 @@ def top_k_overlap(
     """|top-k(approx) ∩ top-k(exact)| / k — headline-actor agreement."""
     if k <= 0:
         raise ValueError("k must be positive")
-    def top(d):
+    def top(d: Dict[VertexId, float]) -> Set[VertexId]:
         return {
             v for v, _ in sorted(d.items(), key=lambda t: (-t[1], t[0]))[:k]
         }

@@ -52,6 +52,9 @@ class TestFramework:
             "RPL005",
             "RPL006",
             "RPL007",
+            "RPL008",
+            "RPL009",
+            "RPL010",
         ]
 
     def test_rules_have_docs(self) -> None:

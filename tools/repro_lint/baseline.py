@@ -1,0 +1,77 @@
+"""Committed baseline of accepted findings.
+
+A baseline lets a new rule land with pre-existing, *reviewed* findings
+grandfathered instead of blocking CI.  Each entry records the finding's
+fingerprint (path + code + message, line-independent — see
+:func:`repro_lint.core.fingerprint`) next to a human-readable copy of
+what was accepted and why that is safe, so the file reviews like code.
+
+Workflow::
+
+    python -m repro_lint src/repro --write-baseline   # snapshot
+    python -m repro_lint src/repro                    # now clean
+
+Fixing the underlying code makes the entry dead weight, never a
+failure: stale fingerprints simply stop matching.  ``--write-baseline``
+rewrites the file from scratch, so refreshing it also prunes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Set
+
+from .core import Finding, fingerprint
+
+__all__ = ["load_baseline", "write_baseline"]
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprints in a baseline file; empty set when absent/invalid."""
+    if not path.is_file():
+        return set()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return set()
+    entries = data.get("findings", []) if isinstance(data, dict) else []
+    out: Set[str] = set()
+    for entry in entries:
+        if isinstance(entry, dict) and isinstance(
+            entry.get("fingerprint"), str
+        ):
+            out.add(entry["fingerprint"])
+    return out
+
+
+def write_baseline(findings: List[Finding], path: Path) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    entries = []
+    seen: Set[str] = set()
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.code)):
+        fp = fingerprint(f)
+        if fp in seen:
+            continue
+        seen.add(fp)
+        entries.append(
+            {
+                "fingerprint": fp,
+                "path": f.path,
+                "code": f.code,
+                "message": f.message,
+                "line": f.line,  # informational; not part of the identity
+            }
+        )
+    payload = {
+        "version": 1,
+        "comment": (
+            "Accepted repro-lint findings. Entries are matched by"
+            " fingerprint (path+code+message); refresh with"
+            " --write-baseline, which also prunes fixed entries."
+        ),
+        "findings": entries,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,186 @@
+"""Incremental lint cache keyed on file content hashes.
+
+Whole-program analysis reads every file every run; the cache makes the
+common CI case — nothing relevant changed — cheap:
+
+* per-file findings are keyed on the file's content hash (path-qualified
+  so moved files miss);
+* the whole-program pass is keyed on the hash of *all* (path, content
+  hash) pairs — any edit anywhere invalidates it, which is the only
+  sound choice for an interprocedural analysis;
+* both keys also fold in the config, the registered-rule codes, and the
+  ``--select`` set, so flag changes never serve stale findings.
+
+The store is one JSON file (default ``.repro-lint-cache.json``),
+written atomically via a temp-file rename.  A corrupt or
+version-mismatched cache is treated as empty, never an error.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .config import LintConfig
+from .core import Finding, Registry
+
+__all__ = ["LintCache"]
+
+_CACHE_VERSION = 1
+
+
+def _hash(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """Content-addressed findings cache for one lint invocation."""
+
+    def __init__(self, path: Path, config: LintConfig) -> None:
+        self.path = path
+        self._salt = _hash(
+            json.dumps(
+                {
+                    "version": _CACHE_VERSION,
+                    "rules": Registry.codes(),
+                    "config": {
+                        k: sorted(v.items())
+                        if isinstance(v, dict)
+                        else list(v)
+                        if isinstance(v, (list, tuple))
+                        else v
+                        for k, v in asdict(config).items()
+                    },
+                },
+                sort_keys=True,
+                default=str,
+            )
+        )
+        self._entries: Dict[str, List[Dict[str, object]]] = {}
+        self._dirty = False
+        self._load()
+
+    # -- keys ----------------------------------------------------------
+    def _select_tag(self, selected: Optional[Set[str]]) -> str:
+        return ",".join(sorted(selected)) if selected else "*"
+
+    def _file_key(
+        self, path: Path, source: str, selected: Optional[Set[str]]
+    ) -> str:
+        return _hash(
+            f"file:{path.resolve().as_posix()}:{_hash(source)}"
+            f":{self._select_tag(selected)}:{self._salt}"
+        )
+
+    def _project_key(
+        self,
+        parsed: Sequence[Tuple[Path, str, ast.Module]],
+        selected: Optional[Set[str]],
+    ) -> str:
+        digest = hashlib.sha256()
+        for path, source, _tree in sorted(
+            parsed, key=lambda t: t[0].resolve().as_posix()
+        ):
+            digest.update(path.resolve().as_posix().encode())
+            digest.update(_hash(source).encode())
+        return _hash(
+            f"project:{digest.hexdigest()}"
+            f":{self._select_tag(selected)}:{self._salt}"
+        )
+
+    # -- lookups -------------------------------------------------------
+    def get_file(
+        self, path: Path, source: str, selected: Optional[Set[str]]
+    ) -> Optional[List[Finding]]:
+        return self._get(self._file_key(path, source, selected))
+
+    def put_file(
+        self,
+        path: Path,
+        source: str,
+        selected: Optional[Set[str]],
+        findings: List[Finding],
+    ) -> None:
+        self._put(self._file_key(path, source, selected), findings)
+
+    def get_project(
+        self,
+        parsed: Sequence[Tuple[Path, str, ast.Module]],
+        selected: Optional[Set[str]],
+    ) -> Optional[List[Finding]]:
+        return self._get(self._project_key(parsed, selected))
+
+    def put_project(
+        self,
+        parsed: Sequence[Tuple[Path, str, ast.Module]],
+        selected: Optional[Set[str]],
+        findings: List[Finding],
+    ) -> None:
+        self._put(self._project_key(parsed, selected), findings)
+
+    # -- store ---------------------------------------------------------
+    def _get(self, key: str) -> Optional[List[Finding]]:
+        raw = self._entries.get(key)
+        if raw is None:
+            return None
+        try:
+            return [
+                Finding(
+                    path=str(e["path"]),
+                    line=int(e["line"]),  # type: ignore[arg-type]
+                    col=int(e["col"]),  # type: ignore[arg-type]
+                    code=str(e["code"]),
+                    message=str(e["message"]),
+                )
+                for e in raw
+            ]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _put(self, key: str, findings: List[Finding]) -> None:
+        self._entries[key] = [f.to_json() for f in findings]
+        self._dirty = True
+
+    def _load(self) -> None:
+        if not self.path.is_file():
+            return
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return
+        if not isinstance(data, dict) or data.get("salt") != self._salt:
+            return  # config/rules changed: whole cache is stale
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self._entries = {
+                str(k): v for k, v in entries.items() if isinstance(v, list)
+            }
+
+    def save(self) -> None:
+        """Atomically persist the cache (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        payload = {
+            "version": _CACHE_VERSION,
+            "salt": self._salt,
+            "entries": self._entries,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

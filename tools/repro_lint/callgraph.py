@@ -1,0 +1,626 @@
+"""Project-wide symbol table and call graph for whole-program rules.
+
+Per-file rules (RPL001–007) see one ``ast.Module`` at a time; the three
+interprocedural rules (RPL008–010) need to follow values and effects
+across function and module boundaries.  This module builds the shared
+substrate for them:
+
+* a :class:`ModuleInfo` per linted file (dotted name, import tables,
+  top-level functions and classes);
+* a :class:`FunctionInfo` per function/method with its parameters and
+  enclosing class;
+* a class hierarchy restricted to project classes, so ``self.meth()``
+  resolves through base classes *and* to subclass overrides (dynamic
+  dispatch is approximated CHA-style: every override is a possible
+  target);
+* resolved call sites per function, plus caller/callee adjacency.
+
+Resolution is deliberately conservative-but-named: an attribute call
+``obj.frobnicate(...)`` whose receiver type is unknown resolves to every
+project method named ``frobnicate`` (class-hierarchy-analysis lite).
+That is exactly the approximation the repo's rules need — the runtime's
+backend dispatch (``ExecutionBackend.run_ia`` overridden per backend)
+and the worker/cluster send primitives are all uniquely named, so
+name-based resolution is precise in practice while never missing an
+edge.
+
+Two indirections get dedicated handling because the codebase leans on
+them:
+
+* **strategy registry**: a call to ``make_strategy(...)`` (configurable
+  via :attr:`LintConfig.registry_factories`) adds edges to every project
+  function decorated with the paired ``@register(...)`` decorator;
+* **constructors**: a call to a project class adds an edge to its
+  ``__init__`` (searched through the base-class chain).
+
+Module names are derived from the file layout relative to the common
+root of the linted paths, dropping a leading ``src`` component, so
+``src/repro/runtime/worker.py`` becomes ``repro.runtime.worker`` no
+matter where the linter was invoked from.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .config import LintConfig
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "CallSite",
+    "ProjectContext",
+    "build_project",
+]
+
+FuncKey = str  # "repro.runtime.worker.Worker.receive_rows"
+
+
+# ----------------------------------------------------------------------
+# records
+# ----------------------------------------------------------------------
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    key: FuncKey
+    module: str
+    qualname: str  # "Worker.receive_rows" or "make_strategy"
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    path: Path
+    class_name: Optional[str] = None
+    #: positional parameter names in order, including ``self``
+    params: Tuple[str, ...] = ()
+    #: decorator names as written (last attribute segment), e.g.
+    #: ``register`` for ``@register("ldg")``
+    decorators: Tuple[str, ...] = ()
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition and its project-resolved hierarchy."""
+
+    key: str  # "repro.runtime.worker.Worker"
+    module: str
+    name: str
+    node: ast.ClassDef
+    #: raw base expressions as dotted strings (pre-resolution)
+    base_names: Tuple[str, ...] = ()
+    #: project-resolved base class keys (filled by the builder)
+    bases: List[str] = field(default_factory=list)
+    #: direct subclass keys (filled by the builder)
+    subclasses: List[str] = field(default_factory=list)
+    #: method name -> FuncKey for methods defined *on this class*
+    methods: Dict[str, FuncKey] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file with its import environment."""
+
+    name: str  # dotted, e.g. "repro.runtime.worker"
+    path: Path
+    tree: ast.Module
+    source: str
+    #: import alias -> canonical dotted module ("np" -> "numpy")
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: imported/defined symbol -> canonical dotted name
+    symbol_aliases: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FuncKey] = field(default_factory=dict)
+    classes: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class CallSite:
+    """One resolved call expression inside a function body."""
+
+    node: ast.Call
+    #: possible project targets (empty when the callee is external)
+    targets: Tuple[FuncKey, ...]
+    #: "self" | "name" | "attr" | None — how the callee was written
+    receiver: Optional[str]
+    #: last name segment of the callee as written ("receive_rows")
+    attr: str
+
+
+# ----------------------------------------------------------------------
+# builder
+# ----------------------------------------------------------------------
+class ProjectContext:
+    """Symbol table + call graph over every linted file.
+
+    Built once per ``lint_paths`` run when a whole-program rule is
+    selected; rules receive it via :meth:`ProjectRule.check_project`.
+    """
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[FuncKey, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: bare function/method name -> every FuncKey with that name
+        self.by_name: Dict[str, List[FuncKey]] = {}
+        #: FuncKey -> resolved call sites in its own body
+        self.call_sites: Dict[FuncKey, List[CallSite]] = {}
+        self.callers: Dict[FuncKey, Set[FuncKey]] = {}
+        self.callees: Dict[FuncKey, Set[FuncKey]] = {}
+        #: factory name -> registered FuncKeys (strategy indirection)
+        self.registry_targets: Dict[str, List[FuncKey]] = {}
+        #: path (resolved posix) -> module name, for rule lookups
+        self._module_of_path: Dict[str, str] = {}
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        files: Sequence[Tuple[Path, str, ast.Module]],
+        config: LintConfig,
+    ) -> "ProjectContext":
+        """Build from already-parsed ``(path, source, tree)`` triples."""
+        self = cls(config)
+        root = _common_root([p for p, _, _ in files])
+        # when the linted tree is rooted inside a package (e.g. linting
+        # src/repro directly), climb to the package's own root so module
+        # names carry the full dotted prefix ("repro.runtime.worker")
+        # and absolute imports resolve
+        while (root / "__init__.py").is_file() and root.parent != root:
+            root = root.parent
+        for path, source, tree in files:
+            name = _module_name(path, root)
+            info = ModuleInfo(
+                name=name, path=path, tree=tree, source=source
+            )
+            _collect_imports(info)
+            self.modules[name] = info
+            self._module_of_path[path.resolve().as_posix()] = name
+        for info in self.modules.values():
+            self._index_module(info)
+        self._resolve_hierarchy()
+        self._collect_registry()
+        for key in list(self.functions):
+            self._resolve_calls(key)
+        return self
+
+    # -- lookups -------------------------------------------------------
+    def module_of(self, path: Path) -> Optional[ModuleInfo]:
+        name = self._module_of_path.get(path.resolve().as_posix())
+        return self.modules.get(name) if name else None
+
+    def function(self, key: FuncKey) -> Optional[FunctionInfo]:
+        return self.functions.get(key)
+
+    def methods_named(self, name: str) -> List[FuncKey]:
+        return self.by_name.get(name, [])
+
+    def resolve_name(
+        self, module: ModuleInfo, dotted: str, _seen: Optional[Set[str]] = None
+    ) -> Optional[str]:
+        """Canonical project key for a dotted name used in ``module``.
+
+        Chases ``from`` imports (including package ``__init__``
+        re-exports, with a cycle guard) until the name lands on a project
+        function, class, or nothing.
+        """
+        seen = _seen if _seen is not None else set()
+        probe = f"{module.name}:{dotted}"
+        if probe in seen:
+            return None
+        seen.add(probe)
+        head, _, rest = dotted.partition(".")
+        # locally defined symbol
+        if not rest:
+            if head in module.functions:
+                return module.functions[head]
+            if head in module.classes:
+                return module.classes[head]
+        elif head in module.classes and "." not in rest:
+            # classmethod-style call: SomeClass.method(...)
+            found = self.method_on(module.classes[head], rest)
+            if found is not None:
+                return found
+        canonical: Optional[str] = None
+        if head in module.symbol_aliases:
+            canonical = module.symbol_aliases[head] + (
+                f".{rest}" if rest else ""
+            )
+        elif head in module.module_aliases:
+            canonical = module.module_aliases[head] + (
+                f".{rest}" if rest else ""
+            )
+        if canonical is None:
+            return None
+        return self._chase(canonical, seen)
+
+    def _chase(self, canonical: str, seen: Set[str]) -> Optional[str]:
+        """Resolve a canonical dotted name to a project entity key."""
+        if canonical in self.functions or canonical in self.classes:
+            return canonical
+        mod_name, _, sym = canonical.rpartition(".")
+        if mod_name in self.classes and sym:
+            return self.method_on(mod_name, sym)
+        mod = self.modules.get(mod_name)
+        if mod is None or not sym:
+            return None
+        if sym in mod.functions:
+            return mod.functions[sym]
+        if sym in mod.classes:
+            return mod.classes[sym]
+        # re-export: ``from .registry import make_strategy`` in __init__
+        return self.resolve_name(mod, sym, seen)
+
+    # -- hierarchy helpers ---------------------------------------------
+    def method_on(
+        self, class_key: str, name: str, _seen: Optional[Set[str]] = None
+    ) -> Optional[FuncKey]:
+        """Find ``name`` on ``class_key`` or its project base classes."""
+        seen = _seen if _seen is not None else set()
+        if class_key in seen:
+            return None
+        seen.add(class_key)
+        ci = self.classes.get(class_key)
+        if ci is None:
+            return None
+        if name in ci.methods:
+            return ci.methods[name]
+        for base in ci.bases:
+            found = self.method_on(base, name, seen)
+            if found is not None:
+                return found
+        return None
+
+    def override_family(self, class_key: str, name: str) -> List[FuncKey]:
+        """All implementations of ``name`` visible from ``class_key``:
+        the inherited/own definition plus every subclass override.
+        CHA's answer to "what can ``self.name()`` dispatch to".
+        """
+        out: List[FuncKey] = []
+        own = self.method_on(class_key, name)
+        if own is not None:
+            out.append(own)
+        stack = list(self.classes[class_key].subclasses) if (
+            class_key in self.classes
+        ) else []
+        seen: Set[str] = set()
+        while stack:
+            sub = stack.pop()
+            if sub in seen:
+                continue
+            seen.add(sub)
+            ci = self.classes.get(sub)
+            if ci is None:
+                continue
+            if name in ci.methods:
+                out.append(ci.methods[name])
+            stack.extend(ci.subclasses)
+        return sorted(set(out))
+
+    # -- internal indexing ---------------------------------------------
+    def _index_module(self, info: ModuleInfo) -> None:
+        # module bodies are pseudo-functions: their calls resolve like
+        # any other body, so module-level RNG constructions are checked
+        # and module-level callers count for charge coverage; they are
+        # not callable, so they never appear in name lookups
+        mkey = f"{info.name}.<module>"
+        self.functions[mkey] = FunctionInfo(
+            key=mkey,
+            module=info.name,
+            qualname="<module>",
+            name="<module>",
+            node=info.tree,
+            path=info.path,
+        )
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(info, node, class_name=None)
+            elif isinstance(node, ast.ClassDef):
+                ckey = f"{info.name}.{node.name}"
+                ci = ClassInfo(
+                    key=ckey,
+                    module=info.name,
+                    name=node.name,
+                    node=node,
+                    base_names=tuple(
+                        d for d in map(_dotted, node.bases) if d
+                    ),
+                )
+                info.classes[node.name] = ckey
+                self.classes[ckey] = ci
+                for sub in node.body:
+                    if isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        fi = self._add_function(
+                            info, sub, class_name=node.name
+                        )
+                        ci.methods[sub.name] = fi.key
+
+    def _add_function(
+        self,
+        info: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: Optional[str],
+    ) -> FunctionInfo:
+        qual = f"{class_name}.{node.name}" if class_name else node.name
+        key = f"{info.name}.{qual}"
+        params = tuple(
+            a.arg
+            for a in (
+                list(node.args.posonlyargs)
+                + list(node.args.args)
+                + list(node.args.kwonlyargs)
+            )
+        )
+        fi = FunctionInfo(
+            key=key,
+            module=info.name,
+            qualname=qual,
+            name=node.name,
+            node=node,
+            path=info.path,
+            class_name=class_name,
+            params=params,
+            decorators=tuple(
+                d for d in map(_decorator_name, node.decorator_list) if d
+            ),
+        )
+        self.functions[key] = fi
+        if class_name is None:
+            info.functions[node.name] = key
+        self.by_name.setdefault(node.name, []).append(key)
+        return fi
+
+    def _resolve_hierarchy(self) -> None:
+        for ci in self.classes.values():
+            mod = self.modules[ci.module]
+            for base in ci.base_names:
+                resolved = self.resolve_name(mod, base)
+                if resolved in self.classes:
+                    ci.bases.append(resolved)
+                    self.classes[resolved].subclasses.append(ci.key)
+
+    def _collect_registry(self) -> None:
+        """Map factory names to ``@register``-decorated functions."""
+        pairs = dict(self.config.registry_factories)
+        if not pairs:
+            return
+        decorator_names = set(pairs.values())
+        registered: Dict[str, List[FuncKey]] = {
+            d: [] for d in decorator_names
+        }
+        for fi in self.functions.values():
+            for dec in fi.decorators:
+                if dec in decorator_names:
+                    registered[dec].append(fi.key)
+        for factory, decorator in pairs.items():
+            self.registry_targets[factory] = sorted(registered[decorator])
+
+    # -- call resolution -----------------------------------------------
+    def _resolve_calls(self, key: FuncKey) -> None:
+        fi = self.functions[key]
+        mod = self.modules[fi.module]
+        sites: List[CallSite] = []
+        for call in _own_calls(fi.node):
+            sites.append(self._resolve_one(mod, fi, call))
+        self.call_sites[key] = sites
+        callees = self.callees.setdefault(key, set())
+        for site in sites:
+            for tgt in site.targets:
+                callees.add(tgt)
+                self.callers.setdefault(tgt, set()).add(key)
+
+    def _resolve_one(
+        self, mod: ModuleInfo, fi: FunctionInfo, call: ast.Call
+    ) -> CallSite:
+        func = call.func
+        targets: List[FuncKey] = []
+        receiver: Optional[str] = None
+        attr = ""
+        if isinstance(func, ast.Name):
+            attr = func.id
+            receiver = "name"
+            resolved = self.resolve_name(mod, func.id)
+            targets.extend(self._entity_targets(resolved))
+        elif isinstance(func, ast.Attribute):
+            attr = func.attr
+            receiver = "attr"
+            base = func.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                receiver = "self"
+                if fi.class_name is not None:
+                    ckey = f"{fi.module}.{fi.class_name}"
+                    targets.extend(self.override_family(ckey, attr))
+            elif _is_super_call(base):
+                # super().meth() dispatches up the MRO, never down
+                receiver = "super"
+                if fi.class_name is not None:
+                    ci = self.classes.get(f"{fi.module}.{fi.class_name}")
+                    for bkey in ci.bases if ci else []:
+                        found = self.method_on(bkey, attr)
+                        if found is not None:
+                            targets.append(found)
+            if not targets and receiver != "super":
+                dotted = _dotted(func)
+                resolved = (
+                    self.resolve_name(mod, dotted) if dotted else None
+                )
+                if resolved is not None:
+                    targets.extend(self._entity_targets(resolved))
+                elif not (attr.startswith("__") and attr.endswith("__")):
+                    # CHA-lite: any project method with this name.
+                    # Dunders are exempt — half the project defines
+                    # __init__, so fanning out would wire everything
+                    # to everything.
+                    targets.extend(
+                        k
+                        for k in self.methods_named(attr)
+                        if self.functions[k].is_method
+                    )
+        # registry indirection: make_strategy("ldg", cfg) fans out to
+        # every @register-decorated factory
+        if attr in self.registry_targets:
+            targets.extend(self.registry_targets[attr])
+        return CallSite(
+            node=call,
+            targets=tuple(sorted(set(targets))),
+            receiver=receiver,
+            attr=attr,
+        )
+
+    def _entity_targets(self, resolved: Optional[str]) -> List[FuncKey]:
+        """Call targets for a resolved entity (function or class)."""
+        if resolved is None:
+            return []
+        if resolved in self.functions:
+            return [resolved]
+        if resolved in self.classes:
+            init = self.method_on(resolved, "__init__")
+            return [init] if init is not None else []
+        return []
+
+
+def build_project(
+    files: Sequence[Tuple[Path, str, ast.Module]], config: LintConfig
+) -> ProjectContext:
+    """Convenience wrapper over :meth:`ProjectContext.build`."""
+    return ProjectContext.build(files, config)
+
+
+# ----------------------------------------------------------------------
+# import collection (project-aware: resolves relative imports)
+# ----------------------------------------------------------------------
+def _collect_imports(info: ModuleInfo) -> None:
+    """Fill ``module_aliases``/``symbol_aliases`` with canonical names.
+
+    Unlike the per-file collector in :mod:`.core`, relative imports are
+    resolved against the module's own dotted name, so
+    ``from ..model.cost import CostModel`` inside
+    ``repro.runtime.worker`` canonicalises to
+    ``repro.model.cost.CostModel``.
+    """
+    is_package = info.path.name == "__init__.py"
+    pkg_parts = info.name.split(".")
+    if not is_package:
+        pkg_parts = pkg_parts[:-1]
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    info.module_aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    info.module_aliases[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                if node.level - 1 > len(pkg_parts):
+                    continue  # beyond the project root; unresolvable
+                prefix = ".".join(base + ([node.module] if node.module else []))
+            else:
+                prefix = node.module or ""
+            if not prefix:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                info.symbol_aliases[alias.asname or alias.name] = (
+                    f"{prefix}.{alias.name}"
+                )
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+def _dotted(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` attribute chain as a dotted string, else ``None``."""
+    parts: List[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_super_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "super"
+    )
+
+
+def _decorator_name(node: ast.expr) -> Optional[str]:
+    """Last name segment of a decorator: ``@register("x")`` -> register."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _own_calls(node: ast.AST) -> Iterable[ast.Call]:
+    """Call expressions in a function's own body, excluding nested
+    function/class bodies (those are separate graph nodes)."""
+    body = getattr(node, "body", [])
+    stack: List[ast.AST] = list(body)
+    while stack:
+        cur = stack.pop()
+        if isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if isinstance(cur, ast.Call):
+            yield cur
+        stack.extend(ast.iter_child_nodes(cur))
+
+
+def _common_root(paths: Sequence[Path]) -> Path:
+    """Deepest common ancestor directory of the linted files."""
+    if not paths:
+        return Path.cwd()
+    resolved = [p.resolve() for p in paths]
+    parts = resolved[0].parent.parts
+    for p in resolved[1:]:
+        other = p.parent.parts
+        keep = 0
+        for a, b in zip(parts, other):
+            if a != b:
+                break
+            keep += 1
+        parts = parts[:keep]
+    return Path(*parts) if parts else Path("/")
+
+
+def _module_name(path: Path, root: Path) -> str:
+    """Dotted module name for ``path`` relative to ``root``.
+
+    A leading ``src`` component is dropped (src-layout), and
+    ``__init__.py`` maps to its package name.
+    """
+    try:
+        rel = path.resolve().relative_to(root)
+    except ValueError:
+        rel = Path(path.name)
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else path.stem

@@ -1,8 +1,11 @@
 """Command-line entry point: ``python -m repro_lint <paths>``.
 
 Exit status: 0 when every file is clean, 1 when findings were emitted,
-2 on usage errors.  ``--format json`` emits a machine-readable report
-for CI annotation; ``--list-rules`` documents the registry.
+2 on usage errors.  ``--format json``/``--format sarif`` emit
+machine-readable reports for CI annotation; ``--list-rules`` documents
+the registry; ``--cache`` keeps whole-program runs incremental;
+``--baseline``/``--write-baseline`` manage the committed set of
+accepted findings.
 """
 
 from __future__ import annotations
@@ -13,8 +16,14 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from .baseline import load_baseline, write_baseline
+from .cache import LintCache
 from .config import LintConfig, load_config
 from .core import Registry, lint_paths
+from .sarif import render_sarif
+
+_DEFAULT_BASELINE = Path(".repro-lint-baseline.json")
+_DEFAULT_CACHE = Path(".repro-lint-cache.json")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -36,7 +45,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -63,6 +72,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="baseline file of accepted findings (default: the"
+        " [tool.repro-lint] baseline-file setting)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring any baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings: write them to the baseline"
+        " file and exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        nargs="?",
+        const=_DEFAULT_CACHE,
+        default=None,
+        metavar="PATH",
+        help="incremental findings cache keyed on file content hashes"
+        f" (default path when enabled: {_DEFAULT_CACHE})",
     )
     return parser
 
@@ -115,7 +153,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
-    findings = lint_paths(args.paths, config, select=select)
+    cache = LintCache(args.cache, config) if args.cache else None
+
+    baseline_path = args.baseline or (
+        Path(config.baseline_file) if config.baseline_file else None
+    )
+    if args.write_baseline:
+        findings = lint_paths(
+            args.paths, config, select=select, cache=cache, baseline=set()
+        )
+        target = baseline_path or _DEFAULT_BASELINE
+        count = write_baseline(findings, target)
+        if cache:
+            cache.save()
+        print(f"wrote {count} accepted finding(s) to {target}")
+        return 0
+
+    baseline = set()
+    if not args.no_baseline and baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+    findings = lint_paths(
+        args.paths, config, select=select, cache=cache, baseline=baseline
+    )
+    if cache:
+        cache.save()
 
     if args.format == "json":
         print(
@@ -128,6 +189,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 indent=2,
             )
         )
+    elif args.format == "sarif":
+        print(json.dumps(render_sarif(findings, Registry.rules()), indent=2))
     else:
         for finding in findings:
             print(finding.render())

@@ -60,6 +60,33 @@ class LintConfig:
     )
     #: per-file suppressions: path fragment -> list of rule codes
     per_file_ignores: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: parameter base names that carry seed lineage (RPL008 axiom);
+    #: ``*_<name>`` suffixes match too (``chaos_seed`` for ``seed``)
+    seed_param_names: Tuple[str, ...] = ("seed",)
+    #: attribute names whose reads are seed-derived (RPL008 axiom):
+    #: ``config.seed``, ``self.seed``, ``plan.chaos_seed`` …
+    seed_attributes: Tuple[str, ...] = ("seed",)
+    #: function names documented to return a derived RNG stream even
+    #: though the linter cannot see why (escape hatch for RPL008)
+    documented_seed_streams: Tuple[str, ...] = ()
+    #: factory name -> decorator name: a call to the factory may invoke
+    #: any project function carrying the decorator (call-graph edge for
+    #: the strategy registry indirection)
+    registry_factories: Dict[str, str] = field(
+        default_factory=lambda: {"make_strategy": "register"}
+    )
+    #: attribute names of process-shared worker arrays (RPL010 scope)
+    shared_arrays: Tuple[str, ...] = ("dv", "_dv", "local_apsp", "_local_apsp")
+    #: function qualname suffix -> phase; mutations of shared arrays are
+    #: only legal in functions registered here (RPL010).  Phases:
+    #: ``init``/``prepare``/``serial``/``apply``/``coordinator``/
+    #: ``recovery`` run while no kernel holds the arrays; ``kernel``
+    #: marks the hot functions that receive arrays as parameters and
+    #: must stay location-transparent (never touch ``self.dv``).
+    phase_registry: Dict[str, str] = field(default_factory=dict)
+    #: committed baseline of accepted findings (fingerprints); empty
+    #: string disables baselining
+    baseline_file: str = ""
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -137,4 +164,13 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
         for key, value in table.items()
         if key.replace("-", "_") in known
     }
+    baseline = updates.get("baseline_file")
+    if isinstance(baseline, str) and baseline:
+        # a relative baseline is anchored at the pyproject, not the cwd,
+        # so the lint run works from any invocation directory
+        bpath = Path(baseline)
+        if not bpath.is_absolute():
+            updates["baseline_file"] = str(
+                (path.resolve().parent / bpath).resolve()
+            )
     return replace(cfg, **updates) if updates else cfg

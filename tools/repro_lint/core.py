@@ -13,30 +13,54 @@ Suppressions are standard pragma comments::
     other_call()  # repro-lint: disable=RPL001,RPL004
     anything()    # repro-lint: disable=all
 
-and apply to the physical line they sit on.  A pragma on its own line
-applies to the *next* non-comment line, so multi-line statements can be
-suppressed at their head.
+and apply to the whole *statement* they sit on: a pragma anywhere in a
+multi-line statement (a decorated ``def``, a parenthesized call spread
+over several lines) suppresses findings on every line of that
+statement's extent.  A pragma on its own line applies to the next
+non-comment statement.
+
+Rules come in two flavours: per-file :class:`LintRule` subclasses see
+one :class:`FileContext`; :class:`ProjectRule` subclasses see the
+whole-program :class:`~repro_lint.callgraph.ProjectContext` once per
+run (RPL008–010 live there).
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
 import tokenize
 from dataclasses import dataclass, field
 from io import StringIO
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Type,
+)
 
 from .config import LintConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cache import LintCache
+    from .callgraph import ProjectContext
 
 __all__ = [
     "Finding",
     "FileContext",
     "LintRule",
+    "ProjectRule",
     "Registry",
     "lint_file",
     "lint_paths",
+    "display_path",
 ]
 
 _PRAGMA_RE = re.compile(
@@ -84,10 +108,7 @@ class FileContext:
 
     @property
     def display_path(self) -> str:
-        try:
-            return self.path.resolve().relative_to(Path.cwd()).as_posix()
-        except ValueError:
-            return self.path.as_posix()
+        return display_path(self.path)
 
     def finding(
         self, node: ast.AST, code: str, message: str
@@ -126,6 +147,33 @@ class FileContext:
         return ".".join(parts)
 
 
+def display_path(path: Path) -> str:
+    """Repo-relative posix path when possible, absolute otherwise."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of a finding for the committed baseline.
+
+    Deliberately excludes the line number: accepted findings must
+    survive unrelated edits above them in the file.
+    """
+    raw = f"{finding.path}:{finding.code}:{finding.message}"
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline_for(cfg: LintConfig) -> Set[str]:
+    """Fingerprints accepted by the config's committed baseline file."""
+    if not cfg.baseline_file:
+        return set()
+    from .baseline import load_baseline
+
+    return load_baseline(Path(cfg.baseline_file))
+
+
 class LintRule:
     """Base class for all rules."""
 
@@ -136,6 +184,35 @@ class LintRule:
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
         yield  # pragma: no cover - makes the method a generator
+
+
+class ProjectRule(LintRule):
+    """Base class for whole-program rules.
+
+    The runner builds one :class:`~repro_lint.callgraph.ProjectContext`
+    over every linted file and calls :meth:`check_project` once per
+    rule; per-file pragmas and ``per_file_ignores`` still apply to the
+    findings, matched by path and line.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())  # project rules do not run per file
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the method a generator
+
+    @staticmethod
+    def finding_at(
+        path: Path, node: object, code: str, message: str
+    ) -> Finding:
+        return Finding(
+            path=display_path(path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
 
 
 class Registry:
@@ -170,7 +247,9 @@ def collect_suppressions(source: str) -> Dict[int, Set[str]]:
 
     Uses the tokenizer, not a regex over raw lines, so pragmas inside
     string literals do not suppress anything.  A pragma comment on its
-    own line carries over to the next logical line.
+    own line carries over to the next logical line, and a pragma on any
+    physical line of a multi-line statement (decorated ``def`` headers,
+    parenthesized calls) covers the statement's whole extent.
     """
     out: Dict[int, Set[str]] = {}
     try:
@@ -206,6 +285,49 @@ def collect_suppressions(source: str) -> Dict[int, Set[str]]:
         while nxt in comment_lines and nxt not in code_lines:
             nxt += 1
         out.setdefault(nxt, set()).update(codes)
+    # spread pragmas over full statement extents: a pragma on the first
+    # (or any) physical line of a decorated def or a parenthesized call
+    # must suppress findings reported on the statement's other lines
+    if out:
+        for start, end in _statement_extents(source):
+            if end <= start:
+                continue
+            lines = range(start, end + 1)
+            codes = set()
+            for line in lines:
+                codes |= out.get(line, set())
+            if codes:
+                for line in lines:
+                    out.setdefault(line, set()).update(codes)
+    return out
+
+
+def _statement_extents(source: str) -> List[Tuple[int, int]]:
+    """(first, last) physical line of every statement's *own* extent.
+
+    Simple statements span ``lineno..end_lineno``.  Compound statements
+    (defs, classes, ``if``/``for``/``with``…) span their header only —
+    from the first decorator down to the line before the body starts —
+    so a pragma on a ``def`` line never silences the whole body.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:  # pragma: no cover - caller already parsed
+        return []
+    out: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        decorators = getattr(node, "decorator_list", [])
+        if decorators:
+            start = min(start, min(d.lineno for d in decorators))
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = max(start, body[0].lineno - 1)
+        else:
+            end = getattr(node, "end_lineno", None) or node.lineno
+        out.append((start, end))
     return out
 
 
@@ -248,26 +370,29 @@ def _collect_aliases(
 # ----------------------------------------------------------------------
 # runners
 # ----------------------------------------------------------------------
-def lint_file(
-    path: Path,
-    config: LintConfig,
-    *,
-    select: Optional[Iterable[str]] = None,
-) -> List[Finding]:
-    """Run every registered rule over one file; returns kept findings."""
-    source = path.read_text(encoding="utf-8")
+def _parse_file(
+    path: Path, source: str
+) -> Tuple[Optional[ast.Module], Optional[Finding]]:
     try:
-        tree = ast.parse(source, filename=str(path))
+        return ast.parse(source, filename=str(path)), None
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=str(path),
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                code="RPL000",
-                message=f"syntax error prevents linting: {exc.msg}",
-            )
-        ]
+        return None, Finding(
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            code="RPL000",
+            message=f"syntax error prevents linting: {exc.msg}",
+        )
+
+
+def _check_one_file(
+    path: Path,
+    source: str,
+    tree: ast.Module,
+    config: LintConfig,
+    selected: Optional[Set[str]],
+) -> List[Finding]:
+    """Run the per-file rules over one parsed file."""
     modules, symbols = _collect_aliases(tree)
     ctx = FileContext(
         path=path,
@@ -279,9 +404,10 @@ def lint_file(
     )
     suppressions = collect_suppressions(source)
     file_ignores = {c.upper() for c in config.file_ignores(path)}
-    selected = {c.upper() for c in select} if select else None
     findings: List[Finding] = []
     for rule_cls in Registry.rules():
+        if issubclass(rule_cls, ProjectRule):
+            continue
         if selected is not None and rule_cls.code not in selected:
             continue
         if rule_cls.code in file_ignores:
@@ -293,6 +419,25 @@ def lint_file(
     return findings
 
 
+def lint_file(
+    path: Path,
+    config: LintConfig,
+    *,
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run every per-file rule over one file; returns kept findings.
+
+    Whole-program rules need the full project and only run through
+    :func:`lint_paths`.
+    """
+    source = path.read_text(encoding="utf-8")
+    tree, error = _parse_file(path, source)
+    if tree is None:
+        return [error] if error else []
+    selected = {c.upper() for c in select} if select else None
+    return _check_one_file(path, source, tree, config, selected)
+
+
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
     for p in paths:
         if p.is_dir():
@@ -301,15 +446,102 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
             yield p
 
 
+def _project_rule_classes() -> List[Type[LintRule]]:
+    return [r for r in Registry.rules() if issubclass(r, ProjectRule)]
+
+
 def lint_paths(
     paths: Iterable[Path],
     config: Optional[LintConfig] = None,
     *,
     select: Optional[Iterable[str]] = None,
+    cache: Optional["LintCache"] = None,
+    baseline: Optional[Set[str]] = None,
 ) -> List[Finding]:
-    """Lint files/directories; directories are walked recursively."""
+    """Lint files/directories; directories are walked recursively.
+
+    Per-file rules run file by file (served from ``cache`` when the
+    content hash matches); whole-program rules run once over a
+    :class:`ProjectContext` built from every parsed file.  ``baseline``
+    (a set of finding fingerprints; defaults to the config's committed
+    baseline file) filters accepted findings out of the result.
+    """
     cfg = config or LintConfig()
+    selected = {c.upper() for c in select} if select else None
+    files = list(iter_python_files(paths))
+    sources: Dict[Path, str] = {}
     findings: List[Finding] = []
-    for path in iter_python_files(paths):
-        findings.extend(lint_file(path, cfg, select=select))
+    parsed: List[Tuple[Path, str, ast.Module]] = []
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        sources[path] = source
+        cached = cache.get_file(path, source, selected) if cache else None
+        tree, error = _parse_file(path, source)
+        if tree is not None:
+            parsed.append((path, source, tree))
+        if cached is not None:
+            findings.extend(cached)
+            continue
+        if tree is None:
+            file_findings = [error] if error else []
+        else:
+            file_findings = _check_one_file(
+                path, source, tree, cfg, selected
+            )
+        if cache:
+            cache.put_file(path, source, selected, file_findings)
+        findings.extend(file_findings)
+
+    project_rules = [
+        r
+        for r in _project_rule_classes()
+        if selected is None or r.code in selected
+    ]
+    if project_rules and parsed:
+        findings.extend(
+            _run_project_rules(parsed, project_rules, cfg, selected, cache)
+        )
+
+    if baseline is None:
+        baseline = load_baseline_for(cfg)
+    if baseline:
+        findings = [
+            f for f in findings if fingerprint(f) not in baseline
+        ]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings
+
+
+def _run_project_rules(
+    parsed: List[Tuple[Path, str, ast.Module]],
+    project_rules: List[Type[LintRule]],
+    cfg: LintConfig,
+    selected: Optional[Set[str]],
+    cache: Optional["LintCache"],
+) -> List[Finding]:
+    """Whole-program pass: build the project, run rules, filter pragmas."""
+    if cache:
+        cached = cache.get_project(parsed, selected)
+        if cached is not None:
+            return cached
+    from .callgraph import ProjectContext
+
+    project = ProjectContext.build(parsed, cfg)
+    suppressions: Dict[str, Dict[int, Set[str]]] = {}
+    ignores: Dict[str, Set[str]] = {}
+    for path, source, _tree in parsed:
+        dp = display_path(path)
+        suppressions[dp] = collect_suppressions(source)
+        ignores[dp] = {c.upper() for c in cfg.file_ignores(path)}
+    out: List[Finding] = []
+    for rule_cls in project_rules:
+        rule = rule_cls()
+        for finding in rule.check_project(project):
+            if finding.code in ignores.get(finding.path, set()):
+                continue
+            if _suppressed(finding, suppressions.get(finding.path, {})):
+                continue
+            out.append(finding)
+    if cache:
+        cache.put_project(parsed, selected, out)
+    return out

@@ -1,0 +1,302 @@
+"""Forward taint dataflow: which expressions are *seed-derived*?
+
+The determinism contract (DESIGN.md §11) says every RNG stream must be
+derived from ``AnytimeConfig.seed``.  RPL001 checks the local shape
+(an RNG constructor got *some* seed argument); RPL008 checks lineage:
+the value passed as the seed must be data-flow-reachable from the
+config seed or a documented derived stream.
+
+The analysis is a forward may-analysis over a two-point lattice
+(``derived`` / ``unknown``) with per-function summaries:
+
+* **axioms** — reads of an attribute named like a seed
+  (``config.seed``, ``self.seed``, ``plan.seed``, …) and parameters
+  named like a seed (an exact configured name such as ``seed``, or a
+  ``*_seed`` suffix such as ``chaos_seed``) are derived.  The axiom encodes
+  the repo-wide naming convention *enforced by this same rule*: a
+  parameter named ``seed`` must only ever receive derived values
+  (checked at every resolved internal call site), so assuming it
+  derived inside the callee is sound induction, not wishful thinking.
+* **propagation** — assignments, tuple/list/dict displays, arithmetic,
+  subscripts of derived containers, harmless builtins (``int``,
+  ``abs``, ``hash``…), ``numpy`` bit-generator constructors seeded
+  with a derived value, and calls to project functions whose returns
+  are all derived (computed to fixpoint across the call graph).
+* **nothing else** — literals and unresolved calls stay unknown.
+
+The same machinery answers both RPL008 questions: "is this RNG
+constructor's seed derived?" and "does this call site pass an
+underived value into a seed-named parameter of a project function?".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from .callgraph import FuncKey, FunctionInfo, ProjectContext
+
+__all__ = ["SeedLineage", "FunctionTaint", "lineage_for"]
+
+
+def lineage_for(project: ProjectContext) -> "SeedLineage":
+    """Memoised :class:`SeedLineage` for one project build."""
+    cached = getattr(project, "_seed_lineage", None)
+    if cached is None:
+        cached = SeedLineage(project)
+        project._seed_lineage = cached  # type: ignore[attr-defined]
+    return cached
+
+#: builtins through which seed-ness flows unchanged
+_PASSTHROUGH_CALLS = {
+    "int",
+    "abs",
+    "hash",
+    "tuple",
+    "list",
+    "sum",
+    "max",
+    "min",
+    "sorted",
+    "divmod",
+    "pow",
+    "round",
+}
+
+#: numpy bit-generator constructors: seeded with a derived value, the
+#: resulting generator object is itself a derived stream
+_BITGEN_TAILS = {
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+    "SeedSequence",
+    "default_rng",
+    "Generator",
+    "RandomState",
+}
+
+
+@dataclass
+class FunctionTaint:
+    """Per-function taint facts, computed lazily then memoised."""
+
+    #: local names known to hold seed-derived values
+    derived_names: Set[str] = field(default_factory=set)
+    #: every ``return`` expression was seed-derived (vacuously False for
+    #: functions with no return statement)
+    returns_derived: bool = False
+    analysed: bool = False
+
+
+class SeedLineage:
+    """Project-wide seed-derivation oracle.
+
+    One instance per lint run; share it between rule invocations so the
+    function summaries are computed once.
+    """
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self.config = project.config
+        self._taints: Dict[FuncKey, FunctionTaint] = {}
+        self._seed_names = set(self.config.seed_param_names)
+        self._seed_attrs = set(self.config.seed_attributes)
+        self._stream_names = set(self.config.documented_seed_streams)
+        self._compute_summaries()
+
+    # -- public API ----------------------------------------------------
+    def taint_of(self, key: FuncKey) -> FunctionTaint:
+        return self._taints[key]
+
+    def is_derived(self, fn: FunctionInfo, expr: ast.expr) -> bool:
+        """Is ``expr`` (inside ``fn``'s body) seed-derived?"""
+        taint = self._taints[fn.key]
+        return self._derived(fn, taint, expr, depth=0)
+
+    def is_seed_param(self, name: str) -> bool:
+        """Does a parameter name participate in the seed convention?"""
+        return name in self._seed_names or any(
+            name.endswith(f"_{base}") for base in self._seed_names
+        )
+
+    def _is_seed_attr(self, name: str) -> bool:
+        return name in self._seed_attrs or any(
+            name.endswith(f"_{base}") for base in self._seed_attrs
+        )
+
+    # -- summary fixpoint ----------------------------------------------
+    def _compute_summaries(self) -> None:
+        for key in self.project.functions:
+            self._taints[key] = FunctionTaint()
+        # seed-named params are axioms; seed a first local pass, then
+        # iterate: a callee whose returns become derived can make more
+        # caller locals derived, which can make the caller's returns
+        # derived, and so on (monotone on a finite lattice: terminates)
+        changed = True
+        while changed:
+            changed = False
+            for key, fn in self.project.functions.items():
+                if self._analyse_function(fn):
+                    changed = True
+
+    def _analyse_function(self, fn: FunctionInfo) -> bool:
+        """(Re-)run the local pass; True when any fact changed."""
+        taint = self._taints[fn.key]
+        before = (set(taint.derived_names), taint.returns_derived)
+        derived = taint.derived_names
+        for p in fn.params:
+            if self.is_seed_param(p):
+                derived.add(p)
+        body = getattr(fn.node, "body", [])
+        for stmt in _statements(body):
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                value = stmt.value
+                if value is None:
+                    continue
+                if self._derived(fn, taint, value, depth=0):
+                    targets = (
+                        stmt.targets
+                        if isinstance(stmt, ast.Assign)
+                        else [stmt.target]
+                    )
+                    for tgt in targets:
+                        for name in _target_names(tgt):
+                            derived.add(name)
+        returns = [
+            s
+            for s in _statements(body)
+            if isinstance(s, ast.Return) and s.value is not None
+        ]
+        taint.returns_derived = bool(returns) and all(
+            self._derived(fn, taint, r.value, depth=0)
+            for r in returns
+            if r.value is not None
+        )
+        taint.analysed = True
+        return before != (set(taint.derived_names), taint.returns_derived)
+
+    # -- expression lattice --------------------------------------------
+    def _derived(
+        self,
+        fn: FunctionInfo,
+        taint: FunctionTaint,
+        expr: ast.expr,
+        depth: int,
+    ) -> bool:
+        if depth > 40:  # defensive: pathological nesting
+            return False
+        if isinstance(expr, ast.Name):
+            return expr.id in taint.derived_names
+        if isinstance(expr, ast.Attribute):
+            # config.seed, self.seed, plan.chaos_seed, self._seed …
+            return self._is_seed_attr(expr.attr)
+        if isinstance(expr, ast.BinOp):
+            return self._derived(
+                fn, taint, expr.left, depth + 1
+            ) or self._derived(fn, taint, expr.right, depth + 1)
+        if isinstance(expr, ast.UnaryOp):
+            return self._derived(fn, taint, expr.operand, depth + 1)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return any(
+                self._derived(fn, taint, e, depth + 1) for e in expr.elts
+            )
+        if isinstance(expr, ast.Subscript):
+            return self._derived(fn, taint, expr.value, depth + 1)
+        if isinstance(expr, ast.IfExp):
+            return self._derived(
+                fn, taint, expr.body, depth + 1
+            ) and self._derived(fn, taint, expr.orelse, depth + 1)
+        if isinstance(expr, ast.BoolOp):
+            # ``rng or default_rng(seed)``: derived when every branch is
+            return all(
+                self._derived(fn, taint, v, depth + 1) for v in expr.values
+            )
+        if isinstance(expr, ast.Starred):
+            return self._derived(fn, taint, expr.value, depth + 1)
+        if isinstance(expr, ast.Call):
+            return self._derived_call(fn, taint, expr, depth)
+        return False
+
+    def _derived_call(
+        self,
+        fn: FunctionInfo,
+        taint: FunctionTaint,
+        call: ast.Call,
+        depth: int,
+    ) -> bool:
+        func = call.func
+        # builtin passthrough: int(seed), max(seed, 0), …
+        if isinstance(func, ast.Name) and func.id in _PASSTHROUGH_CALLS:
+            return any(
+                self._derived(fn, taint, a, depth + 1) for a in call.args
+            )
+        # bit-generator / generator constructors seeded derivably
+        tail = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id
+            if isinstance(func, ast.Name)
+            else None
+        )
+        if tail in _BITGEN_TAILS:
+            seed_arg = _rng_seed_argument(call)
+            return seed_arg is not None and self._derived(
+                fn, taint, seed_arg, depth + 1
+            )
+        # documented derived-stream helpers (config registry)
+        if tail in self._stream_names:
+            return True
+        # project call whose returns are all derived
+        for site in self.project.call_sites.get(fn.key, []):
+            if site.node is call and site.targets:
+                if all(
+                    self._taints[t].returns_derived for t in site.targets
+                ):
+                    return True
+                break
+        return False
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _statements(body: list) -> list:
+    """Flatten a function body, excluding nested def/class bodies."""
+    out = []
+    stack = list(body)
+    while stack:
+        node = stack.pop(0)
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        out.append(node)
+        for fld in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(node, fld, []))
+        for handler in getattr(node, "handlers", []):
+            stack.extend(handler.body)
+    return out
+
+
+def _target_names(target: ast.expr) -> Tuple[str, ...]:
+    if isinstance(target, ast.Name):
+        return (target.id,)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out = []
+        for e in target.elts:
+            out.extend(_target_names(e))
+        return tuple(out)
+    return ()
+
+
+def _rng_seed_argument(call: ast.Call) -> Optional[ast.expr]:
+    """The seed argument of an RNG/bit-generator constructor, if any."""
+    if call.args:
+        return call.args[0]
+    for kw in call.keywords:
+        if kw.arg in ("seed", "x", "entropy"):
+            return kw.value
+    return None

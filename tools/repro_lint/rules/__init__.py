@@ -10,4 +10,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     rpl005_overbroad_except,
     rpl006_bare_print,
     rpl007_wall_clock_backoff,
+    rpl008_seed_lineage,
+    rpl009_charge_coverage,
+    rpl010_phase_discipline,
 )

@@ -1,0 +1,154 @@
+"""RPL008 — seed lineage (whole-program).
+
+RPL001 proves every RNG constructor receives *some* seed; RPL008 proves
+the seed is the right one.  The determinism contract requires every
+stream to be derived from ``AnytimeConfig.seed`` (or a documented
+derived stream such as the per-worker sub-seeds), because a constant
+seed buried three calls deep gives two *different* configurations
+identical randomness — the partitioner stops responding to ``--seed``
+and the chaos suite silently tests one fault schedule forever.
+
+Three complementary checks share the :class:`SeedLineage` dataflow:
+
+1. an RNG/bit-generator construction whose seed expression is not
+   seed-derived;
+2. any call passing a non-derived value to a ``seed=`` keyword — this
+   catches dataclass constructors (``MultilevelPartitioner(seed=1)``)
+   whose synthesised ``__init__`` the call graph cannot see;
+3. a positional/keyword binding of a non-derived value to a seed-named
+   parameter of a *resolved* project function.
+
+A literal ``None`` seed is RPL001's finding, not ours.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..callgraph import FunctionInfo, ModuleInfo, ProjectContext
+from ..core import Finding, ProjectRule, Registry
+from ..dataflow import _rng_seed_argument, lineage_for
+from ..summaries import _expr_bindings
+from .rpl001_unseeded_random import _SEEDABLE
+
+
+def _canonical(module: ModuleInfo, expr: ast.expr) -> Optional[str]:
+    """Dotted call-target name through the module's import aliases."""
+    parts: List[str] = []
+    cur = expr
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if not isinstance(cur, ast.Name):
+        return None
+    parts.append(cur.id)
+    parts.reverse()
+    head = parts[0]
+    if head in module.module_aliases:
+        parts[0] = module.module_aliases[head]
+    elif head in module.symbol_aliases:
+        parts[0] = module.symbol_aliases[head]
+    return ".".join(parts)
+
+
+def _is_none(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Constant) and expr.value is None
+
+
+@Registry.register
+class SeedLineageRule(ProjectRule):
+    code = "RPL008"
+    name = "seed-lineage"
+    description = (
+        "every RNG stream must be data-flow-derived from the config"
+        " seed (or a documented derived stream); constant or ad-hoc"
+        " seeds make 'identical' runs diverge from the --seed contract"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        lineage = lineage_for(project)
+        flagged: Set[int] = set()
+        for key in sorted(project.functions):
+            fn = project.functions[key]
+            if not project.config.in_target(fn.path):
+                continue
+            module = project.modules[fn.module]
+            for site in project.call_sites.get(key, []):
+                yield from self._check_site(
+                    project, lineage, module, fn, site.node,
+                    site.targets, flagged,
+                )
+
+    # ------------------------------------------------------------------
+    def _check_site(
+        self,
+        project: ProjectContext,
+        lineage,
+        module: ModuleInfo,
+        fn: FunctionInfo,
+        call: ast.Call,
+        targets: Tuple[str, ...],
+        flagged: Set[int],
+    ) -> Iterator[Finding]:
+        # 1. RNG constructions with an underived seed
+        canonical = _canonical(module, call.func)
+        if canonical in _SEEDABLE:
+            seed_arg = _rng_seed_argument(call)
+            if (
+                seed_arg is not None
+                and not _is_none(seed_arg)
+                and not lineage.is_derived(fn, seed_arg)
+            ):
+                flagged.add(id(call))
+                yield self.finding_at(
+                    fn.path,
+                    call,
+                    self.code,
+                    f"{canonical}() in {fn.qualname} is seeded with a"
+                    " value not derived from the config seed; derive it"
+                    " from AnytimeConfig.seed (or register a documented"
+                    " stream) so --seed controls every RNG",
+                )
+            return  # a constructor site needs no further checks
+        if id(call) in flagged:
+            return
+        # 2. seed= keywords anywhere (covers dataclass constructors)
+        for kw in call.keywords:
+            if (
+                kw.arg is not None
+                and lineage.is_seed_param(kw.arg)
+                and not _is_none(kw.value)
+                and not lineage.is_derived(fn, kw.value)
+            ):
+                flagged.add(id(call))
+                yield self.finding_at(
+                    fn.path,
+                    call,
+                    self.code,
+                    f"call in {fn.qualname} passes a value not derived"
+                    f" from the config seed to '{kw.arg}='; every seed"
+                    " argument must trace back to AnytimeConfig.seed",
+                )
+                return
+        # 3. positional bindings to seed-named params of resolved callees
+        for tgt in targets:
+            callee = project.functions.get(tgt)
+            if callee is None:
+                continue
+            for expr, param in _expr_bindings(call, callee):
+                if not lineage.is_seed_param(param):
+                    continue
+                if _is_none(expr) or lineage.is_derived(fn, expr):
+                    continue
+                flagged.add(id(call))
+                yield self.finding_at(
+                    fn.path,
+                    call,
+                    self.code,
+                    f"call to {callee.qualname} in {fn.qualname} passes"
+                    f" a value not derived from the config seed as"
+                    f" '{param}'; every seed argument must trace back"
+                    " to AnytimeConfig.seed",
+                )
+                return

@@ -1,0 +1,73 @@
+"""SARIF 2.1.0 export for CI code-scanning annotations.
+
+Minimal but valid: one run, the registered rules as
+``tool.driver.rules`` (so viewers show descriptions), one result per
+finding with a physical location.  GitHub's code-scanning upload action
+consumes exactly this subset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .core import Finding, LintRule
+
+__all__ = ["render_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(
+    findings: List[Finding], rules: List[Type[LintRule]]
+) -> Dict[str, object]:
+    """SARIF log dict for ``findings``; serialise with ``json.dumps``."""
+    rule_index = {r.code: i for i, r in enumerate(rules)}
+    results = []
+    for f in findings:
+        result: Dict[str, object] = {
+            "ruleId": f.code,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                        },
+                    }
+                }
+            ],
+        }
+        if f.code in rule_index:
+            result["ruleIndex"] = rule_index[f.code]
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": [
+                            {
+                                "id": r.code,
+                                "name": r.name,
+                                "shortDescription": {"text": r.description},
+                            }
+                            for r in rules
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -1,0 +1,528 @@
+"""Per-function effect summaries: sends, charges, array mutations.
+
+Two whole-program rules consume these:
+
+* **RPL009 charge-coverage** needs, for every function, whether its own
+  body charges the LogP clock (``direct_charge``), whether it can reach
+  a charge through any callee (``may_charge``, least fixpoint over the
+  call graph), and where its uncovered send sites are.  A send is
+  *covered* when the enclosing function may charge, or when **every**
+  caller (transitively) charges before reaching it — computed as a
+  greatest fixpoint so recursion is handled optimistically and then
+  refuted.
+
+* **RPL010 phase-discipline** needs every site where a *shared array*
+  (``Worker.dv`` / ``Worker.local_apsp`` by default) is mutated:
+  subscript stores, attribute rebinds, in-place numpy calls
+  (``fill_diagonal``, ``copyto``, ``out=`` keywords, ``.fill()``), and
+  — the interprocedural part — passing a shared array into a callee
+  parameter that the callee itself mutates (param-mutation summaries,
+  least fixpoint, so ``run_superstep -> ia_kernel`` chains are seen).
+
+Local alias tracking makes the common kernel idiom visible::
+
+    a = self.local_apsp      # alias
+    a[improved] = cand       # counts as a local_apsp mutation
+
+Aliases are tracked per straight-line pass (no CFG): a name assigned
+from a shared attribute, from another alias, or from a subscript of
+either, joins the alias set; reassignment from anything else removes
+it.  That is exact for the repo's kernels, which never conditionally
+rebind aliases.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from .callgraph import FuncKey, FunctionInfo, ProjectContext
+
+__all__ = [
+    "EffectSummary",
+    "MutationSite",
+    "SendSite",
+    "EffectAnalysis",
+    "effects_for",
+]
+
+
+def effects_for(project: ProjectContext) -> "EffectAnalysis":
+    """Memoised :class:`EffectAnalysis` for one project build."""
+    cached = getattr(project, "_effect_analysis", None)
+    if cached is None:
+        cached = EffectAnalysis(project)
+        project._effect_analysis = cached  # type: ignore[attr-defined]
+    return cached
+
+#: numpy helpers that mutate their first positional argument in place
+_INPLACE_FIRST_ARG = {"fill_diagonal", "copyto"}
+#: ndarray methods that mutate the receiver in place
+_INPLACE_METHODS = {"fill", "sort", "partition", "put", "resize"}
+
+
+@dataclass
+class MutationSite:
+    """One statement that mutates a shared array."""
+
+    node: ast.AST
+    #: shared attribute name ("dv", "local_apsp", …)
+    array: str
+    #: "subscript" | "rebind" | "inplace" | "callee:<name>"
+    via: str
+
+
+@dataclass
+class SendSite:
+    """One RPL004-style send-primitive call on a foreign receiver."""
+
+    node: ast.Call
+    primitive: str
+
+
+@dataclass
+class EffectSummary:
+    """Effects of one function's own body (plus computed closures)."""
+
+    direct_charge: bool = False
+    send_sites: List[SendSite] = field(default_factory=list)
+    #: parameter names this function mutates (directly or via callees)
+    mutated_params: Set[str] = field(default_factory=set)
+    #: shared-array mutation sites in the own body
+    mutations: List[MutationSite] = field(default_factory=list)
+    #: closure: can a charge be reached through this function?
+    may_charge: bool = False
+
+
+class EffectAnalysis:
+    """Compute and cache effect summaries for every project function."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self.config = project.config
+        self._shared = set(self.config.shared_arrays)
+        self._send = set(self.config.send_primitives)
+        self._charge = set(self.config.charge_primitives)
+        self.summaries: Dict[FuncKey, EffectSummary] = {}
+        self._local_pass()
+        self._param_mutation_fixpoint()
+        self._shared_flow_pass()
+        self._may_charge_fixpoint()
+
+    # -- phase 1: local effects ----------------------------------------
+    def _local_pass(self) -> None:
+        for key, fn in self.project.functions.items():
+            self.summaries[key] = self._analyse_local(fn)
+
+    def _analyse_local(self, fn: FunctionInfo) -> EffectSummary:
+        s = EffectSummary()
+        aliases: Dict[str, str] = {}  # local name -> shared attr name
+        param_aliases: Dict[str, str] = {}  # local name -> param name
+        params = set(fn.params)
+        seen_calls: Set[int] = set()
+        for stmt in _walk_own(fn.node):
+            # every call exactly once (statements reappear nested inside
+            # their parents in the _walk_own order)
+            for node in _calls_under(stmt):
+                if id(node) in seen_calls:
+                    continue
+                seen_calls.add(id(node))
+                name = _call_name(node)
+                if name in self._charge:
+                    s.direct_charge = True
+                elif name in self._send and not _bare_self_receiver(node):
+                    s.send_sites.append(SendSite(node=node, primitive=name))
+                self._track_inplace_call(node, s, aliases, param_aliases)
+            if isinstance(stmt, ast.Assign):
+                self._track_assign(stmt, s, aliases, param_aliases, params)
+            elif isinstance(stmt, ast.AugAssign):
+                self._track_store(
+                    stmt, stmt.target, s, aliases, param_aliases, augmented=True
+                )
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                self._track_assign_one(
+                    stmt, stmt.target, stmt.value, s, aliases, param_aliases,
+                    params,
+                )
+        return s
+
+    # -- assignment / store tracking -----------------------------------
+    def _track_assign(
+        self,
+        stmt: ast.Assign,
+        s: EffectSummary,
+        aliases: Dict[str, str],
+        param_aliases: Dict[str, str],
+        params: Set[str],
+    ) -> None:
+        for target in stmt.targets:
+            self._track_assign_one(
+                stmt, target, stmt.value, s, aliases, param_aliases, params
+            )
+
+    def _track_assign_one(
+        self,
+        stmt: ast.AST,
+        target: ast.expr,
+        value: ast.expr,
+        s: EffectSummary,
+        aliases: Dict[str, str],
+        param_aliases: Dict[str, str],
+        params: Set[str],
+    ) -> None:
+        self._track_store(stmt, target, s, aliases, param_aliases)
+        if not isinstance(target, ast.Name):
+            return
+        src = _array_root(value, self._shared, aliases)
+        if src is not None:
+            aliases[target.id] = src
+            param_aliases.pop(target.id, None)
+            return
+        psrc = _param_root(value, params, param_aliases)
+        if psrc is not None:
+            param_aliases[target.id] = psrc
+            aliases.pop(target.id, None)
+            return
+        aliases.pop(target.id, None)
+        param_aliases.pop(target.id, None)
+
+    def _track_store(
+        self,
+        stmt: ast.AST,
+        target: ast.expr,
+        s: EffectSummary,
+        aliases: Dict[str, str],
+        param_aliases: Dict[str, str],
+        *,
+        augmented: bool = False,
+    ) -> None:
+        """Record a store through ``target`` when it hits shared state."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for e in target.elts:
+                self._track_store(
+                    stmt, e, s, aliases, param_aliases, augmented=augmented
+                )
+            return
+        if isinstance(target, ast.Subscript):
+            root = _array_root(target.value, self._shared, aliases)
+            if root is not None:
+                s.mutations.append(
+                    MutationSite(node=stmt, array=root, via="subscript")
+                )
+            # subscript store into a parameter (or an alias/view of one);
+            # raw local names land here too — the fixpoint pass
+            # intersects with the real parameter list before propagating
+            base = target.value
+            while isinstance(base, ast.Subscript):
+                base = base.value
+            if isinstance(base, ast.Name):
+                s.mutated_params.add(param_aliases.get(base.id, base.id))
+        elif isinstance(target, ast.Attribute):
+            if target.attr in self._shared:
+                s.mutations.append(
+                    MutationSite(node=stmt, array=target.attr, via="rebind")
+                )
+        elif isinstance(target, ast.Name) and augmented:
+            root = aliases.get(target.id)
+            if root is not None:
+                s.mutations.append(
+                    MutationSite(node=stmt, array=root, via="subscript")
+                )
+            pname = param_aliases.get(target.id)
+            if pname is not None:
+                s.mutated_params.add(pname)
+
+    def _track_inplace_call(
+        self,
+        call: ast.Call,
+        s: EffectSummary,
+        aliases: Dict[str, str],
+        param_aliases: Dict[str, str],
+    ) -> None:
+        """np.fill_diagonal(x, 0), np.minimum(a, b, out=x), x.fill(0)."""
+        mutated: List[ast.expr] = []
+        func = call.func
+        tail = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if tail in _INPLACE_FIRST_ARG and call.args:
+            mutated.append(call.args[0])
+        if isinstance(func, ast.Attribute) and func.attr in _INPLACE_METHODS:
+            mutated.append(func.value)
+        for kw in call.keywords:
+            if kw.arg == "out":
+                mutated.append(kw.value)
+        for expr in mutated:
+            root = _array_root(expr, self._shared, aliases)
+            if root is not None:
+                s.mutations.append(
+                    MutationSite(node=call, array=root, via="inplace")
+                )
+            if isinstance(expr, ast.Name):
+                s.mutated_params.add(param_aliases.get(expr.id, expr.id))
+            elif isinstance(expr, ast.Subscript) and isinstance(
+                expr.value, ast.Name
+            ):
+                s.mutated_params.add(
+                    param_aliases.get(expr.value.id, expr.value.id)
+                )
+
+    # -- phase 2: param-mutation closure -------------------------------
+    def _param_mutation_fixpoint(self) -> None:
+        """``f(x): g(x)`` mutates ``x`` when ``g`` mutates its param.
+
+        Iterate arg->param bindings at every resolved call site until no
+        summary grows (monotone, finite: terminates).  Only Name
+        arguments propagate — passing ``x[i:j]`` is a view and counts
+        too, handled by the shared-flow pass instead.
+        """
+        # keep only real parameter names in mutated_params first
+        for key, fn in self.project.functions.items():
+            params = set(fn.params)
+            s = self.summaries[key]
+            s.mutated_params &= params
+        changed = True
+        while changed:
+            changed = False
+            for key, fn in self.project.functions.items():
+                s = self.summaries[key]
+                params = set(fn.params)
+                for site in self.project.call_sites.get(key, []):
+                    for tgt in site.targets:
+                        callee = self.project.functions.get(tgt)
+                        if callee is None:
+                            continue
+                        tsum = self.summaries[tgt]
+                        if not tsum.mutated_params:
+                            continue
+                        for arg_name, param in _bindings(
+                            site.node, callee
+                        ):
+                            if (
+                                param in tsum.mutated_params
+                                and arg_name in params
+                                and arg_name not in s.mutated_params
+                            ):
+                                s.mutated_params.add(arg_name)
+                                changed = True
+
+    # -- phase 3: shared arrays flowing into mutating callees ----------
+    def _shared_flow_pass(self) -> None:
+        """Record ``callee:<name>`` mutation sites: a shared array (or a
+        view of one) passed as an argument the callee mutates."""
+        for key, fn in self.project.functions.items():
+            s = self.summaries[key]
+            aliases = self._alias_env(fn)
+            for site in self.project.call_sites.get(key, []):
+                for tgt in site.targets:
+                    callee = self.project.functions.get(tgt)
+                    if callee is None:
+                        continue
+                    tsum = self.summaries[tgt]
+                    if not tsum.mutated_params:
+                        continue
+                    for expr, param in _expr_bindings(site.node, callee):
+                        if param not in tsum.mutated_params:
+                            continue
+                        root = _array_root(expr, self._shared, aliases)
+                        if root is not None:
+                            s.mutations.append(
+                                MutationSite(
+                                    node=site.node,
+                                    array=root,
+                                    via=f"callee:{callee.name}",
+                                )
+                            )
+
+    def _alias_env(self, fn: FunctionInfo) -> Dict[str, str]:
+        """Final local-name -> shared-attr alias map for ``fn``."""
+        aliases: Dict[str, str] = {}
+        for stmt in _walk_own(fn.node):
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        src = _array_root(stmt.value, self._shared, aliases)
+                        if src is not None:
+                            aliases[target.id] = src
+                        else:
+                            aliases.pop(target.id, None)
+        return aliases
+
+    # -- phase 4: may-charge closure -----------------------------------
+    def _may_charge_fixpoint(self) -> None:
+        for key, s in self.summaries.items():
+            s.may_charge = s.direct_charge
+        changed = True
+        while changed:
+            changed = False
+            for key in self.project.functions:
+                s = self.summaries[key]
+                if s.may_charge:
+                    continue
+                for callee in self.project.callees.get(key, ()):
+                    if self.summaries[callee].may_charge:
+                        s.may_charge = True
+                        changed = True
+                        break
+
+    # -- RPL009 coverage query -----------------------------------------
+    def covered_by_callers(self, key: FuncKey) -> bool:
+        """Every call chain reaching ``key`` passes a charging caller.
+
+        Greatest-fixpoint formulation: start optimistic (every function
+        covered), repeatedly demote functions with no callers or with
+        some caller that neither charges nor is itself covered.  Cycles
+        with no charging entry demote in finitely many rounds.
+        """
+        covered = self._caller_coverage()
+        return covered.get(key, False)
+
+    def _caller_coverage(self) -> Dict[FuncKey, bool]:
+        if hasattr(self, "_coverage_cache"):
+            return self._coverage_cache  # type: ignore[return-value]
+        covered: Dict[FuncKey, bool] = {
+            k: True for k in self.project.functions
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key in self.project.functions:
+                if not covered[key]:
+                    continue
+                callers = self.project.callers.get(key, set())
+                ok = bool(callers) and all(
+                    self.summaries[c].may_charge or covered[c]
+                    for c in callers
+                )
+                if not ok:
+                    covered[key] = False
+                    changed = True
+        self._coverage_cache = covered
+        return covered
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _walk_own(node: ast.AST) -> List[ast.AST]:
+    """Statements + nested expressions of a function's own body, skipping
+    nested def/class bodies."""
+    out: List[ast.AST] = []
+    stack: List[ast.AST] = list(getattr(node, "body", []))
+    while stack:
+        cur = stack.pop(0)
+        if isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        out.append(cur)
+        for fld in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(cur, fld, []))
+        for handler in getattr(cur, "handlers", []):
+            stack.extend(handler.body)
+    return out
+
+
+def _calls_under(node: ast.AST) -> List[ast.Call]:
+    """Call expressions under ``node``, excluding nested def/class."""
+    out: List[ast.Call] = []
+    stack: List[ast.AST] = [node]
+    while stack:
+        cur = stack.pop()
+        if cur is not node and isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if isinstance(cur, ast.Call):
+            out.append(cur)
+        stack.extend(ast.iter_child_nodes(cur))
+    return out
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _bare_self_receiver(call: ast.Call) -> bool:
+    func = call.func
+    return (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    )
+
+
+def _array_root(
+    expr: ast.expr, shared: Set[str], aliases: Dict[str, str]
+) -> Optional[str]:
+    """Shared attr a value expression aliases, if any.
+
+    ``self.dv`` -> dv; ``a`` -> aliases[a]; ``self.dv[ix]`` /
+    ``a[ix]`` -> the underlying array (numpy views share storage).
+    """
+    if isinstance(expr, ast.Attribute) and expr.attr in shared:
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return aliases.get(expr.id)
+    if isinstance(expr, ast.Subscript):
+        return _array_root(expr.value, shared, aliases)
+    return None
+
+
+def _param_root(
+    expr: ast.expr, params: Set[str], param_aliases: Dict[str, str]
+) -> Optional[str]:
+    """Parameter a value expression aliases (views included)."""
+    if isinstance(expr, ast.Name):
+        if expr.id in param_aliases:
+            return param_aliases[expr.id]
+        if expr.id in params:
+            return expr.id
+        return None
+    if isinstance(expr, ast.Subscript):
+        return _param_root(expr.value, params, param_aliases)
+    return None
+
+
+def _bindings(
+    call: ast.Call, callee: FunctionInfo
+) -> List[Tuple[str, str]]:
+    """(argument name, parameter name) pairs for Name arguments."""
+    out: List[Tuple[str, str]] = []
+    for expr, param in _expr_bindings(call, callee):
+        if isinstance(expr, ast.Name):
+            out.append((expr.id, param))
+        elif isinstance(expr, ast.Subscript) and isinstance(
+            expr.value, ast.Name
+        ):
+            out.append((expr.value.id, param))
+    return out
+
+
+def _expr_bindings(
+    call: ast.Call, callee: FunctionInfo
+) -> List[Tuple[ast.expr, str]]:
+    """(argument expression, parameter name) pairs at a call site.
+
+    Positional args map against the callee's parameter list, skipping
+    ``self`` for method calls written as attribute accesses.
+    """
+    params = list(callee.params)
+    if callee.is_method and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    out: List[Tuple[ast.expr, str]] = []
+    for i, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if i < len(params):
+            out.append((arg, params[i]))
+    for kw in call.keywords:
+        if kw.arg is not None and kw.arg in callee.params:
+            out.append((kw.value, kw.arg))
+    return out
