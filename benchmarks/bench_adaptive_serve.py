@@ -1,0 +1,222 @@
+"""Adaptive serving: SignalDrivenPolicy vs every fixed strategy.
+
+The streaming claim behind ``strategy="auto"``: a policy that picks the
+dynamic strategy per batch from live signals serves a churn feed at
+least as fast (modeled time) as the best *fixed* strategy chosen in
+hindsight — across churn shapes with different structure.  Each
+candidate drives the identical serve loop (same trace, same admission
+policy, same pacing); only the strategy differs, so modeled-time deltas
+are attributable to placement decisions alone.
+
+Gate (per churn shape):
+
+- ``auto`` total modeled seconds <= best fixed strategy * (1 + TOL)
+- the auto run repeats bitwise-identically: same closeness bits, same
+  per-tick records, same policy-decision lines
+
+Scale note: the gate is evaluated at 8 workers.  With very few workers
+(<= 4) a full Repartition-S reshuffle is cheap enough to win outright
+on every shape, and the signal ladder — which keys repartition on
+ownership skew, not worker count — will not match it; the serve-scale
+regime (8+) is where adaptive selection is the right default.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_adaptive_serve.py --smoke
+    PYTHONPATH=src python benchmarks/bench_adaptive_serve.py  # full
+
+Writes benchmarks/results/BENCH_adaptive_serve.json and exits non-zero
+on gate failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import struct
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig  # noqa: E402
+from repro.serve import (  # noqa: E402
+    HybridAdmission,
+    TRACE_SHAPES,
+    UpdateService,
+    synthesize_churn,
+)
+
+RESULTS = Path(__file__).parent / "results" / "BENCH_adaptive_serve.json"
+
+#: auto must land within 1% of the best fixed strategy per shape
+TOL = 0.01
+FIXED = ("roundrobin", "cutedge", "repartition")
+SEED = 0
+
+
+def closeness_bits(closeness: Dict[int, float]) -> List[Tuple[int, bytes]]:
+    return [
+        (v, struct.pack("<d", closeness[v])) for v in sorted(closeness)
+    ]
+
+
+def serve_once(
+    shape: str, strategy: str, *, n_base: int, ticks: int, nprocs: int
+) -> Dict[str, Any]:
+    """Drive one candidate through the canonical serve loop."""
+    trace = synthesize_churn(shape, n_base=n_base, ticks=ticks, seed=SEED)
+    engine = AnytimeAnywhereCloseness(
+        trace.base,
+        AnytimeConfig(nprocs=nprocs, seed=SEED, collect_snapshots=False),
+    )
+    t0 = time.perf_counter()
+    engine.setup()
+    service = UpdateService(
+        engine,
+        admission=HybridAdmission(max_events=6, max_delay_ticks=3),
+        strategy=strategy,
+    )
+    try:
+        for tick in range(trace.ticks):
+            events = trace.events_at(tick)
+            if events:
+                service.feed(events)
+            service.step()
+        result = service.drain()
+    finally:
+        engine.close()
+    wall = time.perf_counter() - t0
+    decisions = service.policy_decisions
+    reasons: Dict[str, int] = {}
+    for d in decisions:
+        reasons[d.reason] = reasons.get(d.reason, 0) + 1
+    return {
+        "strategy": strategy,
+        "modeled_seconds": result.modeled_seconds,
+        "rc_steps": result.rc_steps,
+        "converged": result.converged,
+        "batches": service.batches_formed,
+        "events_admitted": service.events_admitted,
+        "strategy_counts": dict(sorted(service._strategy_counts.items())),
+        "decision_reasons": dict(sorted(reasons.items())),
+        "harness_wall_seconds": wall,
+        # not serialized: used for the determinism comparison only
+        "_bits": closeness_bits(result.closeness),
+        "_tick_lines": tuple(t.line() for t in service.ticks),
+        "_decision_lines": tuple(d.line() for d in decisions),
+    }
+
+
+def run_scenario(shape: str, smoke: bool) -> Dict[str, Any]:
+    n_base = 100 if smoke else 120
+    ticks = 16 if smoke else 24
+    nprocs = 8
+
+    runs = {
+        name: serve_once(
+            shape, name, n_base=n_base, ticks=ticks, nprocs=nprocs
+        )
+        for name in FIXED + ("auto",)
+    }
+    repeat = serve_once(
+        shape, "auto", n_base=n_base, ticks=ticks, nprocs=nprocs
+    )
+    auto = runs["auto"]
+    deterministic = (
+        auto["_bits"] == repeat["_bits"]
+        and auto["_tick_lines"] == repeat["_tick_lines"]
+        and auto["_decision_lines"] == repeat["_decision_lines"]
+    )
+
+    best_fixed = min(FIXED, key=lambda name: runs[name]["modeled_seconds"])
+    best_modeled = runs[best_fixed]["modeled_seconds"]
+    ratio = auto["modeled_seconds"] / best_modeled if best_modeled else 1.0
+    return {
+        "name": shape,
+        "n_base": n_base,
+        "ticks": ticks,
+        "nprocs": nprocs,
+        "runs": {
+            name: {k: v for k, v in run.items() if not k.startswith("_")}
+            for name, run in runs.items()
+        },
+        "best_fixed": best_fixed,
+        "best_fixed_modeled_seconds": best_modeled,
+        "auto_modeled_seconds": auto["modeled_seconds"],
+        "auto_vs_best_fixed": ratio,
+        "auto_within_tolerance": ratio <= 1.0 + TOL,
+        "auto_deterministic": deterministic,
+    }
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="small CI-friendly scale"
+    )
+    parser.add_argument(
+        "--out", type=str, default=str(RESULTS), help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = [
+        run_scenario(shape, args.smoke) for shape in sorted(TRACE_SHAPES)
+    ]
+
+    failures: List[str] = []
+    for sc in scenarios:
+        if not sc["auto_within_tolerance"]:
+            failures.append(
+                f"{sc['name']}: auto modeled"
+                f" {sc['auto_modeled_seconds']:.6f}s exceeds best fixed"
+                f" '{sc['best_fixed']}'"
+                f" ({sc['best_fixed_modeled_seconds']:.6f}s)"
+                f" by more than {TOL:.0%}"
+                f" (x{sc['auto_vs_best_fixed']:.4f})"
+            )
+        if not sc["auto_deterministic"]:
+            failures.append(
+                f"{sc['name']}: repeated auto runs diverged (closeness,"
+                " tick records, or policy decisions)"
+            )
+        for name, run in sc["runs"].items():
+            if not run["converged"]:
+                failures.append(f"{sc['name']}/{name}: did not converge")
+
+    report = {
+        "bench": "adaptive_serve",
+        "smoke": args.smoke,
+        "seed": SEED,
+        "tolerance": TOL,
+        "fixed_candidates": list(FIXED),
+        "scenarios": scenarios,
+        "failures": failures,
+        "pass": not failures,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    for sc in scenarios:
+        auto = sc["runs"]["auto"]
+        print(
+            f"{sc['name']:>20}: auto {sc['auto_modeled_seconds']:.5f}s"
+            f" vs best fixed '{sc['best_fixed']}'"
+            f" {sc['best_fixed_modeled_seconds']:.5f}s"
+            f" (x{sc['auto_vs_best_fixed']:.4f}),"
+            f" picks {auto['strategy_counts']},"
+            f" deterministic={sc['auto_deterministic']}"
+        )
+    print(f"report written to {out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,32 +16,39 @@ Quick start::
     result = repro.closeness(barabasi_albert(500, 3, seed=1), nprocs=4)
     print(result.closeness)
 
-or, keeping the engine around for incremental/anytime runs::
+or, keeping a live session around for streaming/anytime runs::
 
-    from repro import AnytimeAnywhereCloseness, AnytimeConfig
+    import repro
 
-    engine = AnytimeAnywhereCloseness(g, AnytimeConfig(nprocs=4))
-    engine.setup()
-    print(engine.run().closeness)
+    with repro.session(g, repro.AnytimeConfig(nprocs=4)) as s:
+        s.feed(events)                  # queue change events
+        s.step()                        # one admission + paced RC step
+        print(s.signals.delta_hit_rate)
+        print(s.result().closeness)     # drain + run to convergence
 """
 
-from .core.config import AnytimeConfig
+from .core.config import AnytimeConfig, ResilienceConfig
 from .core.engine import AnytimeAnywhereCloseness, RunResult, closeness
 from .errors import ReproError
 from .graph.changes import ChangeBatch, ChangeStream
 from .graph.graph import Graph
-from .obs import ConvergenceProbe, Observer, build_hub
+from .obs import ConvergenceProbe, Observer, SignalView, build_hub
 from .runtime.backends import available_backends
 from .runtime.chaos import FaultPlan
 from .runtime.health import HealthPolicy
+from .serve import Session, session
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnytimeAnywhereCloseness",
     "AnytimeConfig",
+    "ResilienceConfig",
     "RunResult",
+    "Session",
+    "SignalView",
     "closeness",
+    "session",
     "available_backends",
     "ConvergenceProbe",
     "Observer",

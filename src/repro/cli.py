@@ -152,6 +152,43 @@ def build_parser() -> argparse.ArgumentParser:
                     help="path to a jsonl trace written by --trace-out")
     rp.add_argument("--out", type=str, default=None,
                     help="write the report to this file as well")
+
+    vp = sub.add_parser(
+        "serve",
+        help="drive the streaming update service over a churn trace:"
+             " admission-batched feed, signal-driven strategy selection,"
+             " periodic report-style summaries",
+    )
+    vp.add_argument("--shape", type=str, default=None,
+                    choices=["bursty-communities", "skew-grow",
+                             "steady-small"],
+                    help="synthesize a churn trace of this shape")
+    vp.add_argument("--trace", type=str, default=None,
+                    help="replay a JSONL change trace file instead of"
+                         " synthesizing one (the base graph is rebuilt"
+                         " from --n-base/--seed)")
+    vp.add_argument("--n-base", type=int, default=120,
+                    help="base graph size (barabasi-albert, m=2)")
+    vp.add_argument("--ticks", type=int, default=24,
+                    help="service ticks the synthesized trace spans")
+    vp.add_argument("--nprocs", type=int, default=8)
+    vp.add_argument("--seed", type=int, default=0)
+    vp.add_argument("--strategy", type=str, default="auto",
+                    help="strategy name for admitted batches; 'auto'"
+                         " picks per batch from live signals")
+    vp.add_argument("--backend", type=str, default=None,
+                    choices=["serial", "process"])
+    vp.add_argument("--max-events", type=int, default=8,
+                    help="admission: full-batch size trigger")
+    vp.add_argument("--max-delay-ticks", type=int, default=4,
+                    help="admission: staleness bound in service ticks")
+    vp.add_argument("--summary-every", type=int, default=8,
+                    help="emit a report-style summary every N ticks"
+                         " (0 = only the final one)")
+    vp.add_argument("--save-trace", type=str, default=None,
+                    help="write the synthesized trace as JSONL and exit")
+    vp.add_argument("--out", type=str, default=None,
+                    help="write the serve log to this file as well")
     return parser
 
 
@@ -265,7 +302,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "trace":
-        from . import AnytimeAnywhereCloseness, AnytimeConfig
+        from . import AnytimeAnywhereCloseness, AnytimeConfig, ResilienceConfig
         from .bench.workloads import community_workload
 
         workload = community_workload(
@@ -280,13 +317,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             observers.append("convergence")
         if observers:
             cfg_kwargs["observers"] = tuple(observers)
-        if args.recovery is not None:
-            cfg_kwargs["recovery"] = args.recovery
         if args.health:
             from .runtime.health import HealthPolicy
 
             cfg_kwargs["health"] = HealthPolicy()
         fault_plan = _fault_plan_from_args(args)
+        if fault_plan is not None or args.recovery is not None:
+            cfg_kwargs["resilience"] = ResilienceConfig(
+                recovery=args.recovery or "warm", fault_plan=fault_plan
+            )
         with AnytimeAnywhereCloseness(
             workload.base,
             AnytimeConfig(nprocs=args.nprocs, seed=args.seed,
@@ -295,7 +334,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             engine.setup()
             result = engine.run(
                 changes=workload.stream, strategy=args.strategy,
-                fault_plan=fault_plan,
             )
             tracer = engine.cluster.tracer
         rows = [
@@ -367,6 +405,68 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.json:
             tracer.save(args.json)
             print(f"full trace written to {args.json}")
+        return 0
+
+    if args.command == "serve":
+        from . import AnytimeConfig
+        from .graph.generators import barabasi_albert
+        from .serve import (
+            HybridAdmission,
+            load_change_trace,
+            save_change_trace,
+            session,
+            synthesize_churn,
+        )
+
+        if (args.shape is None) == (args.trace is None):
+            raise SystemExit("serve needs exactly one of --shape / --trace")
+        if args.shape is not None:
+            churn = synthesize_churn(
+                args.shape, n_base=args.n_base, ticks=args.ticks,
+                seed=args.seed,
+            )
+            base, events, ticks = churn.base, list(churn.events), churn.ticks
+        else:
+            events = load_change_trace(args.trace)
+            base = barabasi_albert(args.n_base, 2, seed=args.seed)
+            ticks = max((t for t, _ in events), default=0) + 1
+        if args.save_trace:
+            save_change_trace(args.save_trace, events)
+            print(f"trace written to {args.save_trace} ({len(events)} events)")
+            return 0
+
+        cfg_kwargs = {}
+        if args.backend is not None:
+            cfg_kwargs["backend"] = args.backend
+        config = AnytimeConfig(
+            nprocs=args.nprocs, seed=args.seed, collect_snapshots=False,
+            **cfg_kwargs,
+        )
+        lines: List[str] = []
+        with session(
+            base, config,
+            admission=HybridAdmission(args.max_events, args.max_delay_ticks),
+            strategy=args.strategy,
+            summary_interval=args.summary_every,
+        ) as s:
+            svc = s.service
+            for t in range(ticks):
+                at_t = [ev for at, ev in events if at == t]
+                if at_t:
+                    s.feed(at_t)
+                seen = len(svc.summaries)
+                lines.append(s.step().line())
+                for summ in svc.summaries[seen:]:
+                    lines.extend(summ.lines())
+            result = s.result()
+            final = svc.summarize(result)
+        lines.append("serve drained; final state:")
+        lines.extend(final.lines()[1:])
+        text = "\n".join(lines) + "\n"
+        print(text, end="")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
         return 0
 
     scale = _scale_from_args(args)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
@@ -14,9 +15,50 @@ from ..partition.base import Partitioner
 from ..partition.multilevel import MultilevelPartitioner
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.chaos import FaultPlan
     from ..runtime.health import HealthPolicy
 
-__all__ = ["AnytimeConfig"]
+__all__ = ["AnytimeConfig", "ResilienceConfig"]
+
+#: valid crash-recovery policy names; literal duplicate of
+#: runtime.chaos.RECOVERY_POLICIES — config must stay importable
+#: without pulling in the runtime package
+_RECOVERY_POLICIES = ("warm", "checkpoint", "redistribute", "escalate")
+
+
+@dataclass
+class ResilienceConfig:
+    """The fault-tolerance knobs, grouped.
+
+    Attributes
+    ----------
+    recovery:
+        Crash-recovery policy for fault-injected runs (``"warm"`` |
+        ``"checkpoint"`` | ``"redistribute"`` | ``"escalate"``); see
+        :mod:`repro.runtime.supervisor`.  ``"escalate"`` climbs the
+        per-rank ladder warm -> checkpoint -> redistribute and degrades
+        gracefully when health budgets run out.
+    checkpoint_interval:
+        RC steps between the supervisor's in-memory checkpoints (used
+        by the ``"checkpoint"`` and ``"escalate"`` policies).
+    fault_plan:
+        Optional :class:`~repro.runtime.chaos.FaultPlan` applied to
+        every :meth:`~repro.core.engine.AnytimeAnywhereCloseness.run`
+        call that does not pass its own — deterministic fault injection
+        becomes part of the configuration instead of a per-call kwarg.
+    """
+
+    recovery: str = "warm"
+    checkpoint_interval: int = 8
+    fault_plan: Optional["FaultPlan"] = None
+
+    def __post_init__(self) -> None:
+        if self.recovery not in _RECOVERY_POLICIES:
+            raise ConfigurationError(
+                f"unknown recovery policy {self.recovery!r}"
+            )
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint_interval must be >= 1")
 
 
 @dataclass
@@ -48,15 +90,26 @@ class AnytimeConfig:
         Record an anytime snapshot after every RC step.
     seed:
         Seed for partitioner randomness when defaults are constructed.
+    strategy_policy:
+        Name of the registered strategy policy ``strategy="auto"``
+        resolves (see
+        :func:`repro.core.strategies.registry.register_policy`);
+        defaults to the signal-driven policy.
+    resilience:
+        Typed group of the fault-tolerance knobs
+        (:class:`ResilienceConfig`: ``recovery``,
+        ``checkpoint_interval``, ``fault_plan``).  Always populated
+        after construction; defaults are built when omitted.
     recovery:
-        Default crash-recovery policy for fault-injected runs
-        (``"warm"`` | ``"checkpoint"`` | ``"redistribute"`` |
-        ``"escalate"``); see :mod:`repro.runtime.supervisor`.
-        ``"escalate"`` climbs the per-rank ladder warm -> checkpoint ->
-        redistribute and degrades gracefully when health budgets run out.
+        Deprecated — pass ``resilience=ResilienceConfig(recovery=...)``.
+        Kept one release as a shim: a non-``None`` value emits a
+        :class:`DeprecationWarning` and is folded into ``resilience``.
+        After construction the attribute mirrors
+        ``resilience.recovery`` for readers.
     checkpoint_interval:
-        RC steps between the supervisor's in-memory checkpoints (used by
-        the ``"checkpoint"`` and ``"escalate"`` policies).
+        Deprecated — pass
+        ``resilience=ResilienceConfig(checkpoint_interval=...)``.  Same
+        shim + mirror behavior as ``recovery``.
     health:
         Optional :class:`~repro.runtime.health.HealthPolicy` enabling the
         self-healing runtime for fault-injected runs: per-rank liveness
@@ -105,8 +158,10 @@ class AnytimeConfig:
     #: None = homogeneous.  Pair with a MultilevelPartitioner whose
     #: target_weights match for speed-proportional blocks.
     worker_speeds: Optional[List[float]] = None
-    recovery: str = "warm"
-    checkpoint_interval: int = 8
+    strategy_policy: str = "signals"
+    resilience: Optional[ResilienceConfig] = None
+    recovery: Optional[str] = None
+    checkpoint_interval: Optional[int] = None
     health: Optional["HealthPolicy"] = None
     wire_format: str = "delta"
     backend: str = field(
@@ -123,16 +178,9 @@ class AnytimeConfig:
             raise ConfigurationError(
                 "repartition_threshold must be a fraction in [0, 1]"
             )
-        # literal duplicate of runtime.chaos.RECOVERY_POLICIES: config must
-        # stay importable without pulling in the runtime package
-        if self.recovery not in (
-            "warm", "checkpoint", "redistribute", "escalate"
-        ):
-            raise ConfigurationError(
-                f"unknown recovery policy {self.recovery!r}"
-            )
-        if self.checkpoint_interval < 1:
-            raise ConfigurationError("checkpoint_interval must be >= 1")
+        if not self.strategy_policy:
+            raise ConfigurationError("strategy_policy must be a policy name")
+        self._fold_resilience()
         if self.health is not None:
             # lazy import: the runtime package is only pulled in when the
             # self-healing features are actually requested
@@ -185,3 +233,53 @@ class AnytimeConfig:
             self.cutedge_partitioner = MultilevelPartitioner(seed=self.seed + 1)
         if self.schedule is None:
             self.schedule = SequentialAllToAll()
+
+    def _fold_resilience(self) -> None:
+        """Fold the deprecated flat kwargs into the ``resilience`` group.
+
+        Legacy ``recovery`` / ``checkpoint_interval`` values warn and
+        seed the group; values that merely *match* an explicit group
+        pass silently so ``dataclasses.replace`` round-trips (the
+        mirror writes both forms back onto the instance).  Conflicting
+        values are a configuration error, never a silent pick.
+        """
+        given = {
+            name: value
+            for name, value in (
+                ("recovery", self.recovery),
+                ("checkpoint_interval", self.checkpoint_interval),
+            )
+            if value is not None
+        }
+        res = self.resilience
+        if res is None:
+            if given:
+                warnings.warn(
+                    f"AnytimeConfig({', '.join(sorted(given))}=...) is"
+                    " deprecated; pass"
+                    " resilience=ResilienceConfig(...) instead"
+                    " (the flat kwargs will be removed next release)",
+                    DeprecationWarning,
+                    stacklevel=4,
+                )
+            self.resilience = res = ResilienceConfig(
+                recovery=given.get("recovery", "warm"),  # type: ignore[arg-type]
+                checkpoint_interval=given.get(  # type: ignore[arg-type]
+                    "checkpoint_interval", 8
+                ),
+            )
+        else:
+            conflicts = sorted(
+                name
+                for name, value in given.items()
+                if value != getattr(res, name)
+            )
+            if conflicts:
+                raise ConfigurationError(
+                    "conflicting resilience settings: deprecated"
+                    f" {conflicts} disagree with resilience=..."
+                )
+        # mirror the resolved group onto the flat fields so readers of
+        # the deprecated attributes keep seeing concrete values
+        self.recovery = res.recovery
+        self.checkpoint_interval = res.checkpoint_interval

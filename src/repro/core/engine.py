@@ -25,8 +25,10 @@ comparison point.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import logging
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
@@ -37,10 +39,11 @@ from ..graph.changes import ChangeBatch, ChangeStream
 from ..graph.graph import Graph
 from ..obs import build_hub
 from ..obs.observer import ObserverHub
+from ..obs.registry import MetricsRegistry, SignalView
 from ..runtime.cluster import Cluster
 from ..runtime.metrics import LoadSnapshot, snapshot_load
 from ..types import FloatArray, VertexId
-from .config import AnytimeConfig
+from .config import AnytimeConfig, ResilienceConfig
 from .recombination import run_recombination
 from .snapshots import AnytimeSnapshot, take_snapshot
 from .strategies import DynamicStrategy, make_strategy
@@ -230,12 +233,56 @@ class AnytimeAnywhereCloseness:
     # ------------------------------------------------------------------
     # running
     # ------------------------------------------------------------------
+    def _resolve_resilience(
+        self,
+        resilience: Optional[ResilienceConfig],
+        fault_plan: Optional["FaultPlan"],
+        recovery: Optional[str],
+        checkpoint_interval: Optional[int],
+    ) -> ResilienceConfig:
+        """Merge the run-level resilience override with the legacy kwargs.
+
+        The flat ``fault_plan`` / ``recovery`` / ``checkpoint_interval``
+        kwargs are deprecated shims: they warn, then override the
+        corresponding group fields for this call only.
+        """
+        legacy = {
+            name: value
+            for name, value in (
+                ("fault_plan", fault_plan),
+                ("recovery", recovery),
+                ("checkpoint_interval", checkpoint_interval),
+            )
+            if value is not None
+        }
+        if legacy:
+            warnings.warn(
+                f"run({', '.join(sorted(legacy))}=...) is deprecated; pass"
+                " resilience=ResilienceConfig(...) instead (the flat"
+                " kwargs will be removed next release)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        base = resilience if resilience is not None else self.config.resilience
+        assert base is not None  # config always populates the group
+        effective = dataclasses.replace(base, **legacy) if legacy else base
+        if effective.fault_plan is None and (
+            recovery is not None
+            or checkpoint_interval is not None
+        ):
+            raise ConfigurationError(
+                "recovery/checkpoint_interval only apply with a fault_plan"
+            )
+        return effective
+
     def run(
         self,
         *,
         changes: Optional[ChangeStream] = None,
         strategy: Union[str, DynamicStrategy, None] = "roundrobin",
         budget_modeled_seconds: Optional[float] = None,
+        step_budget: Optional[int] = None,
+        resilience: Optional[ResilienceConfig] = None,
         fault_plan: Optional["FaultPlan"] = None,
         recovery: Optional[str] = None,
         checkpoint_interval: Optional[int] = None,
@@ -245,19 +292,31 @@ class AnytimeAnywhereCloseness:
         May be called repeatedly: later calls resume at the next RC step
         (``changes`` steps are absolute across calls).
 
+        ``strategy`` is a registered name, a
+        :class:`DynamicStrategy` instance, or ``"auto"`` — the
+        policy-driven adapter that picks a registered strategy per batch
+        from live run signals (``config.strategy_policy`` names the
+        policy).
+
         ``budget_modeled_seconds`` exercises the *anytime* property: the
         loop stops once the modeled clock advances by the budget, and the
         result carries ``converged=False`` with valid upper-bound
         estimates; call :meth:`run` again to continue refining.
+        ``step_budget`` is the discrete analogue — run at most that many
+        RC steps (the serve loop paces the engine with it).
 
-        ``fault_plan`` runs the step under deterministic fault injection
-        (see :class:`~repro.runtime.chaos.FaultPlan`): the boundary
-        exchange switches to the sequenced ack/retry protocol and the
-        supervisor answers scheduled crashes with the ``recovery`` policy
-        (``"warm"`` | ``"checkpoint"`` | ``"redistribute"`` |
-        ``"escalate"``; defaults from the config, as does
-        ``checkpoint_interval``).  The result carries the fault/recovery
-        accounting and the canonical event trace.
+        ``resilience`` overrides the config's
+        :class:`~repro.core.config.ResilienceConfig` group for this call
+        — its ``fault_plan`` runs the step under deterministic fault
+        injection (see :class:`~repro.runtime.chaos.FaultPlan`): the
+        boundary exchange switches to the sequenced ack/retry protocol
+        and the supervisor answers scheduled crashes with the group's
+        ``recovery`` policy (``"warm"`` | ``"checkpoint"`` |
+        ``"redistribute"`` | ``"escalate"``) and
+        ``checkpoint_interval``.  The result carries the fault/recovery
+        accounting and the canonical event trace.  The flat
+        ``fault_plan`` / ``recovery`` / ``checkpoint_interval`` kwargs
+        are deprecated shims for the group (one-release migration).
 
         With ``config.health`` set (or ``recovery="escalate"``, which
         builds a default policy), the self-healing runtime engages:
@@ -271,30 +330,30 @@ class AnytimeAnywhereCloseness:
         """
         cluster = self._require_cluster()
         cfg = self.config
+        res = self._resolve_resilience(
+            resilience, fault_plan, recovery, checkpoint_interval
+        )
+        plan = res.fault_plan
         dyn = self.resolve_strategy(strategy) if changes else None
         injector = None
         supervisor = None
         monitor = None
-        if fault_plan is not None:
+        if plan is not None:
             from ..runtime.chaos import FaultInjector
             from ..runtime.supervisor import Supervisor
 
-            injector = FaultInjector(fault_plan, cfg.nprocs)
+            injector = FaultInjector(plan, cfg.nprocs)
             if cfg.health is not None:
                 from ..runtime.health import HealthMonitor
 
                 monitor = HealthMonitor(
-                    cfg.health, cfg.nprocs, seed=fault_plan.seed
+                    cfg.health, cfg.nprocs, seed=plan.seed
                 )
             supervisor = Supervisor(
                 cluster,
                 injector,
-                recovery=recovery if recovery is not None else cfg.recovery,
-                checkpoint_interval=(
-                    checkpoint_interval
-                    if checkpoint_interval is not None
-                    else cfg.checkpoint_interval
-                ),
+                recovery=res.recovery,
+                checkpoint_interval=res.checkpoint_interval,
                 monitor=monitor,
             )
             # the supervisor self-creates a monitor for "escalate" runs
@@ -303,10 +362,6 @@ class AnytimeAnywhereCloseness:
             cluster.attach_chaos(injector)
             if monitor is not None:
                 cluster.attach_health(monitor)
-        elif recovery is not None or checkpoint_interval is not None:
-            raise ConfigurationError(
-                "recovery/checkpoint_interval only apply with a fault_plan"
-            )
 
         completed_steps = 0
 
@@ -334,6 +389,7 @@ class AnytimeAnywhereCloseness:
                 on_step=observer,
                 start_step=self._next_step,
                 budget_modeled_seconds=budget_modeled_seconds,
+                step_budget=step_budget,
                 supervisor=supervisor,
             )
         except WorkerError:
@@ -604,6 +660,26 @@ class AnytimeAnywhereCloseness:
                 out[v] = fn(w.dv[w.row_of[v]], cluster.index.column(v))
         return out
 
+    def signals(self) -> SignalView:
+        """Read-only view of the live run signals (anytime read).
+
+        Collects the well-known series into a private registry — the
+        same collection the obs layer exports — so the view works with
+        or without observers attached and reading it can never perturb
+        the run.  Convergence-probe samples are included when probes are
+        attached via ``config.observers``.
+        """
+        cluster = self._require_cluster()
+        reg = MetricsRegistry()
+        cluster.collect_signals(reg)
+        return SignalView(
+            reg,
+            {
+                name: dict(sample)
+                for name, sample in self.obs.last_samples.items()
+            },
+        )
+
     def distances(self) -> Tuple[FloatArray, List[VertexId]]:
         """The assembled distance matrix (modeled as a gather to rank 0)."""
         return self._require_cluster().gather_distance_matrix()
@@ -611,6 +687,15 @@ class AnytimeAnywhereCloseness:
     @property
     def modeled_seconds(self) -> float:
         return self._require_cluster().tracer.modeled_seconds
+
+    @property
+    def next_step(self) -> int:
+        """The absolute RC step the next :meth:`run` call starts at.
+
+        Change streams use absolute steps; the serve loop schedules each
+        admitted batch here so it lands on the very next step.
+        """
+        return self._next_step
 
     # ------------------------------------------------------------------
     # lifecycle teardown
@@ -647,29 +732,43 @@ def closeness(
     strategy: Union[str, DynamicStrategy, None] = "roundrobin",
     config: Optional[AnytimeConfig] = None,
     budget_modeled_seconds: Optional[float] = None,
+    resilience: Optional[ResilienceConfig] = None,
     fault_plan: Optional["FaultPlan"] = None,
     recovery: Optional[str] = None,
     checkpoint_interval: Optional[int] = None,
 ) -> RunResult:
-    """One-shot closeness: setup (DD + IA) plus RC in a single call.
+    """One-shot closeness: a :func:`repro.session` opened for one run.
 
-    Convenience facade over :class:`AnytimeAnywhereCloseness` for the
-    common case — build the engine, partition, run to convergence::
+    The session API is the primary entry point — a
+    :class:`~repro.serve.session.Session` bundles the engine lifecycle
+    (setup, incremental runs, anytime reads, teardown).  ``closeness``
+    is the one-shot convenience built directly on it: open a session,
+    run to convergence, close::
 
         import repro
         result = repro.closeness(g, nprocs=8)
         result.closeness[42]
 
-    Dynamic analysis works the same way as :meth:`.run`::
+    is exactly::
+
+        with repro.session(g, repro.AnytimeConfig(nprocs=8)) as s:
+            result = s.run()
+
+    Dynamic analysis works the same way as :meth:`.run` (``"auto"``
+    selects the strategy per batch from live signals)::
 
         result = repro.closeness(g, nprocs=8, changes=stream,
-                                 strategy="cutedge")
+                                 strategy="auto")
 
     Pass ``config`` for full control (it supplies ``nprocs``; passing
-    both with conflicting values is an error).  Keep the engine instance
-    instead when you need incremental ``run()`` calls, anytime reads, or
-    explicit crash injection.
+    both with conflicting values is an error).  Keep a session open
+    instead when you need incremental feeds, anytime reads, or live
+    signals.  The flat ``fault_plan`` / ``recovery`` /
+    ``checkpoint_interval`` kwargs are deprecated shims for
+    ``resilience`` (one-release migration).
     """
+    from ..serve.session import session
+
     if config is None:
         config = AnytimeConfig(nprocs=nprocs)
     elif nprocs != 16 and nprocs != config.nprocs:
@@ -677,15 +776,38 @@ def closeness(
             f"conflicting nprocs: argument {nprocs} vs config"
             f" {config.nprocs}"
         )
-    # context manager: backend resources (process-pool shm segments) are
+    # fold the legacy flat kwargs here so the DeprecationWarning points
+    # at the caller of closeness(), not at the session facade
+    legacy = {
+        name: value
+        for name, value in (
+            ("fault_plan", fault_plan),
+            ("recovery", recovery),
+            ("checkpoint_interval", checkpoint_interval),
+        )
+        if value is not None
+    }
+    if legacy:
+        warnings.warn(
+            f"closeness({', '.join(sorted(legacy))}=...) is deprecated;"
+            " pass resilience=ResilienceConfig(...) instead (the flat"
+            " kwargs will be removed next release)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        base = resilience if resilience is not None else config.resilience
+        assert base is not None
+        resilience = dataclasses.replace(base, **legacy)
+        if resilience.fault_plan is None:
+            raise ConfigurationError(
+                "recovery/checkpoint_interval only apply with a fault_plan"
+            )
+    # session context: backend resources (process-pool shm segments) are
     # released and exporters flushed even when the run raises mid-phase
-    with AnytimeAnywhereCloseness(graph, config) as engine:
-        engine.setup()
-        return engine.run(
+    with session(graph, config) as s:
+        return s.run(
             changes=changes,
             strategy=strategy,
             budget_modeled_seconds=budget_modeled_seconds,
-            fault_plan=fault_plan,
-            recovery=recovery,
-            checkpoint_interval=checkpoint_interval,
+            resilience=resilience,
         )

@@ -39,6 +39,7 @@ def run_recombination(
     on_step: Optional[Callable[[int], None]] = None,
     start_step: int = 0,
     budget_modeled_seconds: Optional[float] = None,
+    step_budget: Optional[int] = None,
     supervisor: Optional["Supervisor"] = None,
 ) -> int:
     """Run RC steps until convergence; returns the number of steps run.
@@ -59,6 +60,11 @@ def run_recombination(
         Anytime interruption: stop (without error) once the modeled clock
         has advanced by this much since entry, even if not yet converged.
         The partial results remain valid upper bounds.
+    step_budget:
+        Discrete anytime interruption: run at most this many RC steps,
+        then stop without error (the serve loop's pacing primitive —
+        unlike ``max_steps``, reaching the budget is a normal return,
+        not a :class:`ConvergenceError`).
     supervisor:
         Fault-tolerance supervisor.  Its :meth:`before_step` preamble
         (periodic checkpoints + scheduled crashes and their recoveries)
@@ -72,6 +78,8 @@ def run_recombination(
     step = start_step
     steps_run = 0
     while steps_run < max_steps:
+        if step_budget is not None and steps_run >= step_budget:
+            return steps_run  # paced: caller resumes with the next call
         # budget first: it is checked against the clock *before* the
         # convergence vote charges its all-reduce, so a fresh call always
         # starts at zero elapsed and is guaranteed to make progress

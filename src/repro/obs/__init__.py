@@ -36,7 +36,7 @@ from .exporters import (
     parse_spec,
 )
 from .observer import NULL_HUB, NullObserver, Observer, ObserverHub
-from .registry import Histogram, MetricsRegistry
+from .registry import Histogram, MetricsRegistry, SignalView
 from .report import TraceReport, load_events, render_report
 
 __all__ = [
@@ -53,6 +53,7 @@ __all__ = [
     "ObserverHub",
     "PerfettoExporter",
     "PrometheusExporter",
+    "SignalView",
     "SpanEvent",
     "TraceReport",
     "build_hub",

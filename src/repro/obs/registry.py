@@ -17,7 +17,7 @@ rendered dump is byte-identical across runs and backends.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "ACTIVE_WORKERS",
@@ -26,6 +26,7 @@ __all__ = [
     "DELTA_HIT_RATE",
     "FAULTS",
     "BACKOFF_SECONDS",
+    "GRAPH_VERTICES",
     "HEALTH_STATE",
     "LOAD_CUT_IMBALANCE",
     "LOAD_VERTEX_IMBALANCE",
@@ -38,6 +39,7 @@ __all__ = [
     "WIRE_WORDS",
     "Histogram",
     "MetricsRegistry",
+    "SignalView",
 ]
 
 # --- well-known series ------------------------------------------------
@@ -73,6 +75,8 @@ MISSED_DEADLINES = "repro_missed_deadlines_total"
 SPECULATIONS = "repro_speculations_total"
 #: modeled seconds of exponential retry backoff (counter)
 BACKOFF_SECONDS = "repro_backoff_modeled_seconds_total"
+#: vertices currently in the analyzed graph (gauge)
+GRAPH_VERTICES = "repro_graph_vertices"
 
 #: default histogram bucket upper bounds (modeled seconds, log-spaced)
 _DEFAULT_BUCKETS = (
@@ -130,6 +134,8 @@ class MetricsRegistry:
         self._types: Dict[str, str] = {}
         #: full series key -> current value (counters and gauges)
         self._values: Dict[str, float] = {}
+        #: base name -> label set -> value (structured view of _values)
+        self._labeled: Dict[str, Dict[Labels, float]] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
@@ -140,11 +146,16 @@ class MetricsRegistry:
                 f"metric {name!r} already declared as {existing}, not {kind}"
             )
 
+    def _set(self, name: str, labels: Labels, value: float) -> None:
+        self._values[_series_key(name, labels)] = value
+        self._labeled.setdefault(name, {})[labels] = value
+
     def inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
         """Add ``amount`` to a counter series."""
         self._declare(name, "counter")
-        key = _series_key(name, _labels(labels))
-        self._values[key] = self._values.get(key, 0.0) + amount
+        lab = _labels(labels)
+        key = _series_key(name, lab)
+        self._set(name, lab, self._values.get(key, 0.0) + amount)
 
     def counter_set(self, name: str, total: float, **labels: str) -> None:
         """Set a counter series to a known cumulative total.
@@ -153,12 +164,12 @@ class MetricsRegistry:
         rows); sampling copies them in rather than re-deriving deltas.
         """
         self._declare(name, "counter")
-        self._values[_series_key(name, _labels(labels))] = total
+        self._set(name, _labels(labels), total)
 
     def gauge(self, name: str, value: float, **labels: str) -> None:
         """Set a gauge series to its current value."""
         self._declare(name, "gauge")
-        self._values[_series_key(name, _labels(labels))] = value
+        self._set(name, _labels(labels), value)
 
     def observe(self, name: str, value: float, **labels: str) -> None:
         """Record one observation into a histogram series."""
@@ -175,6 +186,10 @@ class MetricsRegistry:
 
     def value(self, name: str, **labels: str) -> Optional[float]:
         return self._values.get(_series_key(name, _labels(labels)))
+
+    def labeled_values(self, name: str) -> Dict[Labels, float]:
+        """Every series of a metric, keyed by its sorted label tuple."""
+        return dict(sorted(self._labeled.get(name, {}).items()))
 
     def snapshot(self) -> Dict[str, float]:
         """All scalar series (counters + gauges), sorted by key."""
@@ -214,3 +229,105 @@ class MetricsRegistry:
                 lines.append(f"{name}_sum{brace}{rest} {hist.total:.17g}")
                 lines.append(f"{name}_count{brace}{rest} {hist.n}")
         return "\n".join(lines) + ("\n" if lines else "")
+
+
+class SignalView:
+    """Read-only window over a metrics registry (plus probe samples).
+
+    Strategy policies choose the next dynamic strategy from live run
+    signals; handing them the registry itself would let a buggy policy
+    perturb the run it is steering.  A ``SignalView`` exposes only
+    lookups — the well-known load/wire/queue gauges as properties, and
+    the latest convergence-probe sample — so policies stay pure readers
+    and the non-perturbation invariant (observers on/off never changes
+    results) extends to policy-driven runs.
+
+    All values derive from modeled quantities, so two runs of the same
+    seeded scenario see byte-identical signals and therefore make
+    byte-identical policy decisions.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        samples: Optional[Mapping[str, Mapping[str, float]]] = None,
+    ) -> None:
+        self._registry = registry
+        self._samples: Dict[str, Dict[str, float]] = {
+            name: dict(sample)
+            for name, sample in (samples or {}).items()
+        }
+
+    # -- generic lookups ----------------------------------------------
+    def get(self, name: str, default: float = 0.0, **labels: str) -> float:
+        """Current value of one series, or ``default`` if never set."""
+        value = self._registry.value(name, **labels)
+        return default if value is None else value
+
+    def per_rank(self, name: str) -> Dict[int, float]:
+        """All ``rank``-labeled series of a metric, keyed by rank."""
+        out: Dict[int, float] = {}
+        for labels, value in self._registry.labeled_values(name).items():
+            rank = dict(labels).get("rank")
+            if rank is not None:
+                out[int(rank)] = value
+        return out
+
+    def sample(self, probe: str = "convergence") -> Dict[str, float]:
+        """Latest sample of a convergence probe (empty if not attached)."""
+        return dict(self._samples.get(probe, {}))
+
+    def snapshot(self) -> Dict[str, float]:
+        """All scalar series, sorted by key (debugging/reporting aid)."""
+        return self._registry.snapshot()
+
+    # -- well-known signals -------------------------------------------
+    @property
+    def vertex_imbalance(self) -> float:
+        """Per-worker vertex-count imbalance, max/mean - 1."""
+        return self.get(LOAD_VERTEX_IMBALANCE)
+
+    @property
+    def cut_imbalance(self) -> float:
+        """Per-worker cut-degree imbalance, max/mean - 1."""
+        return self.get(LOAD_CUT_IMBALANCE)
+
+    @property
+    def delta_hit_rate(self) -> float:
+        """Fraction of boundary rows shipped as sparse deltas."""
+        return self.get(DELTA_HIT_RATE)
+
+    @property
+    def active_workers(self) -> float:
+        """Workers currently owning at least one vertex."""
+        return self.get(ACTIVE_WORKERS)
+
+    @property
+    def graph_vertices(self) -> float:
+        """Vertices currently in the analyzed graph."""
+        return self.get(GRAPH_VERTICES)
+
+    @property
+    def pending_rows(self) -> float:
+        """DV rows queued for exchange, summed over ranks."""
+        return sum(self.per_rank(PENDING_ROWS).values())
+
+    @property
+    def unacked_rows(self) -> float:
+        """DV rows in flight awaiting acknowledgement, summed over ranks."""
+        return sum(self.per_rank(UNACKED_ROWS).values())
+
+    @property
+    def residual_max(self) -> float:
+        """Largest closeness change in the last sampled superstep."""
+        return self.sample().get("residual_max", float("inf"))
+
+    @property
+    def residual_mean(self) -> float:
+        """Mean closeness change in the last sampled superstep."""
+        return self.sample().get("residual_mean", float("inf"))
+
+    @property
+    def resolved_fraction(self) -> float:
+        """Fraction of distance pairs already finite."""
+        return self.sample().get("resolved_fraction", 0.0)

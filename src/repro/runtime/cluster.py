@@ -565,9 +565,20 @@ class Cluster:
         """
         if not self.obs.enabled:
             return
+        self.collect_signals(self.obs.registry)
+
+    def collect_signals(self, reg: "series.MetricsRegistry") -> None:
+        """Sample the well-known series into ``reg``, unconditionally.
+
+        The observer path (:meth:`refresh_metrics`) and the strategy-
+        policy path (a *private* registry owned by the policy strategy)
+        share this one collector, so policy decisions see exactly the
+        gauges the obs layer exports — whether or not observers are
+        attached — and the non-perturbation invariant holds for
+        policy-driven runs.
+        """
         from .metrics import snapshot_load
 
-        reg = self.obs.registry
         reg.counter_set(series.WIRE_WORDS, float(self.tracer.total_words))
         reg.counter_set(
             series.BOUNDARY_WORDS,
@@ -622,6 +633,7 @@ class Cluster:
         reg.gauge(series.LOAD_VERTEX_IMBALANCE, load.vertex_imbalance)
         reg.gauge(series.LOAD_CUT_IMBALANCE, load.cut_imbalance)
         reg.gauge(series.ACTIVE_WORKERS, float(load.active_workers))
+        reg.gauge(series.GRAPH_VERTICES, float(self.graph.num_vertices))
 
     def any_pending(self) -> bool:
         """Convergence vote (modeled as a tiny all-reduce)."""

@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .cluster import Cluster
 
 __all__ = [
+    "abandon_worker",
     "crash_worker",
     "recover_worker",
     "recover_worker_from_snapshot",
@@ -73,6 +74,38 @@ def crash_worker(cluster: "Cluster", rank: Rank) -> None:
         w.reset_channel(peer.rank)
         if peer.rank != rank:
             peer.reset_channel(rank)
+
+
+def abandon_worker(cluster: "Cluster", rank: Rank) -> None:
+    """Crash ``rank`` permanently — no recovery will follow.
+
+    The graceful-degradation exits (crash budget exhausted, dead-fraction
+    limit) retire a rank for good.  A plain :func:`crash_worker` leaves
+    the cluster structurally inconsistent — all-+inf DV rows (own
+    diagonal included) and an empty subscription map — which makes the
+    invariant audit of any *later* recovery of a surviving rank fail on
+    state the dead rank will never repair.  Abandonment therefore
+    restores the two structural facts that are durable knowledge and
+    cost nothing:
+
+    * the own-diagonal zeros (d(v, v) = 0 needs no computation);
+    * the owner-side subscription records (who *would* receive each
+      boundary row) — records only, no rows are queued: a dead process
+      sends nothing.
+
+    Every other DV entry stays +inf, which is exactly what the degraded
+    result's quality accounting reports as undelivered.
+    """
+    crash_worker(cluster, rank)
+    w = cluster.workers[rank]
+    for v in w.owned:
+        w.dv[w.row_of[v], cluster.index.column(v)] = 0.0
+    for peer in cluster.workers:
+        if peer.rank == rank:
+            continue
+        for x in peer.cut_by_ext:
+            if cluster.owner_of(x) == rank:
+                w.subscribers.setdefault(x, set()).add(peer.rank)
 
 
 def recover_worker(cluster: "Cluster", rank: Rank) -> None:

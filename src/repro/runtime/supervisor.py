@@ -46,6 +46,7 @@ from ..errors import ConfigurationError
 from ..types import Rank
 from .chaos import RECOVERY_POLICIES, FaultInjector
 from .faults import (
+    abandon_worker,
     crash_worker,
     recover_worker,
     recover_worker_from_snapshot,
@@ -226,7 +227,7 @@ class Supervisor:
         count = monitor.note_crash(rank)
         policy = monitor.policy
         if count > policy.crash_budget:
-            crash_worker(cluster, rank)
+            abandon_worker(cluster, rank)
             self.dead_ranks.add(rank)
             monitor.mark_dead(rank)
             self._degrade(step, rank, "crash-budget")
@@ -237,7 +238,7 @@ class Supervisor:
             if (len(self.dead_ranks) + 1) / cluster.nprocs > (
                 policy.max_dead_fraction
             ):
-                crash_worker(cluster, rank)
+                abandon_worker(cluster, rank)
                 self.dead_ranks.add(rank)
                 monitor.mark_dead(rank)
                 self._degrade(step, rank, "dead-fraction")

@@ -1,0 +1,50 @@
+"""repro.serve — the streaming update service and session facade.
+
+The long-lived counterpart of the one-shot :func:`repro.closeness`
+API: a :class:`Session` owns an engine, an :class:`UpdateService`
+batches a continuous change feed through it (admission policies), and
+a signal-driven strategy policy picks the dynamic strategy per batch.
+"""
+
+from .admission import (
+    AdmissionPolicy,
+    DeadlineAdmission,
+    HybridAdmission,
+    PendingChange,
+    SizeAdmission,
+)
+from .service import (
+    ServeSummary,
+    ServeTick,
+    UpdateService,
+    batch_to_events,
+    events_to_batch,
+)
+from .session import Session, session
+from .traces import (
+    TRACE_SHAPES,
+    ChurnTrace,
+    load_change_trace,
+    save_change_trace,
+    synthesize_churn,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "ChurnTrace",
+    "DeadlineAdmission",
+    "HybridAdmission",
+    "PendingChange",
+    "ServeSummary",
+    "ServeTick",
+    "Session",
+    "SizeAdmission",
+    "TRACE_SHAPES",
+    "UpdateService",
+    "batch_to_events",
+    "events_to_batch",
+    "load_change_trace",
+    "save_change_trace",
+    "session",
+    "synthesize_churn",
+]

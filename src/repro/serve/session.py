@@ -1,0 +1,144 @@
+"""The session facade: engine lifecycle + serve loop in one handle.
+
+``repro.session(graph, config)`` is the primary public entry point: a
+context manager bundling engine construction, setup (DD + IA), the
+streaming serve loop, anytime reads, and teardown::
+
+    import repro
+
+    with repro.session(g, repro.AnytimeConfig(nprocs=8)) as s:
+        s.feed([VertexAddition(100, ((3, 1.0),))])
+        s.step()                      # one admission + paced RC step
+        s.signals.vertex_imbalance    # live read, never perturbs
+        result = s.result()           # drain + run to convergence
+
+``repro.closeness()`` is the one-shot convenience built on top: open a
+session, run to convergence, close.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from ..core.config import AnytimeConfig
+from ..core.engine import AnytimeAnywhereCloseness, RunResult
+from ..core.strategies import DynamicStrategy
+from ..graph.changes import ChangeBatch, ChangeEvent
+from ..graph.graph import Graph
+from ..obs.registry import SignalView
+from .admission import AdmissionPolicy
+from .service import ServeTick, UpdateService
+
+__all__ = ["Session", "session"]
+
+
+class Session:
+    """A live analysis session: engine + streaming update service.
+
+    The engine is set up lazily on first use (entering the context
+    manager sets it up eagerly), and the serve loop is created on the
+    first :meth:`feed` / :meth:`step`, so a session used only for
+    :meth:`run` behaves exactly like a bare engine.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[AnytimeConfig] = None,
+        *,
+        admission: Optional[AdmissionPolicy] = None,
+        strategy: Union[str, DynamicStrategy] = "auto",
+        summary_interval: int = 0,
+    ) -> None:
+        self.engine = AnytimeAnywhereCloseness(graph, config)
+        self._admission = admission
+        self._strategy = strategy
+        self._summary_interval = summary_interval
+        self._service: Optional[UpdateService] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def open(self) -> "Session":
+        """Run setup (DD + IA) if it has not run yet; idempotent."""
+        if self.engine.cluster is None:
+            self.engine.setup()
+        return self
+
+    def close(self) -> None:
+        """Release backend resources and flush exporters; idempotent."""
+        self.engine.close()
+
+    def __enter__(self) -> "Session":
+        return self.open()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def service(self) -> UpdateService:
+        """The streaming update service (created on first access)."""
+        if self._service is None:
+            self.open()
+            self._service = UpdateService(
+                self.engine,
+                admission=self._admission,
+                strategy=self._strategy,
+                summary_interval=self._summary_interval,
+            )
+        return self._service
+
+    # ------------------------------------------------------------------
+    # the streaming API
+    # ------------------------------------------------------------------
+    def feed(
+        self, changes: Union[ChangeBatch, Iterable[ChangeEvent]]
+    ) -> None:
+        """Queue change events (a batch or an iterable of events)."""
+        self.service.feed(changes)
+
+    def step(self) -> ServeTick:
+        """One service tick: admission decision + one paced RC step."""
+        return self.service.step()
+
+    def result(self) -> RunResult:
+        """Drain the queue and run to convergence; the final answer."""
+        return self.service.drain()
+
+    @property
+    def signals(self) -> SignalView:
+        """Live run signals (read-only; never perturbs the run)."""
+        self.open()
+        return self.engine.signals()
+
+    # ------------------------------------------------------------------
+    # the one-shot API (what repro.closeness builds on)
+    # ------------------------------------------------------------------
+    def run(self, **kwargs: object) -> RunResult:
+        """Direct :meth:`AnytimeAnywhereCloseness.run` passthrough.
+
+        Bypasses the serve loop: no admission, no pacing — identical
+        call sequence to driving the engine by hand, which is what
+        keeps ``repro.closeness()`` byte-identical to the pre-session
+        facade.
+        """
+        self.open()
+        return self.engine.run(**kwargs)  # type: ignore[arg-type]
+
+
+def session(
+    graph: Graph,
+    config: Optional[AnytimeConfig] = None,
+    *,
+    admission: Optional[AdmissionPolicy] = None,
+    strategy: Union[str, DynamicStrategy] = "auto",
+    summary_interval: int = 0,
+) -> Session:
+    """Open a :class:`Session` over ``graph`` (the primary entry point)."""
+    return Session(
+        graph,
+        config,
+        admission=admission,
+        strategy=strategy,
+        summary_interval=summary_interval,
+    )

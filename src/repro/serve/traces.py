@@ -1,0 +1,290 @@
+"""Churn traces: synthetic mixed-change feeds + JSONL trace files.
+
+A *churn trace* is a base graph plus a feed of individual change
+events, each stamped with the service tick at which it arrives — the
+input format of the serve loop (`repro serve` replays trace files;
+:func:`synthesize_churn` builds seeded synthetic ones).
+
+Three built-in shapes, each engineered to favor a different dynamic
+strategy so the signal-driven policy has real choices to make:
+
+* ``steady-small`` — a trickle of low-degree vertex additions plus
+  occasional base-edge deletions/reweights; cheap RoundRobin-PS
+  placement is hard to beat.
+* ``bursty-communities`` — periodic bursts of new vertices densely
+  wired *to each other*; exactly the structure CutEdge-PS partitions.
+* ``skew-grow`` — large batches anchored to a few hub vertices, so cut
+  load skews onto the hubs' ranks until a Repartition-S (with DV-row
+  migration) pays for itself.
+
+Feed-safety invariant: deletions and reweights reference only *base*
+edges/vertices (each edge deleted at most once, pools disjoint), and
+additions reference only base vertices or earlier new vertices — so
+any admission policy's prefix batching yields valid batches.
+
+Determinism: generation is seeded (`random.Random(seed)`), the JSONL
+encoding is canonical (sorted keys), and nothing reads the host clock.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..graph.changes import (
+    ChangeEvent,
+    EdgeAddition,
+    EdgeDeletion,
+    EdgeReweight,
+    VertexAddition,
+    VertexDeletion,
+)
+from ..graph.generators import barabasi_albert
+from ..graph.graph import Graph
+
+__all__ = [
+    "ChurnTrace",
+    "TRACE_SHAPES",
+    "synthesize_churn",
+    "save_change_trace",
+    "load_change_trace",
+    "event_to_obj",
+    "obj_to_event",
+]
+
+_PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class ChurnTrace:
+    """A base graph and a tick-stamped feed of change events."""
+
+    name: str
+    base: Graph
+    #: ``(tick, event)`` pairs, ticks non-decreasing
+    events: Tuple[Tuple[int, ChangeEvent], ...]
+    #: total service ticks the trace spans (>= last event tick + 1)
+    ticks: int
+
+    def events_at(self, tick: int) -> List[ChangeEvent]:
+        return [ev for t, ev in self.events if t == tick]
+
+    @property
+    def num_events(self) -> int:
+        return len(self.events)
+
+
+# ----------------------------------------------------------------------
+# synthetic shapes
+# ----------------------------------------------------------------------
+def _deletable_edges(g: Graph, rng: random.Random, count: int) -> List[
+    Tuple[int, int]
+]:
+    """Base edges safe to delete: both endpoints keep degree >= 2."""
+    degree = {v: g.degree(v) for v in g.vertices()}
+    out: List[Tuple[int, int]] = []
+    for u, v, _w in sorted(g.edges()):
+        if degree[u] >= 3 and degree[v] >= 3:
+            out.append((u, v))
+            degree[u] -= 1
+            degree[v] -= 1
+    rng.shuffle(out)
+    return out[:count]
+
+
+def _steady_small(
+    base: Graph, ticks: int, rng: random.Random
+) -> List[Tuple[int, ChangeEvent]]:
+    verts = sorted(base.vertices())
+    next_id = max(verts) + 1
+    pool = _deletable_edges(base, rng, ticks)
+    delete_pool = pool[: len(pool) // 2]
+    reweight_pool = pool[len(pool) // 2:]
+    events: List[Tuple[int, ChangeEvent]] = []
+    for t in range(ticks):
+        for _ in range(1 + (t % 2)):
+            anchors = rng.sample(verts, 2)
+            events.append(
+                (t, VertexAddition(next_id, tuple((a, 1.0) for a in anchors)))
+            )
+            next_id += 1
+        if t % 6 == 3 and delete_pool:
+            u, v = delete_pool.pop()
+            events.append((t, EdgeDeletion(u, v)))
+        if t % 8 == 5 and reweight_pool:
+            u, v = reweight_pool.pop()
+            events.append((t, EdgeReweight(u, v, 2.0)))
+    return events
+
+
+def _bursty_communities(
+    base: Graph, ticks: int, rng: random.Random
+) -> List[Tuple[int, ChangeEvent]]:
+    verts = sorted(base.vertices())
+    next_id = max(verts) + 1
+    delete_pool = _deletable_edges(base, rng, ticks // 4)
+    events: List[Tuple[int, ChangeEvent]] = []
+    for t in range(ticks):
+        if t % 4 == 1:
+            # a community of 8 new vertices: ring + chords among
+            # themselves (>= 1 intra edge per vertex), 2 anchors total
+            ids = list(range(next_id, next_id + 8))
+            next_id += 8
+            anchors = rng.sample(verts, 2)
+            for i, v in enumerate(ids):
+                edges: List[Tuple[int, float]] = []
+                if i > 0:
+                    edges.append((ids[i - 1], 1.0))
+                if i >= 4:
+                    edges.append((ids[i - 4], 1.0))
+                if i == 0:
+                    edges.append((anchors[0], 1.0))
+                if i == len(ids) - 1:
+                    edges.append((ids[0], 1.0))
+                    edges.append((anchors[1], 1.0))
+                events.append((t, VertexAddition(v, tuple(edges))))
+        elif t % 4 == 3 and delete_pool:
+            u, v = delete_pool.pop()
+            events.append((t, EdgeDeletion(u, v)))
+    return events
+
+
+def _skew_grow(
+    base: Graph, ticks: int, rng: random.Random
+) -> List[Tuple[int, ChangeEvent]]:
+    verts = sorted(base.vertices())
+    next_id = max(verts) + 1
+    # the hubs: the highest-degree base vertices attract every anchor,
+    # skewing cut load onto the ranks that own them
+    hubs = sorted(verts, key=lambda v: (-base.degree(v), v))[:4]
+    delete_pool = _deletable_edges(base, rng, ticks // 5)
+    events: List[Tuple[int, ChangeEvent]] = []
+    batch_size = max(4, base.num_vertices // 24)
+    for t in range(ticks):
+        if t % 3 == 1:
+            for _ in range(batch_size):
+                anchor = hubs[rng.randrange(len(hubs))]
+                second = hubs[rng.randrange(len(hubs))]
+                edges = [(anchor, 1.0)]
+                if second != anchor:
+                    edges.append((second, 1.0))
+                events.append((t, VertexAddition(next_id, tuple(edges))))
+                next_id += 1
+        elif t % 5 == 4 and delete_pool:
+            u, v = delete_pool.pop()
+            events.append((t, EdgeDeletion(u, v)))
+    return events
+
+
+#: shape name -> generator(base, ticks, rng) -> [(tick, event), ...]
+TRACE_SHAPES = {
+    "steady-small": _steady_small,
+    "bursty-communities": _bursty_communities,
+    "skew-grow": _skew_grow,
+}
+
+
+def synthesize_churn(
+    shape: str,
+    *,
+    n_base: int = 120,
+    ticks: int = 24,
+    seed: int = 0,
+) -> ChurnTrace:
+    """Build a seeded synthetic churn trace of the given ``shape``."""
+    gen = TRACE_SHAPES.get(shape)
+    if gen is None:
+        raise ConfigurationError(
+            f"unknown trace shape {shape!r}; available:"
+            f" {sorted(TRACE_SHAPES)}"
+        )
+    if n_base < 8:
+        raise ConfigurationError("n_base must be >= 8")
+    if ticks < 1:
+        raise ConfigurationError("ticks must be >= 1")
+    base = barabasi_albert(n_base, 2, seed=seed)
+    rng = random.Random(seed + 0x5EED)
+    events = gen(base, ticks, rng)
+    return ChurnTrace(
+        name=shape, base=base, events=tuple(events), ticks=ticks
+    )
+
+
+# ----------------------------------------------------------------------
+# JSONL trace files (the `repro serve` input format)
+# ----------------------------------------------------------------------
+def event_to_obj(tick: int, event: ChangeEvent) -> Dict[str, object]:
+    """One event as a JSON-ready object (schema: change_trace.schema.json)."""
+    if isinstance(event, VertexAddition):
+        return {
+            "at": tick,
+            "op": "add_vertex",
+            "v": event.vertex,
+            "edges": [[t, w] for t, w in event.edges],
+        }
+    if isinstance(event, EdgeAddition):
+        return {
+            "at": tick, "op": "add_edge",
+            "u": event.u, "v": event.v, "w": event.weight,
+        }
+    if isinstance(event, EdgeReweight):
+        return {
+            "at": tick, "op": "reweight",
+            "u": event.u, "v": event.v, "w": event.weight,
+        }
+    if isinstance(event, EdgeDeletion):
+        return {"at": tick, "op": "del_edge", "u": event.u, "v": event.v}
+    if isinstance(event, VertexDeletion):
+        return {"at": tick, "op": "del_vertex", "v": event.vertex}
+    raise ConfigurationError(f"not a change event: {type(event).__name__}")
+
+
+def obj_to_event(obj: Dict[str, object]) -> Tuple[int, ChangeEvent]:
+    """Parse one trace object back into ``(tick, event)``."""
+    tick = int(obj["at"])  # type: ignore[arg-type]
+    op = obj.get("op")
+    if op == "add_vertex":
+        edges = tuple(
+            (int(t), float(w))
+            for t, w in obj.get("edges", [])  # type: ignore[union-attr]
+        )
+        return tick, VertexAddition(int(obj["v"]), edges)  # type: ignore[arg-type]
+    if op == "add_edge":
+        return tick, EdgeAddition(
+            int(obj["u"]), int(obj["v"]), float(obj.get("w", 1.0))  # type: ignore[arg-type]
+        )
+    if op == "reweight":
+        return tick, EdgeReweight(
+            int(obj["u"]), int(obj["v"]), float(obj["w"])  # type: ignore[arg-type]
+        )
+    if op == "del_edge":
+        return tick, EdgeDeletion(int(obj["u"]), int(obj["v"]))  # type: ignore[arg-type]
+    if op == "del_vertex":
+        return tick, VertexDeletion(int(obj["v"]))  # type: ignore[arg-type]
+    raise ConfigurationError(f"unknown trace op {op!r}")
+
+
+def save_change_trace(
+    path: _PathLike, events: Iterable[Tuple[int, ChangeEvent]]
+) -> None:
+    """Write a tick-stamped event feed as canonical JSONL."""
+    lines = [
+        json.dumps(event_to_obj(tick, ev), sort_keys=True)
+        for tick, ev in events
+    ]
+    Path(path).write_text(
+        "\n".join(lines) + ("\n" if lines else ""), encoding="utf-8"
+    )
+
+
+def load_change_trace(path: _PathLike) -> List[Tuple[int, ChangeEvent]]:
+    """Read a JSONL event feed written by :func:`save_change_trace`."""
+    out: List[Tuple[int, ChangeEvent]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            out.append(obj_to_event(json.loads(line)))
+    return out

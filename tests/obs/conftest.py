@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
-from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro import AnytimeAnywhereCloseness, AnytimeConfig, ResilienceConfig
 from repro.bench.workloads import incremental_stream
 from repro.core.engine import RunResult
 from repro.runtime.chaos import FaultPlan
@@ -43,6 +43,8 @@ def run_scenario(
     with AnytimeAnywhereCloseness(workload.base.copy(), config) as engine:
         engine.setup()
         result = engine.run(
-            changes=changes, strategy="cutedge", fault_plan=fault_plan
+            changes=changes,
+            strategy="cutedge",
+            resilience=ResilienceConfig(fault_plan=fault_plan),
         )
     return result, engine

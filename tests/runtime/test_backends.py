@@ -17,7 +17,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro import AnytimeAnywhereCloseness, AnytimeConfig, ResilienceConfig
 from repro.errors import ConfigurationError
 from repro.graph import barabasi_albert
 from repro.graph.changes import (
@@ -81,7 +81,7 @@ def _run(backend: str, *, changes=None, strategy=None, fault_plan=None):
         kwargs["changes"] = changes
         kwargs["strategy"] = strategy
     if fault_plan is not None:
-        kwargs["fault_plan"] = fault_plan
+        kwargs["resilience"] = ResilienceConfig(fault_plan=fault_plan)
     res = engine.run(**kwargs)
     summary = res.summary()
     summary.pop("wall_seconds", None)

@@ -1,10 +1,16 @@
 """Deterministic fault injection: plans, injectors, lossy exchange."""
 
+import dataclasses
 import struct
 
 import pytest
 
-from repro import AnytimeAnywhereCloseness, AnytimeConfig, FaultPlan
+from repro import (
+    AnytimeAnywhereCloseness,
+    AnytimeConfig,
+    FaultPlan,
+    ResilienceConfig,
+)
 from repro.centrality import exact_closeness
 from repro.errors import ConfigurationError, WorkerError
 from repro.graph import barabasi_albert
@@ -101,7 +107,7 @@ class TestFaultInjector:
 class TestLossyExchange:
     def test_exact_under_heavy_loss(self):
         g, engine = fresh_engine()
-        result = engine.run(fault_plan=FaultPlan(seed=9, **LOSSY))
+        result = engine.run(resilience=ResilienceConfig(fault_plan=FaultPlan(seed=9, **LOSSY)))
         assert result.converged
         assert result.faults_injected > 0
         assert result.retries > 0
@@ -116,7 +122,7 @@ class TestLossyExchange:
         traces = []
         for _ in range(2):
             _g, engine = fresh_engine()
-            res = engine.run(fault_plan=plan)
+            res = engine.run(resilience=ResilienceConfig(fault_plan=plan))
             traces.append("\n".join(res.fault_events).encode())
         assert traces[0] == traces[1]
         assert len(traces[0]) > 0
@@ -125,7 +131,7 @@ class TestLossyExchange:
         results = []
         for seed in (1, 2):
             _g, engine = fresh_engine()
-            res = engine.run(fault_plan=FaultPlan(seed=seed, **LOSSY))
+            res = engine.run(resilience=ResilienceConfig(fault_plan=FaultPlan(seed=seed, **LOSSY)))
             results.append(res.fault_events)
         assert results[0] != results[1]
 
@@ -137,7 +143,11 @@ class TestLossyExchange:
 
         _g, slowed = fresh_engine()
         t0 = slowed.cluster.tracer.modeled_seconds
-        slowed.run(fault_plan=FaultPlan(stragglers=((1, 10.0),)))
+        slowed.run(
+            resilience=ResilienceConfig(
+                fault_plan=FaultPlan(stragglers=((1, 10.0),))
+            )
+        )
         slow_elapsed = slowed.cluster.tracer.modeled_seconds - t0
         assert slow_elapsed > base_elapsed
         assert all(w.speed == 1.0 for w in slowed.cluster.workers)
@@ -193,10 +203,12 @@ class TestLossyExchange:
 class TestEngineIntegration:
     def test_recovery_without_plan_rejected(self):
         _g, engine = fresh_engine()
-        with pytest.raises(ConfigurationError):
-            engine.run(recovery="warm")
-        with pytest.raises(ConfigurationError):
-            engine.run(checkpoint_interval=4)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                engine.run(recovery="warm")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                engine.run(checkpoint_interval=4)
 
     def test_attach_requires_matching_nprocs(self):
         _g, engine = fresh_engine(nprocs=4)
@@ -206,7 +218,11 @@ class TestEngineIntegration:
 
     def test_fault_recovery_recorded_as_phase(self):
         _g, engine = fresh_engine()
-        engine.run(fault_plan=FaultPlan.single_crash(1, 2))
+        engine.run(
+            resilience=ResilienceConfig(
+                fault_plan=FaultPlan.single_crash(1, 2)
+            )
+        )
         tracer = engine.cluster.tracer
         assert len(tracer.phases("fault_recovery")) == 1
         assert tracer.phases("fault_recovery")[0].modeled_total > 0
@@ -214,23 +230,35 @@ class TestEngineIntegration:
     def test_checkpoint_recorded_as_phase(self):
         _g, engine = fresh_engine()
         engine.run(
-            fault_plan=FaultPlan.single_crash(1, 2),
-            recovery="checkpoint",
-            checkpoint_interval=1,
+            resilience=ResilienceConfig(
+                fault_plan=FaultPlan.single_crash(1, 2),
+                recovery="checkpoint",
+                checkpoint_interval=1,
+            )
         )
         assert len(engine.cluster.tracer.phases("checkpoint")) >= 1
 
     def test_config_defaults_flow_through(self):
-        g, engine = fresh_engine(recovery="checkpoint", checkpoint_interval=2)
-        res = engine.run(fault_plan=FaultPlan.single_crash(2, 1))
+        g, engine = fresh_engine(
+            resilience=ResilienceConfig(
+                recovery="checkpoint", checkpoint_interval=2
+            )
+        )
+        # a run-level group derived from the config keeps its policy
+        res = engine.run(
+            resilience=dataclasses.replace(
+                engine.config.resilience,
+                fault_plan=FaultPlan.single_crash(2, 1),
+            )
+        )
         assert res.recoveries == 1
         assert any("detail=checkpoint" in e for e in res.fault_events)
 
     def test_config_rejects_unknown_policy(self):
         with pytest.raises(ConfigurationError):
-            AnytimeConfig(recovery="nope")
+            ResilienceConfig(recovery="nope")
         with pytest.raises(ConfigurationError):
-            AnytimeConfig(checkpoint_interval=0)
+            ResilienceConfig(checkpoint_interval=0)
 
     @pytest.mark.parametrize("policy", RECOVERY_POLICIES)
     def test_all_policies_under_full_fault_mix(self, policy):
@@ -241,7 +269,9 @@ class TestEngineIntegration:
             stragglers=((3, 2.5),),
             **LOSSY,
         )
-        result = engine.run(fault_plan=plan, recovery=policy)
+        result = engine.run(
+            resilience=ResilienceConfig(fault_plan=plan, recovery=policy)
+        )
         assert result.converged
         assert result.recoveries == 2
         exact = exact_closeness(g)
@@ -269,7 +299,9 @@ class TestDeltaUnderFaults:
         expected = self._bits(oracle.run().closeness)
 
         _g, engine = fresh_engine(wire_format="delta")
-        res = engine.run(fault_plan=FaultPlan(seed=3, **LOSSY))
+        res = engine.run(
+            resilience=ResilienceConfig(fault_plan=FaultPlan(seed=3, **LOSSY))
+        )
         assert res.converged
         assert res.retries > 0  # losses actually forced retransmissions
         assert res.boundary_rows_sparse > 0  # deltas actually on the wire
@@ -281,7 +313,7 @@ class TestDeltaUnderFaults:
 
         _g, engine = fresh_engine(wire_format="delta")
         plan = FaultPlan(seed=21, crashes=((2, 1),), **LOSSY)
-        res = engine.run(fault_plan=plan)
+        res = engine.run(resilience=ResilienceConfig(fault_plan=plan))
         assert res.converged
         assert res.recoveries == 1
         assert self._bits(res.closeness) == expected
@@ -290,7 +322,11 @@ class TestDeltaUnderFaults:
         runs = []
         for _ in range(2):
             _g, engine = fresh_engine(wire_format="delta")
-            res = engine.run(fault_plan=FaultPlan(seed=8, **LOSSY))
+            res = engine.run(
+                resilience=ResilienceConfig(
+                    fault_plan=FaultPlan(seed=8, **LOSSY)
+                )
+            )
             runs.append(
                 (
                     self._bits(res.closeness),

@@ -1,10 +1,17 @@
 """Self-healing runtime: health model, straggler mitigation, escalating
 recovery, graceful degradation."""
 
+import dataclasses
+
 import pytest
 
 import repro
-from repro import AnytimeAnywhereCloseness, AnytimeConfig, HealthPolicy
+from repro import (
+    AnytimeAnywhereCloseness,
+    AnytimeConfig,
+    HealthPolicy,
+    ResilienceConfig,
+)
 from repro.errors import ConfigurationError
 from repro.graph import barabasi_albert
 from repro.runtime import HealthMonitor, HealthState
@@ -45,7 +52,9 @@ class TestHealthPolicy:
             AnytimeConfig(nprocs=2, health="aggressive")
 
     def test_config_accepts_escalate_recovery(self):
-        cfg = AnytimeConfig(nprocs=2, recovery="escalate")
+        cfg = AnytimeConfig(
+            nprocs=2, resilience=ResilienceConfig(recovery="escalate")
+        )
         assert cfg.recovery == "escalate"
 
 
@@ -132,9 +141,13 @@ class TestStragglerMitigation:
         g = barabasi_albert(150, 3, seed=2)
         plan = FaultPlan(stragglers=((1, factor),))
         free = repro.closeness(g, nprocs=nprocs)
-        unmit = repro.closeness(g, nprocs=nprocs, fault_plan=plan)
+        unmit = repro.closeness(
+            g, nprocs=nprocs, resilience=ResilienceConfig(fault_plan=plan)
+        )
         cfg = AnytimeConfig(nprocs=nprocs, health=HealthPolicy())
-        mit = repro.closeness(g, config=cfg, fault_plan=plan)
+        mit = repro.closeness(
+            g, config=cfg, resilience=ResilienceConfig(fault_plan=plan)
+        )
         return free, unmit, mit
 
     def test_bitwise_identical_closeness(self):
@@ -153,8 +166,9 @@ class TestStragglerMitigation:
         g = barabasi_albert(120, 3, seed=3)
         plan = FaultPlan(stragglers=((0, 10.0),), loss_prob=0.1, seed=4)
         cfg = AnytimeConfig(nprocs=4, health=HealthPolicy())
-        a = repro.closeness(g, config=cfg, fault_plan=plan)
-        b = repro.closeness(g, config=cfg, fault_plan=plan)
+        res = ResilienceConfig(fault_plan=plan)
+        a = repro.closeness(g, config=cfg, resilience=res)
+        b = repro.closeness(g, config=cfg, resilience=res)
         assert a.closeness == b.closeness
         assert a.fault_events == b.fault_events
         assert a.modeled_seconds == b.modeled_seconds
@@ -165,9 +179,13 @@ class TestStragglerMitigation:
         (modulo the extra backoff events)."""
         g = barabasi_albert(100, 3, seed=5)
         plan = FaultPlan(loss_prob=0.2, seed=6)
-        off = repro.closeness(g, nprocs=4, fault_plan=plan)
+        off = repro.closeness(
+            g, nprocs=4, resilience=ResilienceConfig(fault_plan=plan)
+        )
         cfg = AnytimeConfig(nprocs=4, health=HealthPolicy())
-        on = repro.closeness(g, config=cfg, fault_plan=plan)
+        on = repro.closeness(
+            g, config=cfg, resilience=ResilienceConfig(fault_plan=plan)
+        )
         strip = [e for e in on.fault_events if "kind=backoff" not in e]
         assert strip == off.fault_events
         assert on.closeness == off.closeness
@@ -178,16 +196,22 @@ class TestStragglerMitigation:
         cfg = AnytimeConfig(
             nprocs=4, health=HealthPolicy(speculate=False)
         )
-        r = repro.closeness(g, config=cfg, fault_plan=plan)
+        r = repro.closeness(
+            g, config=cfg, resilience=ResilienceConfig(fault_plan=plan)
+        )
         assert r.speculations == 0
         assert r.missed_deadlines > 0
 
     def test_backoff_charged_to_modeled_clock(self):
         g = barabasi_albert(100, 3, seed=8)
         plan = FaultPlan(loss_prob=0.3, seed=9)
-        base = repro.closeness(g, nprocs=4, fault_plan=plan)
+        base = repro.closeness(
+            g, nprocs=4, resilience=ResilienceConfig(fault_plan=plan)
+        )
         cfg = AnytimeConfig(nprocs=4, health=HealthPolicy())
-        r = repro.closeness(g, config=cfg, fault_plan=plan)
+        r = repro.closeness(
+            g, config=cfg, resilience=ResilienceConfig(fault_plan=plan)
+        )
         assert r.backoff_modeled_seconds > 0.0
         assert r.modeled_seconds == pytest.approx(
             base.modeled_seconds + r.backoff_modeled_seconds
@@ -202,7 +226,8 @@ class TestEscalation:
         g = barabasi_albert(150, 3, seed=1)
         plan = FaultPlan(crashes=((1, 0), (3, 0), (5, 0)))
         r = repro.closeness(
-            g, nprocs=4, fault_plan=plan, recovery="escalate"
+            g, nprocs=4,
+            resilience=ResilienceConfig(fault_plan=plan, recovery="escalate"),
         )
         assert r.converged and not r.degraded
         details = [
@@ -223,7 +248,8 @@ class TestEscalation:
         g = barabasi_albert(120, 3, seed=2)
         plan = FaultPlan(crashes=((1, 1), (3, 1), (5, 1)))
         r = repro.closeness(
-            g, nprocs=4, fault_plan=plan, recovery="escalate"
+            g, nprocs=4,
+            resilience=ResilienceConfig(fault_plan=plan, recovery="escalate"),
         )
         exact = exact_closeness(g)
         for v, c in exact.items():
@@ -233,10 +259,16 @@ class TestEscalation:
         g = barabasi_albert(120, 3, seed=3)
         plan = FaultPlan(crashes=((1, 0), (2, 0), (3, 0)))
         cfg = AnytimeConfig(
-            nprocs=4, recovery="escalate",
+            nprocs=4,
+            resilience=ResilienceConfig(recovery="escalate"),
             health=HealthPolicy(crash_budget=2),
         )
-        r = repro.closeness(g, config=cfg, fault_plan=plan)
+        r = repro.closeness(
+            g, config=cfg,
+            resilience=dataclasses.replace(
+                cfg.resilience, fault_plan=plan
+            ),
+        )
         assert r.degraded
         assert r.degraded_reason == "crash-budget"
         assert not r.converged
@@ -251,7 +283,9 @@ class TestEscalation:
         )
         r = repro.closeness(
             g, nprocs=4,
-            fault_plan=FaultPlan(crashes=crashes), recovery="escalate",
+            resilience=ResilienceConfig(
+                fault_plan=FaultPlan(crashes=crashes), recovery="escalate"
+            ),
         )
         assert r.degraded
         assert r.degraded_reason == "dead-fraction"
@@ -260,7 +294,9 @@ class TestEscalation:
         g = barabasi_albert(100, 3, seed=5)
         plan = FaultPlan(loss_prob=0.9, max_retries=1, seed=6)
         cfg = AnytimeConfig(nprocs=4, health=HealthPolicy())
-        r = repro.closeness(g, config=cfg, fault_plan=plan)
+        r = repro.closeness(
+            g, config=cfg, resilience=ResilienceConfig(fault_plan=plan)
+        )
         assert r.degraded and r.degraded_reason == "retry-budget"
         assert r.quality
 
@@ -270,7 +306,9 @@ class TestEscalation:
         g = barabasi_albert(100, 3, seed=5)
         plan = FaultPlan(loss_prob=0.9, max_retries=1, seed=6)
         with pytest.raises(WorkerError):
-            repro.closeness(g, nprocs=4, fault_plan=plan)
+            repro.closeness(
+                g, nprocs=4, resilience=ResilienceConfig(fault_plan=plan)
+            )
 
     def test_graceful_degradation_opt_out_raises(self):
         from repro.errors import WorkerError
@@ -281,16 +319,24 @@ class TestEscalation:
             nprocs=4, health=HealthPolicy(graceful_degradation=False)
         )
         with pytest.raises(WorkerError):
-            repro.closeness(g, config=cfg, fault_plan=plan)
+            repro.closeness(
+                g, config=cfg, resilience=ResilienceConfig(fault_plan=plan)
+            )
 
     def test_degraded_summary_fields(self):
         g = barabasi_albert(100, 3, seed=3)
         plan = FaultPlan(crashes=((1, 0), (2, 0), (3, 0)))
         cfg = AnytimeConfig(
-            nprocs=4, recovery="escalate",
+            nprocs=4,
+            resilience=ResilienceConfig(recovery="escalate"),
             health=HealthPolicy(crash_budget=2),
         )
-        r = repro.closeness(g, config=cfg, fault_plan=plan)
+        r = repro.closeness(
+            g, config=cfg,
+            resilience=dataclasses.replace(
+                cfg.resilience, fault_plan=plan
+            ),
+        )
         s = r.summary()
         assert s["degraded"] is True
         assert s["degraded_reason"] == "crash-budget"
@@ -302,7 +348,10 @@ class TestEscalation:
         no monitor is implicitly created)."""
         g = barabasi_albert(100, 3, seed=1)
         plan = FaultPlan.single_crash(1, 0)
-        r = repro.closeness(g, nprocs=4, fault_plan=plan, recovery="warm")
+        r = repro.closeness(
+            g, nprocs=4,
+            resilience=ResilienceConfig(fault_plan=plan, recovery="warm"),
+        )
         assert not r.degraded
         assert r.missed_deadlines == 0
         assert r.recoveries_by_rung == {"warm": 1}
@@ -325,7 +374,7 @@ class TestHealthMetrics:
             ),
         )
         engine.setup()
-        r = engine.run(fault_plan=plan)
+        r = engine.run(resilience=ResilienceConfig(fault_plan=plan))
         snap = engine.obs.registry.snapshot()
         for name in (
             series.HEALTH_STATE,

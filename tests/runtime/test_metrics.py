@@ -7,7 +7,7 @@ a rank (``active_workers`` dropping below P mid-run).
 
 import pytest
 
-from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro import AnytimeAnywhereCloseness, AnytimeConfig, ResilienceConfig
 from repro.graph import barabasi_albert
 from repro.obs import registry as series
 from repro.partition import RoundRobinPartitioner
@@ -55,13 +55,17 @@ class TestRedistributeRetiresRank:
             nprocs=4,
             seed=5,
             collect_snapshots=False,
-            recovery="redistribute",
+            resilience=ResilienceConfig(recovery="redistribute"),
             observers=observers,
         )
         plan = FaultPlan(seed=1, crashes=((1, 2),))
         with AnytimeAnywhereCloseness(g, config) as engine:
             engine.setup()
-            result = engine.run(fault_plan=plan)
+            result = engine.run(
+                resilience=ResilienceConfig(
+                    recovery="redistribute", fault_plan=plan
+                )
+            )
         return result, engine
 
     def test_active_workers_drops_after_redistribute(self):

@@ -8,6 +8,7 @@ from repro import (
     ChangeBatch,
     ChangeStream,
     FaultPlan,
+    ResilienceConfig,
 )
 from repro.centrality import exact_closeness
 from repro.errors import ConfigurationError
@@ -53,9 +54,11 @@ class TestCheckpointPolicy:
     def test_checkpoint_restore_used_when_fresh(self):
         g, engine = fresh_engine()
         res = engine.run(
-            fault_plan=FaultPlan.single_crash(2, 1),
-            recovery="checkpoint",
-            checkpoint_interval=1,
+            resilience=ResilienceConfig(
+                fault_plan=FaultPlan.single_crash(2, 1),
+                recovery="checkpoint",
+                checkpoint_interval=1,
+            )
         )
         assert any(
             "kind=recovery" in e and "detail=checkpoint" in e
@@ -71,9 +74,11 @@ class TestCheckpointPolicy:
         for policy in ("warm", "checkpoint"):
             g, engine = fresh_engine(n=300, seed=5, cost=cost)
             res = engine.run(
-                fault_plan=FaultPlan.single_crash(1, 2),
-                recovery=policy,
-                checkpoint_interval=1,
+                resilience=ResilienceConfig(
+                    fault_plan=FaultPlan.single_crash(1, 2),
+                    recovery=policy,
+                    checkpoint_interval=1,
+                )
             )
             assert_exact(res, g)
             results[policy] = res.recovery_modeled_seconds
@@ -89,9 +94,12 @@ class TestCheckpointPolicy:
         )
         res = engine.run(
             changes=stream,
-            fault_plan=FaultPlan.single_crash(3, 1),
-            recovery="checkpoint",
-            checkpoint_interval=1000,  # only the step-0 checkpoint exists
+            resilience=ResilienceConfig(
+                fault_plan=FaultPlan.single_crash(3, 1),
+                recovery="checkpoint",
+                # only the step-0 checkpoint exists
+                checkpoint_interval=1000,
+            ),
         )
         assert any("detail=warm-fallback" in e for e in res.fault_events)
         assert_exact(res, final)
@@ -99,9 +107,11 @@ class TestCheckpointPolicy:
     def test_checkpoint_cost_is_charged(self):
         _g, engine = fresh_engine()
         engine.run(
-            fault_plan=FaultPlan.single_crash(2, 1),
-            recovery="checkpoint",
-            checkpoint_interval=1,
+            resilience=ResilienceConfig(
+                fault_plan=FaultPlan.single_crash(2, 1),
+                recovery="checkpoint",
+                checkpoint_interval=1,
+            )
         )
         phases = engine.cluster.tracer.phases("checkpoint")
         assert phases and all(p.modeled_comm > 0 for p in phases)
@@ -111,7 +121,10 @@ class TestRedistributePolicy:
     def test_survivors_absorb_dead_rank(self):
         g, engine = fresh_engine()
         res = engine.run(
-            fault_plan=FaultPlan.single_crash(1, 2), recovery="redistribute"
+            resilience=ResilienceConfig(
+                fault_plan=FaultPlan.single_crash(1, 2),
+                recovery="redistribute",
+            )
         )
         cluster = engine.cluster
         assert cluster.workers[2].n_local == 0
@@ -123,8 +136,10 @@ class TestRedistributePolicy:
     def test_two_crashes_leave_p_minus_two(self):
         g, engine = fresh_engine()
         res = engine.run(
-            fault_plan=FaultPlan(crashes=((1, 2), (3, 0))),
-            recovery="redistribute",
+            resilience=ResilienceConfig(
+                fault_plan=FaultPlan(crashes=((1, 2), (3, 0))),
+                recovery="redistribute",
+            )
         )
         cluster = engine.cluster
         assert snapshot_load(cluster).active_workers == cluster.nprocs - 2
@@ -151,8 +166,10 @@ class TestRedistributePolicy:
         )
         res = engine.run(
             changes=stream,
-            fault_plan=FaultPlan.single_crash(4, 1),
-            recovery="redistribute",
+            resilience=ResilienceConfig(
+                fault_plan=FaultPlan.single_crash(4, 1),
+                recovery="redistribute",
+            ),
         )
         check_cluster_invariants(engine.cluster)
         assert engine.cluster.workers[1].n_local == 0
@@ -162,7 +179,11 @@ class TestRedistributePolicy:
 class TestAccounting:
     def test_recovery_seconds_accumulate(self):
         _g, engine = fresh_engine()
-        res = engine.run(fault_plan=FaultPlan(crashes=((1, 0), (3, 2))))
+        res = engine.run(
+            resilience=ResilienceConfig(
+                fault_plan=FaultPlan(crashes=((1, 0), (3, 2)))
+            )
+        )
         assert res.recoveries == 2
         assert res.recovery_modeled_seconds > 0
         events = [e for e in res.fault_events if "kind=recovery" in e]
@@ -171,7 +192,11 @@ class TestAccounting:
 
     def test_crash_at_step_zero(self):
         g, engine = fresh_engine()
-        res = engine.run(fault_plan=FaultPlan.single_crash(0, 3))
+        res = engine.run(
+            resilience=ResilienceConfig(
+                fault_plan=FaultPlan.single_crash(0, 3)
+            )
+        )
         assert res.recoveries == 1
         assert_exact(res, g)
 
@@ -179,6 +204,10 @@ class TestAccounting:
         # A crash scheduled far past normal convergence still fires: the RC
         # loop stays alive until the plan's last crash step has passed.
         g, engine = fresh_engine(n=40)
-        res = engine.run(fault_plan=FaultPlan.single_crash(25, 1))
+        res = engine.run(
+            resilience=ResilienceConfig(
+                fault_plan=FaultPlan.single_crash(25, 1)
+            )
+        )
         assert res.recoveries == 1
         assert_exact(res, g)

@@ -1,0 +1,78 @@
+"""Admission-policy unit tests: batching a continuous feed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.changes import VertexAddition
+from repro.serve import (
+    DeadlineAdmission,
+    HybridAdmission,
+    PendingChange,
+    SizeAdmission,
+)
+
+
+def _queue(n, tick=0, seconds=0.0):
+    return tuple(
+        PendingChange(VertexAddition(100 + i, ((0, 1.0),)), tick, seconds)
+        for i in range(n)
+    )
+
+
+class TestSizeAdmission:
+    def test_holds_below_threshold(self):
+        pol = SizeAdmission(max_events=4)
+        assert pol.admit(_queue(3), tick=9, now=1.0) == 0
+        assert pol.admit((), tick=9, now=1.0) == 0
+
+    def test_admits_exactly_max_events(self):
+        pol = SizeAdmission(max_events=4)
+        assert pol.admit(_queue(4), tick=0, now=0.0) == 4
+        # a backlog still admits one batch at a time
+        assert pol.admit(_queue(11), tick=0, now=0.0) == 4
+
+    def test_rejects_bad_ctor(self):
+        with pytest.raises(ConfigurationError):
+            SizeAdmission(max_events=0)
+
+
+class TestDeadlineAdmission:
+    def test_empty_queue_never_fires(self):
+        pol = DeadlineAdmission(max_delay_ticks=0)
+        assert pol.admit((), tick=50, now=9.9) == 0
+
+    def test_tick_deadline_flushes_whole_queue(self):
+        pol = DeadlineAdmission(max_delay_ticks=3)
+        q = _queue(5, tick=10)
+        assert pol.admit(q, tick=12, now=0.0) == 0
+        assert pol.admit(q, tick=13, now=0.0) == 5
+
+    def test_modeled_seconds_deadline(self):
+        pol = DeadlineAdmission(max_delay_ticks=10**6, max_delay_seconds=0.5)
+        q = _queue(2, tick=0, seconds=1.0)
+        assert pol.admit(q, tick=1, now=1.4) == 0
+        assert pol.admit(q, tick=1, now=1.5) == 2
+
+    def test_rejects_bad_ctor(self):
+        with pytest.raises(ConfigurationError):
+            DeadlineAdmission(max_delay_ticks=-1)
+        with pytest.raises(ConfigurationError):
+            DeadlineAdmission(max_delay_seconds=-0.1)
+
+
+class TestHybridAdmission:
+    def test_size_wins_when_full(self):
+        pol = HybridAdmission(max_events=4, max_delay_ticks=2)
+        assert pol.admit(_queue(6, tick=0), tick=0, now=0.0) == 4
+
+    def test_deadline_flushes_partial_batch(self):
+        pol = HybridAdmission(max_events=8, max_delay_ticks=2)
+        q = _queue(3, tick=5)
+        assert pol.admit(q, tick=6, now=0.0) == 0
+        assert pol.admit(q, tick=7, now=0.0) == 3
+
+    def test_holds_fresh_partial_batch(self):
+        pol = HybridAdmission(max_events=8, max_delay_ticks=4)
+        assert pol.admit(_queue(3, tick=5), tick=5, now=0.0) == 0

@@ -1,0 +1,58 @@
+"""Bitwise-determinism pins for the serve loop.
+
+The streaming service inherits the engine's core guarantee: the same
+trace + seed must yield identical closeness values, identical per-tick
+records, and identical policy decisions — across repeat runs and across
+the serial and process backends.
+"""
+
+from __future__ import annotations
+
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.serve import HybridAdmission, UpdateService, synthesize_churn
+
+
+def _serve_run(backend: str):
+    trace = synthesize_churn("bursty-communities", n_base=40, ticks=10, seed=6)
+    eng = AnytimeAnywhereCloseness(
+        trace.base,
+        AnytimeConfig(
+            nprocs=4, seed=6, collect_snapshots=False, backend=backend
+        ),
+    )
+    eng.setup()
+    svc = UpdateService(
+        eng,
+        admission=HybridAdmission(max_events=6, max_delay_ticks=3),
+        strategy="auto",
+    )
+    try:
+        for t in range(trace.ticks):
+            at_t = trace.events_at(t)
+            if at_t:
+                svc.feed(at_t)
+            svc.step()
+        result = svc.drain()
+    finally:
+        eng.close()
+    return (
+        result.closeness,
+        tuple(tick.line() for tick in svc.ticks),
+        tuple(d.line() for d in svc.policy_decisions),
+    )
+
+
+def test_serve_repeat_runs_are_bitwise_identical():
+    first = _serve_run("serial")
+    second = _serve_run("serial")
+    assert first[0] == second[0]   # closeness, exact float equality
+    assert first[1] == second[1]   # per-tick records
+    assert first[2] == second[2]   # policy decisions
+
+
+def test_serve_process_backend_matches_serial_bitwise():
+    serial = _serve_run("serial")
+    process = _serve_run("process")
+    assert serial[0] == process[0]
+    assert serial[1] == process[1]
+    assert serial[2] == process[2]

@@ -1,0 +1,90 @@
+"""Session facade: lifecycle, streaming reads, closeness equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import AnytimeAnywhereCloseness, AnytimeConfig
+from repro.centrality import exact_closeness
+from repro.graph import barabasi_albert
+from repro.graph.changes import VertexAddition
+from repro.serve import Session, SizeAdmission
+
+
+def _graph(n=40, seed=3):
+    return barabasi_albert(n, 2, seed=seed)
+
+
+def test_session_context_manager_lifecycle():
+    g = _graph()
+    with repro.session(g, AnytimeConfig(nprocs=4)) as s:
+        assert isinstance(s, Session)
+        assert s.engine.cluster is not None
+        result = s.result()
+        assert result.converged
+    # close() ran; a fresh session over the same graph still works
+    with repro.session(g, AnytimeConfig(nprocs=4)) as s2:
+        assert s2.result().closeness == result.closeness
+
+
+def test_session_feed_step_result():
+    g = _graph()
+    with repro.session(
+        g, AnytimeConfig(nprocs=4), admission=SizeAdmission(max_events=2)
+    ) as s:
+        s.feed([VertexAddition(100, ((0, 1.0), (1, 1.0))),
+                VertexAddition(101, ((100, 1.0),))])
+        tick = s.step()
+        assert tick.admitted == 2
+        result = s.result()
+    assert 100 in result.closeness and 101 in result.closeness
+    exact = exact_closeness(s.engine.graph)
+    for v, c in exact.items():
+        assert result.closeness[v] == pytest.approx(c, abs=1e-9)
+
+
+def test_session_signals_are_readable_and_passive():
+    g = _graph()
+    with repro.session(g, AnytimeConfig(nprocs=4)) as s:
+        sig = s.signals
+        assert sig.active_workers == 4.0
+        assert sig.graph_vertices == float(g.num_vertices)
+        assert sig.vertex_imbalance >= 0.0
+        assert set(sig.per_rank("repro_pending_rows")) == {0, 1, 2, 3}
+        # reading signals twice must not change the run
+        before = s.engine.modeled_seconds
+        s.signals
+        assert s.engine.modeled_seconds == before
+
+
+def test_closeness_is_bitwise_identical_to_manual_engine():
+    """repro.closeness() (now built on the session facade) must produce
+    byte-identical results to driving the engine by hand."""
+    g1, g2 = _graph(seed=11), _graph(seed=11)
+    via_facade = repro.closeness(g1, nprocs=4)
+    engine = AnytimeAnywhereCloseness(
+        g2, AnytimeConfig(nprocs=4, collect_snapshots=True)
+    )
+    engine.setup()
+    by_hand = engine.run(strategy="roundrobin")
+    assert via_facade.closeness == by_hand.closeness
+    assert via_facade.modeled_seconds == by_hand.modeled_seconds
+    assert via_facade.rc_steps == by_hand.rc_steps
+
+
+def test_session_run_passthrough_matches_closeness():
+    g1, g2 = _graph(seed=5), _graph(seed=5)
+    via_facade = repro.closeness(g1, nprocs=4)
+    with repro.session(g2, AnytimeConfig(nprocs=4, collect_snapshots=True)) as s:
+        via_session = s.run(strategy="roundrobin")
+    assert via_session.closeness == via_facade.closeness
+    assert via_session.modeled_seconds == via_facade.modeled_seconds
+
+
+def test_session_accepts_auto_strategy_everywhere():
+    g = _graph()
+    result = repro.closeness(g, nprocs=4, strategy="auto")
+    assert result.converged
+    with repro.session(g, AnytimeConfig(nprocs=4)) as s:
+        assert s.run(strategy="auto").closeness == result.closeness

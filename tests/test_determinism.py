@@ -10,10 +10,16 @@ runtime, they are the first to fail.
 
 from __future__ import annotations
 
+import dataclasses
 import struct
 from typing import Any, Dict, List, Tuple
 
-from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
+from repro import (
+    AnytimeAnywhereCloseness,
+    AnytimeConfig,
+    ChangeStream,
+    ResilienceConfig,
+)
 from repro.graph import barabasi_albert
 from repro.graph.changes import (
     ChangeBatch,
@@ -187,7 +193,7 @@ class TestChaosDeterminism:
         results = []
         for _ in range(2):
             engine = _build_engine()
-            res = engine.run(fault_plan=plan)
+            res = engine.run(resilience=ResilienceConfig(fault_plan=plan))
             results.append(
                 (
                     _closeness_bits(res.closeness),
@@ -222,7 +228,7 @@ class TestChaosDeterminism:
                 ),
             )
             engine.setup()
-            res = engine.run(fault_plan=plan)
+            res = engine.run(resilience=ResilienceConfig(fault_plan=plan))
             results.append(
                 (
                     _closeness_bits(res.closeness),
@@ -253,13 +259,18 @@ class TestChaosDeterminism:
                     nprocs=4,
                     seed=7,
                     collect_snapshots=False,
-                    recovery="escalate",
-                    checkpoint_interval=2,
+                    resilience=ResilienceConfig(
+                        recovery="escalate", checkpoint_interval=2
+                    ),
                     health=HealthPolicy(crash_budget=2),
                 ),
             )
             engine.setup()
-            res = engine.run(fault_plan=plan)
+            res = engine.run(
+                resilience=dataclasses.replace(
+                    engine.config.resilience, fault_plan=plan
+                )
+            )
             results.append(
                 (
                     res.degraded,

@@ -11,12 +11,19 @@ These cover the guarantees the design leans on:
 
 from __future__ import annotations
 
+import dataclasses
+
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
-from repro import AnytimeAnywhereCloseness, AnytimeConfig, ChangeStream
+from repro import (
+    AnytimeAnywhereCloseness,
+    AnytimeConfig,
+    ChangeStream,
+    ResilienceConfig,
+)
 from repro.centrality import apsp_dijkstra, exact_closeness
 from repro.graph import ChangeBatch, Graph, louvain_communities
 from repro.graph.changes import EdgeDeletion, VertexAddition, VertexDeletion
@@ -361,12 +368,26 @@ def _chaos_run(g, plan, policy):
     cfg = AnytimeConfig(
         nprocs=3,
         collect_snapshots=False,
-        recovery="escalate",
-        checkpoint_interval=2,
+        resilience=ResilienceConfig(
+            recovery="escalate", checkpoint_interval=2
+        ),
         health=policy,
     )
-    result = repro.closeness(g, config=cfg, fault_plan=plan)
+    result = repro.closeness(
+        g, config=cfg,
+        resilience=dataclasses.replace(cfg.resilience, fault_plan=plan),
+    )
     return result, tuple(result.fault_events)
+
+
+def _path4() -> Graph:
+    """The 4-vertex path 0-1-2-3 (the pinned regression's graph)."""
+    g = Graph()
+    for v in range(4):
+        g.add_vertex(v)
+    for u, v in ((0, 1), (1, 2), (2, 3)):
+        g.add_edge(u, v, 1.0)
+    return g
 
 
 @settings(max_examples=15, deadline=None,
@@ -383,6 +404,13 @@ def _chaos_run(g, plan, policy):
     straggler=st.sampled_from((None, (1, 4.0), (2, 16.0))),
     crash_budget=st.integers(1, 3),
 )
+# regression (ROADMAP item 6): rank 0's second crash exhausts the budget
+# and abandons it mid-step; rank 1's same-step warm recovery then audits
+# the cluster — the abandoned block must still be structurally sound
+# (own-diagonal zeros, subscription records) for the run to degrade
+# gracefully instead of raising
+@example(g=_path4(), seed=0, crashes=[(0, 0), (1, 0), (1, 1)],
+         loss=0.0, dup=0.0, straggler=None, crash_budget=1)
 def test_combined_faults_complete_or_degrade_gracefully(
     g, seed, crashes, loss, dup, straggler, crash_budget
 ):
@@ -447,12 +475,18 @@ def test_combined_faults_process_backend_matches_serial():
         cfg = AnytimeConfig(
             nprocs=3,
             collect_snapshots=False,
-            recovery="escalate",
-            checkpoint_interval=2,
+            resilience=ResilienceConfig(
+                recovery="escalate", checkpoint_interval=2
+            ),
             health=HealthPolicy(),
             backend=backend,
         )
-        results[backend] = repro.closeness(g, config=cfg, fault_plan=plan)
+        results[backend] = repro.closeness(
+            g, config=cfg,
+            resilience=dataclasses.replace(
+                cfg.resilience, fault_plan=plan
+            ),
+        )
     s, p = results["serial"], results["process"]
     assert p.closeness == s.closeness
     assert p.fault_events == s.fault_events

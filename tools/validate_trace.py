@@ -1,9 +1,10 @@
 """Validate a repro.obs JSONL trace against the checked-in JSON Schema.
 
 A dependency-free validator implementing exactly the JSON-Schema subset
-``tools/schemas/trace_event.schema.json`` uses — ``type`` (including
-union lists), ``enum``, ``minimum``, ``required``, ``properties``, and
-``additionalProperties`` (boolean or sub-schema).  The container image
+the checked-in schemas use — ``type`` (including union lists), ``enum``,
+``minimum``, ``required``, ``properties``, ``additionalProperties``
+(boolean or sub-schema), ``items`` (single-schema form), ``minItems`` /
+``maxItems``, and ``oneOf``.  The container image
 pins its dependency set, so pulling in the ``jsonschema`` package is not
 an option; this keeps CI able to verify the export contract anyway.
 
@@ -65,6 +66,25 @@ def validate(
     if "minimum" in schema and _type_ok(instance, "number"):
         if instance < schema["minimum"]:
             yield f"{path}: {instance!r} below minimum {schema['minimum']}"
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            yield f"{path}: fewer than {schema['minItems']} items"
+        if "maxItems" in schema and len(instance) > schema["maxItems"]:
+            yield f"{path}: more than {schema['maxItems']} items"
+        if "items" in schema:
+            for i, item in enumerate(instance):
+                yield from validate(item, schema["items"], f"{path}[{i}]")
+    if "oneOf" in schema:
+        matched = sum(
+            1
+            for sub in schema["oneOf"]
+            if not list(validate(instance, sub, path))
+        )
+        if matched != 1:
+            yield (
+                f"{path}: matched {matched} of {len(schema['oneOf'])}"
+                " oneOf branches (need exactly 1)"
+            )
     if isinstance(instance, dict):
         for key in schema.get("required", []):
             if key not in instance:
