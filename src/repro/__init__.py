@@ -34,6 +34,7 @@ from .graph.changes import ChangeBatch, ChangeStream
 from .graph.graph import Graph
 from .obs import ConvergenceProbe, Observer, SignalView, build_hub
 from .runtime.backends import available_backends
+from .runtime.kernels import available_tiers
 from .runtime.chaos import FaultPlan
 from .runtime.health import HealthPolicy
 from .serve import Session, session
@@ -50,6 +51,7 @@ __all__ = [
     "closeness",
     "session",
     "available_backends",
+    "available_tiers",
     "ConvergenceProbe",
     "Observer",
     "build_hub",

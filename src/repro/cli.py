@@ -110,6 +110,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="execution backend (default: REPRO_BACKEND or"
                          " serial); results are bitwise-identical either"
                          " way, only wall time differs")
+    tp.add_argument("--kernel-tier", type=str, default=None,
+                    choices=["numpy", "scipy", "numba"],
+                    help="kernel tier (default: REPRO_KERNEL_TIER or"
+                         " numpy); scipy chunks the IA Dijkstra across"
+                         " the process pool, numba uses compiled kernels"
+                         " when installed")
     tp.add_argument("--json", type=str, default=None,
                     help="also dump the full trace to this JSON file")
     tp.add_argument("--trace-out", type=str, action="append", default=None,
@@ -178,6 +184,8 @@ def build_parser() -> argparse.ArgumentParser:
                          " picks per batch from live signals")
     vp.add_argument("--backend", type=str, default=None,
                     choices=["serial", "process"])
+    vp.add_argument("--kernel-tier", type=str, default=None,
+                    choices=["numpy", "scipy", "numba"])
     vp.add_argument("--max-events", type=int, default=8,
                     help="admission: full-batch size trigger")
     vp.add_argument("--max-delay-ticks", type=int, default=4,
@@ -312,6 +320,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cfg_kwargs: Dict[str, object] = {}
         if args.backend is not None:
             cfg_kwargs["backend"] = args.backend
+        if args.kernel_tier is not None:
+            cfg_kwargs["kernel_tier"] = args.kernel_tier
         observers: List[str] = list(args.trace_out or [])
         if args.probe_convergence:
             observers.append("convergence")
@@ -438,6 +448,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cfg_kwargs = {}
         if args.backend is not None:
             cfg_kwargs["backend"] = args.backend
+        if args.kernel_tier is not None:
+            cfg_kwargs["kernel_tier"] = args.kernel_tier
         config = AnytimeConfig(
             nprocs=args.nprocs, seed=args.seed, collect_snapshots=False,
             **cfg_kwargs,

@@ -131,6 +131,19 @@ class AnytimeConfig:
         and modeled clocks; only wall-clock time differs.  The default
         honors the ``REPRO_BACKEND`` environment variable so whole test
         suites can be re-run under another backend without code changes.
+    kernel_tier:
+        Which kernel implementation executes the per-rank compute (see
+        :mod:`repro.runtime.kernels`): ``"numpy"`` (the default — the
+        original statements, kept as the bitwise oracle), ``"scipy"``
+        (same arithmetic, source-chunked IA so one rank's Dijkstra fans
+        out across the process pool) or ``"numba"`` (optional
+        ``@njit``-compiled kernels, ``pip install repro[numba]``,
+        auto-falling back to ``scipy`` behavior when numba is absent).
+        ``numpy`` and ``scipy`` are bitwise-identical in closeness,
+        traces and modeled clocks; ``numba`` is exact on relaxation and
+        min-plus and bounded on Dijkstra (see
+        ``repro.runtime.kernels.NUMBA_CLOSENESS_RTOL``).  Honors the
+        ``REPRO_KERNEL_TIER`` environment variable, like ``backend``.
     observers:
         Observability specs handed to :func:`repro.obs.build_hub` —
         exporter strings (``"jsonl:PATH"``, ``"perfetto:PATH"``,
@@ -167,6 +180,9 @@ class AnytimeConfig:
     backend: str = field(
         default_factory=lambda: os.environ.get("REPRO_BACKEND", "serial")
     )
+    kernel_tier: str = field(
+        default_factory=lambda: os.environ.get("REPRO_KERNEL_TIER", "numpy")
+    )
     observers: Sequence[object] = ()
 
     def __post_init__(self) -> None:
@@ -202,6 +218,13 @@ class AnytimeConfig:
             raise ConfigurationError(
                 f"backend must be 'serial' or 'process',"
                 f" got {self.backend!r}"
+            )
+        # literal duplicate of runtime.kernels.available_tiers(), for
+        # the same importability reason
+        if self.kernel_tier not in ("numpy", "scipy", "numba"):
+            raise ConfigurationError(
+                f"kernel_tier must be 'numpy', 'scipy' or 'numba',"
+                f" got {self.kernel_tier!r}"
             )
         for spec in self.observers:
             if not isinstance(spec, str):

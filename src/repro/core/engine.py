@@ -198,6 +198,7 @@ class AnytimeAnywhereCloseness:
             worker_speeds=cfg.worker_speeds,
             wire_format=cfg.wire_format,
             backend=cfg.backend,
+            kernel_tier=cfg.kernel_tier,
             obs=self.obs,
         )
         self.cluster.decompose(cfg.partitioner)

@@ -25,6 +25,13 @@ from .faults import (
     redistribute_worker,
 )
 from .index import GlobalIndex
+from .kernels import (
+    KERNEL_TIERS,
+    KernelTier,
+    available_tiers,
+    make_tier,
+    register_tier,
+)
 from .message import (
     DeltaRows,
     Message,
@@ -45,6 +52,11 @@ __all__ = [
     "ProcessBackend",
     "available_backends",
     "make_backend",
+    "KERNEL_TIERS",
+    "KernelTier",
+    "available_tiers",
+    "make_tier",
+    "register_tier",
     "check_cluster_invariants",
     "crash_worker",
     "recover_worker",

@@ -32,6 +32,7 @@ from ..kernels import (
     SuperstepResult,
     SuperstepTask,
     ia_kernel,
+    make_tier,
     run_superstep,
 )
 from ..shm import (
@@ -77,6 +78,23 @@ def _child_ia(
     dv_desc: ShmDescriptor, apsp_desc: ShmDescriptor, task: IATask
 ) -> None:
     ia_kernel(task, _attached(dv_desc), _attached(apsp_desc))
+
+
+def _child_ia_chunk(
+    dv_desc: ShmDescriptor,
+    apsp_desc: ShmDescriptor,
+    task: IATask,
+    lo: int,
+    hi: int,
+) -> None:
+    """One source-chunk of a rank's IA task (tiers with chunked IA).
+
+    Chunks of the same task write disjoint ``[lo, hi)`` row ranges of
+    both shared matrices, so any number of them may run concurrently.
+    """
+    make_tier(task.tier).ia_chunk_kernel(
+        task, lo, hi, _attached(dv_desc), _attached(apsp_desc)
+    )
 
 
 def _child_superstep(
@@ -147,20 +165,39 @@ class ProcessBackend(ExecutionBackend):
         )
 
     def run_ia(self, workers: List[Worker]) -> None:
-        pool = _get_pool(max(self.nprocs, len(workers)))
+        slots = max(self.nprocs, len(workers))
+        pool = _get_pool(slots)
         tasks = [w.ia_prepare() for w in workers]
-        futures: List[Optional["Future[None]"]] = []
+        futures: List[List["Future[None]"]] = []
         for w, task in zip(workers, tasks):
             if task is None:
-                futures.append(None)
+                futures.append([])
                 continue
             dv_desc, apsp_desc = self._descriptors(w)
-            futures.append(pool.submit(_child_ia, dv_desc, apsp_desc, task))
-        for w, task, fut in zip(workers, tasks, futures):
-            if task is None or fut is None:
-                continue
-            fut.result()
-            w.ia_apply(task)
+            chunks = make_tier(task.tier).ia_chunks(task, slots)
+            if len(chunks) == 1:
+                # whole-rank task: the pre-tier fast path, one future
+                futures.append(
+                    [pool.submit(_child_ia, dv_desc, apsp_desc, task)]
+                )
+            else:
+                # source-parallel IA: one rank's Dijkstra fans out across
+                # the whole pool (chunks write disjoint rows, see
+                # _child_ia_chunk), lifting the speedup cap beyond the
+                # rank count
+                futures.append(
+                    [
+                        pool.submit(
+                            _child_ia_chunk, dv_desc, apsp_desc, task, lo, hi
+                        )
+                        for lo, hi in chunks
+                    ]
+                )
+        for w, task, futs in zip(workers, tasks, futures):
+            for fut in futs:
+                fut.result()
+            if task is not None:
+                w.ia_apply(task)
 
     def relax_and_propagate(self, workers: List[Worker]) -> bool:
         pool = _get_pool(max(self.nprocs, len(workers)))

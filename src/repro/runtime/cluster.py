@@ -45,7 +45,7 @@ from ..partition.base import Partition, Partitioner
 from ..types import FloatArray, Rank, VertexId
 from .backends import BackendSpec, make_backend
 from .index import GlobalIndex
-from .kernels import SuperstepTask
+from .kernels import SuperstepTask, TierSpec, make_tier
 from .message import DeltaRows, dense_row_words, dv_payload_words
 from .tracing import Tracer
 from .worker import Worker
@@ -75,6 +75,7 @@ class Cluster:
         worker_speeds: Optional[Sequence[float]] = None,
         wire_format: str = "delta",
         backend: BackendSpec = "serial",
+        kernel_tier: TierSpec = "numpy",
         obs: Optional[ObserverHub] = None,
     ) -> None:
         if nprocs < 1:
@@ -107,6 +108,9 @@ class Cluster:
         #: workers allocate dv / local_apsp through the backend so the
         #: process backend can hand shared-memory views to its pool
         self.backend = make_backend(backend, nprocs)
+        #: kernel tier executing the per-rank compute (numpy oracle /
+        #: source-chunked scipy / optional compiled numba)
+        self.tier = make_tier(kernel_tier)
         self.workers: List[Worker] = [
             Worker(
                 r,
@@ -115,6 +119,7 @@ class Cluster:
                 cost,
                 wire_format=wire_format,
                 allocator=self.backend.allocator,
+                tier=self.tier,
             )
             for r in range(nprocs)
         ]

@@ -105,7 +105,7 @@ def abandon_worker(cluster: "Cluster", rank: Rank) -> None:
             continue
         for x in peer.cut_by_ext:
             if cluster.owner_of(x) == rank:
-                w.subscribers.setdefault(x, set()).add(peer.rank)
+                w.record_subscriber(x, peer.rank)
 
 
 def recover_worker(cluster: "Cluster", rank: Rank) -> None:

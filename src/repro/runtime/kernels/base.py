@@ -1,0 +1,192 @@
+"""Task shapes and the kernel-tier interface.
+
+The per-rank compute of the two parallelizable phases travels as
+picklable *task* dataclasses (built by the worker in the coordinating
+process) plus the worker's two large matrices ``dv`` / ``local_apsp``,
+passed in explicitly so a subprocess can supply shared-memory views.
+
+A :class:`KernelTier` is one implementation of the compute itself: the
+``numpy`` tier is the bitwise oracle (the original NumPy/SciPy
+statements), the ``scipy`` tier splits one rank's IA into many
+source-chunks that fan out across the process pool, and the ``numba``
+tier swaps in ``@njit``-compiled kernels when numba is installed.
+Every tier must keep closeness, traces and the modeled clock invariant:
+the modeled charges are computed from task *shape* only (``n``,
+``nnz``), in the worker's ``*_apply`` methods, so they cannot depend on
+which tier executed the arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Tuple
+
+import numpy as np
+from numpy.typing import NDArray
+
+from ...types import BoolArray, FloatArray
+
+#: DV column indices as produced by ``np.flatnonzero`` / index building.
+IndexArray = NDArray[np.intp]
+
+#: Cut-edge relaxation inputs: per fresh external row, the received DV
+#: row and the ``(local row, edge weight)`` pairs relaxed against it.
+RelaxItems = List[Tuple[FloatArray, List[Tuple[int, float]]]]
+
+#: Half-open ``[lo, hi)`` source ranges one rank's IA splits into.
+ChunkList = List[Tuple[int, int]]
+
+__all__ = [
+    "ChunkList",
+    "IATask",
+    "IndexArray",
+    "KernelTier",
+    "RelaxItems",
+    "SuperstepResult",
+    "SuperstepTask",
+]
+
+
+@dataclass
+class IATask:
+    """One rank's IA-phase work: local APSP + fold into owned DV columns."""
+
+    #: local adjacency in CSR form (scipy matrix; picklable)
+    matrix: Any
+    #: global DV column of each owned vertex, in row order
+    cols: IndexArray
+    #: number of owned vertices (== rows of ``local_apsp``)
+    n: int
+    #: directed stored-edge count of ``matrix`` (for the modeled charge)
+    nnz: int
+    #: kernel tier executing this task (resolved by name in pool children)
+    tier: str = "numpy"
+
+
+@dataclass
+class SuperstepTask:
+    """One rank's RC-superstep work (relaxation inputs + fold extent)."""
+
+    n: int
+    n_cols: int
+    #: per fresh external row, in relaxation order: the received DV row
+    #: and the ``(local row, cut-edge weight)`` pairs relaxed against it
+    relax_items: RelaxItems
+    #: rows already marked changed before this superstep, sorted
+    changed_rows: List[int]
+    #: private copy of the dirty-column mask (the kernel extends it with
+    #: the columns the relaxation improves)
+    dirty_cols: BoolArray
+    full_repropagate: bool
+    #: kernel tier executing this task (resolved by name in pool children)
+    tier: str = "numpy"
+
+    @property
+    def n_relaxations(self) -> int:
+        return sum(len(pairs) for _row, pairs in self.relax_items)
+
+
+@dataclass
+class SuperstepResult:
+    """What the coordinating process needs back from a superstep kernel."""
+
+    #: local rows the cut-edge relaxation improved, sorted
+    relax_improved: List[int] = field(default_factory=list)
+    #: True iff the propagation fold ran (and its compute must be charged)
+    prop_charged: bool = False
+    #: local rows the propagation fold improved, sorted
+    prop_improved: List[int] = field(default_factory=list)
+
+    @property
+    def improved(self) -> bool:
+        return bool(self.relax_improved) or bool(self.prop_improved)
+
+
+class KernelTier:
+    """One implementation of the per-rank compute kernels.
+
+    Subclasses override the arithmetic; the superstep *structure* (which
+    rows/columns fold, in what order outcomes are reported) is fixed
+    here so every tier makes the same decisions as the serial oracle.
+
+    Location transparency: tier methods receive ``dv`` / ``local_apsp``
+    as parameters and must never stash them — the backend decides
+    whether they are private arrays or shared-memory views.
+    """
+
+    #: registry name, e.g. ``"numpy"`` / ``"scipy"`` / ``"numba"``
+    name: str = "base"
+
+    # -- IA phase ------------------------------------------------------
+    def ia_chunks(self, task: IATask, parallelism: int) -> ChunkList:
+        """Split ``task``'s sources into independently runnable chunks.
+
+        The default is one chunk (the whole task); tiers that support
+        source-parallel IA return many so the backend can fan one
+        rank's Dijkstra out across the pool.  ``parallelism`` is the
+        number of pool slots available.
+        """
+        return [(0, task.n)]
+
+    def ia_kernel(self, task: IATask, dv: FloatArray, apsp: FloatArray) -> None:
+        """Full IA task: local APSP into ``apsp`` + owned-column DV fold."""
+        raise NotImplementedError
+
+    def ia_chunk_kernel(
+        self, task: IATask, lo: int, hi: int, dv: FloatArray, apsp: FloatArray
+    ) -> None:
+        """IA sources ``[lo, hi)`` only: disjoint ``apsp`` / ``dv`` rows.
+
+        Chunks write disjoint row ranges of both matrices, so chunks of
+        one task may run concurrently against the same shared memory.
+        """
+        raise NotImplementedError
+
+    # -- RC superstep --------------------------------------------------
+    def relax_cut(
+        self, dv: FloatArray, dirty_cols: BoolArray, items: RelaxItems
+    ) -> List[int]:
+        """Cut-edge relaxation; returns the sorted local rows improved."""
+        raise NotImplementedError
+
+    def minplus_fold(
+        self,
+        apsp: FloatArray,
+        dv: FloatArray,
+        rows: List[int],
+        cols: IndexArray,
+    ) -> List[int]:
+        """Min-plus propagation fold; returns the sorted rows improved."""
+        raise NotImplementedError
+
+    def run_superstep(
+        self, task: SuperstepTask, dv: FloatArray, apsp: FloatArray
+    ) -> SuperstepResult:
+        """One rank's full RC superstep: relaxation then propagation.
+
+        Mirrors the serial ``relax_cut_edges`` + ``propagate_local``
+        pair decision-for-decision; the only difference is that
+        change-tracking state arrives snapshotted inside ``task`` and
+        the outcomes travel back in a :class:`SuperstepResult` instead
+        of mutating the worker.
+        """
+        dirty = task.dirty_cols
+        relax_improved = self.relax_cut(dv, dirty, task.relax_items)
+        n = task.n
+        if n == 0:
+            return SuperstepResult(relax_improved=relax_improved)
+        if task.full_repropagate:
+            rows = list(range(n))
+            col_mask = np.ones(task.n_cols, dtype=bool)
+        else:
+            rows = sorted(set(task.changed_rows) | set(relax_improved))
+            col_mask = dirty
+        if not rows or not col_mask.any():
+            return SuperstepResult(relax_improved=relax_improved)
+        cols = np.flatnonzero(col_mask)
+        prop_improved = self.minplus_fold(apsp, dv, rows, cols)
+        return SuperstepResult(
+            relax_improved=relax_improved,
+            prop_charged=True,
+            prop_improved=prop_improved,
+        )

@@ -1,0 +1,47 @@
+"""The ``numpy`` tier: the oracle statements, one task per rank.
+
+This tier is the reference every other tier is pinned against.  It
+delegates straight to :mod:`repro.runtime.kernels.oracle` and never
+splits IA tasks, so the process backend submits exactly one future per
+rank — the pre-tier behavior, unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...types import BoolArray, FloatArray
+from . import oracle
+from .base import IATask, IndexArray, KernelTier, RelaxItems
+from .registry import register_tier
+
+__all__ = ["NumpyTier"]
+
+
+@register_tier("numpy")
+class NumpyTier(KernelTier):
+    """The bitwise oracle: pure NumPy/SciPy, whole-rank IA tasks."""
+
+    name = "numpy"
+
+    def ia_kernel(self, task: IATask, dv: FloatArray, apsp: FloatArray) -> None:
+        oracle.ia_kernel(task, dv, apsp)
+
+    def ia_chunk_kernel(
+        self, task: IATask, lo: int, hi: int, dv: FloatArray, apsp: FloatArray
+    ) -> None:
+        oracle.ia_chunk_kernel(task, lo, hi, dv, apsp)
+
+    def relax_cut(
+        self, dv: FloatArray, dirty_cols: BoolArray, items: RelaxItems
+    ) -> List[int]:
+        return oracle.relax_cut_kernel(dv, dirty_cols, items)
+
+    def minplus_fold(
+        self,
+        apsp: FloatArray,
+        dv: FloatArray,
+        rows: List[int],
+        cols: IndexArray,
+    ) -> List[int]:
+        return oracle.minplus_fold(apsp, dv, rows, cols)

@@ -1,0 +1,137 @@
+"""The pure NumPy/SciPy kernel statements — the bitwise oracle.
+
+These are the original single-implementation kernels, kept as plain
+module functions: every other tier is measured against them, and the
+``numpy`` tier runs them verbatim.  The serial backend, the process
+backend and every tier/backend combination must produce results
+bitwise-identical to these statements executed in serial order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+import numpy as np
+import scipy.sparse.csgraph as csgraph
+
+from ...types import BoolArray, FloatArray
+from .base import IATask, IndexArray, RelaxItems
+
+__all__ = [
+    "ia_kernel",
+    "ia_chunk_kernel",
+    "relax_cut_kernel",
+    "minplus_fold",
+]
+
+#: Cap on the float64 element count of the batched min-plus broadcast
+#: temporary (``n_rows x block x n_cols``); 2**21 elements = 16 MB.
+_MINPLUS_BLOCK_ELEMS = 1 << 21
+
+#: Max sources folded per ``np.minimum`` call in the batched kernel.
+_MINPLUS_MAX_BLOCK = 64
+
+
+def ia_kernel(task: IATask, dv: FloatArray, apsp: FloatArray) -> None:
+    """Local APSP (the paper's multithreaded Dijkstra) + DV column fold.
+
+    Writes into the caller-allocated ``apsp`` (shape ``(n, n)``) and
+    folds it into the owned columns of ``dv`` in place.
+    """
+    apsp[:, :] = csgraph.dijkstra(task.matrix, directed=False)
+    cols = task.cols
+    # fancy indexing yields a copy, so an out= write would be lost;
+    # assign the minimum back explicitly
+    dv[:, cols] = np.minimum(dv[:, cols], apsp)
+
+
+def ia_chunk_kernel(
+    task: IATask, lo: int, hi: int, dv: FloatArray, apsp: FloatArray
+) -> None:
+    """IA restricted to sources ``[lo, hi)``; bitwise-equal to the full run.
+
+    Dijkstra computes each source independently, so the ``indices=``
+    rows equal the same rows of the full all-sources call, and the fold
+    touches only DV rows ``[lo, hi)`` (source ``s`` folds
+    ``apsp[s, j]`` into ``dv[s, cols[j]]``) — chunks write disjoint row
+    ranges of both matrices and compose, in any order or concurrently,
+    to exactly the full :func:`ia_kernel` outcome.
+    """
+    apsp[lo:hi, :] = csgraph.dijkstra(
+        task.matrix, directed=False, indices=np.arange(lo, hi)
+    )
+    cols = task.cols
+    dv[lo:hi, cols] = np.minimum(dv[lo:hi, cols], apsp[lo:hi, :])
+
+
+def relax_cut_kernel(
+    dv: FloatArray,
+    dirty_cols: BoolArray,
+    items: RelaxItems,
+) -> List[int]:
+    """Cut-edge relaxation: ``d(u,t) <- min(d(u,t), w(u,x) + d(x,t))``.
+
+    Mutates ``dv`` and ``dirty_cols`` in place; returns the sorted local
+    rows that improved.  Item order is fixed by the caller (sorted
+    external vertex, then cut-edge registration order), so repeated runs
+    relax in the same sequence.
+    """
+    improved: Set[int] = set()
+    for row_x, pairs in items:
+        for r, w in pairs:
+            cand = row_x + w
+            mask = cand < dv[r]
+            if mask.any():
+                dv[r][mask] = cand[mask]
+                dirty_cols |= mask
+                improved.add(r)
+    return sorted(improved)
+
+
+def minplus_fold(
+    apsp: FloatArray, dv: FloatArray, rows: List[int], cols: IndexArray
+) -> List[int]:
+    """Blocked batched min-plus fold; returns the sorted rows improved.
+
+    ``d(x,t) <- min_k apsp(x,k) + d(k,t)`` over changed sources ``k``
+    (``rows``) and dirty targets ``t`` (``cols``), written back into
+    ``dv`` in place.  Folds 32-64 sources per ``np.minimum`` call, with
+    the ``(n x block x c)`` broadcast temporary capped at a fixed element
+    budget.  Bitwise-identical to a per-source fold: float64 min is
+    exact and order-independent, and distances never produce NaNs.
+
+    The write-back scatters only the entries that improved instead of
+    assigning the whole ``dv[:, cols]`` submatrix — bitwise-equivalent
+    (unimproved entries are rewritten with their own value either way)
+    but proportional to the improvement count, which is small in late
+    supersteps.
+    """
+    n = apsp.shape[0]
+    a = apsp[:, rows]                  # (n, k)
+    b = dv[np.asarray(rows)][:, cols]  # (k, c)
+    c = len(cols)
+    cand = np.full((n, c), np.inf, dtype=np.float64)
+    block = max(
+        1, min(_MINPLUS_MAX_BLOCK, _MINPLUS_BLOCK_ELEMS // max(1, n * c))
+    )
+    k = len(rows)
+    for j0 in range(0, k, block):
+        ab = a[:, j0:j0 + block]                    # (n, bk)
+        keep = np.isfinite(ab).any(axis=0)
+        if not keep.any():
+            continue
+        if not keep.all():
+            ab = ab[:, keep]
+        bb = b[j0:j0 + block][keep]                 # (bk, c)
+        np.minimum(
+            cand,
+            np.min(ab[:, :, None] + bb[None, :, :], axis=1),
+            out=cand,
+        )
+    improved = cand < dv[:, cols]
+    if not improved.any():
+        return []
+    # np.nonzero walks row-major, matching cand[improved]'s element order
+    r_idx, c_idx = np.nonzero(improved)
+    dv[r_idx, cols[c_idx]] = cand[improved]
+    return [int(r) for r in np.flatnonzero(improved.any(axis=1))]

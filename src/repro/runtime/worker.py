@@ -33,12 +33,11 @@ from ..types import FloatArray, IntArray, Rank, VertexId
 from .index import GlobalIndex
 from .kernels import (
     IATask,
+    KernelTier,
     RelaxItems,
     SuperstepResult,
     SuperstepTask,
-    ia_kernel,
-    minplus_fold,
-    relax_cut_kernel,
+    make_tier,
 )
 from .message import DeltaRows, delta_row_words, dense_row_words
 from .shm import ArrayAllocator
@@ -58,9 +57,13 @@ class Worker:
         *,
         wire_format: str = "delta",
         allocator: Optional[ArrayAllocator] = None,
+        tier: Optional[KernelTier] = None,
     ) -> None:
         if wire_format not in ("dense", "delta"):
             raise WorkerError(f"unknown wire format {wire_format!r}")
+        #: kernel tier executing this worker's compute (see
+        #: :mod:`repro.runtime.kernels`); the oracle tier by default
+        self.tier = tier if tier is not None else make_tier("numpy")
         #: where ``dv`` / ``local_apsp`` live; the process backend passes
         #: a shared-memory allocator so kernel subprocesses can attach
         self.allocator = allocator if allocator is not None else ArrayAllocator()
@@ -85,7 +88,11 @@ class Worker:
         self.cut_by_ext: Dict[VertexId, List[Tuple[VertexId, float]]] = {}
         #: ranks that need each owned vertex's DV row (it is in their
         #: external boundary)
-        self.subscribers: Dict[VertexId, Set[Rank]] = {}
+        self._subscribers: Dict[VertexId, Set[Rank]] = {}
+        #: per-vertex memo of the subscriber set in sorted rank order;
+        #: invalidated on (un)subscription so the hot queueing paths
+        #: stop re-sorting per row per superstep
+        self._subs_sorted: Dict[VertexId, List[Rank]] = {}
 
         self._dv: FloatArray = self.allocator.adopt(
             np.zeros((0, 0), dtype=np.float64), None
@@ -144,6 +151,41 @@ class Worker:
     @property
     def n_local(self) -> int:
         return len(self.owned)
+
+    # ------------------------------------------------------------------
+    # subscription records (with a sorted-order memo for the hot paths)
+    # ------------------------------------------------------------------
+    @property
+    def subscribers(self) -> Dict[VertexId, Set[Rank]]:
+        """Subscription records: owned vertex -> ranks needing its row.
+
+        Mutate only through :meth:`subscribe` / :meth:`unsubscribe_rank`
+        / :meth:`record_subscriber` (or wholesale assignment), so the
+        sorted-order memo stays coherent.
+        """
+        return self._subscribers
+
+    @subscribers.setter
+    def subscribers(self, value: Dict[VertexId, Set[Rank]]) -> None:
+        self._subscribers = value
+        self._subs_sorted = {}
+
+    def _sorted_subscribers(self, v: VertexId) -> List[Rank]:
+        """Subscribers of ``v`` in sorted rank order (memoized)."""
+        cached = self._subs_sorted.get(v)
+        if cached is None:
+            subs = self._subscribers.get(v)
+            if not subs:
+                return []
+            cached = self._subs_sorted[v] = sorted(subs)
+        return cached
+
+    def record_subscriber(self, v: VertexId, dst: Rank) -> None:
+        """Add a subscription record only — no row queueing, no channel
+        baseline reset.  Used by recovery paths that restore who *would*
+        receive each boundary row without scheduling any sends."""
+        self._subscribers.setdefault(v, set()).add(dst)
+        self._subs_sorted.pop(v, None)
 
     @property
     def n_cols(self) -> int:
@@ -242,7 +284,7 @@ class Worker:
         task = self.ia_prepare()
         if task is None:
             return
-        ia_kernel(task, self.dv, self.local_apsp)
+        self.tier.ia_kernel(task, self.dv, self.local_apsp)
         self.ia_apply(task, repropagate=repropagate)
 
     def ia_prepare(self) -> Optional[IATask]:
@@ -262,7 +304,11 @@ class Worker:
         )
         self.local_apsp = self.allocator.empty((n, n))
         return IATask(
-            matrix=view.matrix, cols=cols, n=n, nnz=int(view.matrix.nnz)
+            matrix=view.matrix,
+            cols=cols,
+            n=n,
+            nnz=int(view.matrix.nnz),
+            tier=self.tier.name,
         )
 
     def ia_apply(self, task: IATask, *, repropagate: bool = False) -> None:
@@ -289,8 +335,11 @@ class Worker:
 
         Subscribers are a set; iterate in sorted rank order so queueing
         (and the trace events it later produces) is run-to-run stable.
+        The sorted order is memoized per vertex — this runs per row per
+        superstep, and re-sorting an unchanged set dominated the apply
+        path.
         """
-        for dst in sorted(self.subscribers.get(v, ())):
+        for dst in self._sorted_subscribers(v):
             self._pending[dst].add(v)
 
     def _mark_row_changed(self, row: int) -> None:
@@ -301,20 +350,19 @@ class Worker:
         """Bulk version of :meth:`_mark_row_changed` for vectorized kernels."""
         idx = rows.tolist()
         self._changed_rows.update(idx)
-        if not self.subscribers:
+        if not self._subscribers:
             return
         for r in idx:
             v = self.owned[r]
-            subs = self.subscribers.get(v)
-            if subs:
-                for dst in sorted(subs):
-                    self._pending[dst].add(v)
+            for dst in self._sorted_subscribers(v):
+                self._pending[dst].add(v)
 
     def subscribe(self, v: VertexId, dst: Rank) -> None:
         """Rank ``dst`` wants updates of ``v``'s DV row from now on."""
         if v not in self.row_of:
             raise WorkerError(f"rank {self.rank} does not own vertex {v}")
-        self.subscribers.setdefault(v, set()).add(dst)
+        self._subscribers.setdefault(v, set()).add(dst)
+        self._subs_sorted.pop(v, None)
         self._pending[dst].add(v)  # send the current row at the next exchange
         # a (re-)subscription always starts from a dense row: the receiver
         # may have dropped (or never held) its copy
@@ -322,8 +370,9 @@ class Worker:
 
     def unsubscribe_rank(self, dst: Rank) -> None:
         """Drop all subscriptions from ``dst`` (used on repartition)."""
-        for subs in self.subscribers.values():
+        for subs in self._subscribers.values():
             subs.discard(dst)
+        self._subs_sorted = {}
         self._pending[dst].clear()
         self._sent_rows[dst].clear()
 
@@ -580,7 +629,7 @@ class Worker:
         ``(u, x)`` whose external row arrived since the last call.
         """
         items = self._relax_items()
-        improved = relax_cut_kernel(self.dv, self._dirty_cols, items)
+        improved = self.tier.relax_cut(self.dv, self._dirty_cols, items)
         for _row_x, pairs in items:
             for _ in pairs:
                 self._charge(self.cost.relax_time(self.n_cols))
@@ -625,7 +674,9 @@ class Worker:
         # optimization (sources that did not change cannot improve anything
         # through a transitively-closed local APSP).
         self._charge(self.cost.minplus_time(n, n, self.n_cols))
-        improved_rows = minplus_fold(self.local_apsp, self.dv, rows, cols)
+        improved_rows = self.tier.minplus_fold(
+            self.local_apsp, self.dv, rows, cols
+        )
         self._changed_rows.clear()
         self._dirty_cols[:] = False
         # Improved rows need only be *sent* to subscribers, not re-used as
@@ -653,6 +704,7 @@ class Worker:
             changed_rows=sorted(self._changed_rows),
             dirty_cols=self._dirty_cols.copy(),
             full_repropagate=self._full_repropagate,
+            tier=self.tier.name,
         )
 
     def peek_superstep_task(self) -> SuperstepTask:
@@ -674,6 +726,7 @@ class Worker:
             changed_rows=sorted(self._changed_rows),
             dirty_cols=self._dirty_cols.copy(),
             full_repropagate=self._full_repropagate,
+            tier=self.tier.name,
         )
 
     def superstep_apply(
@@ -1027,7 +1080,8 @@ class Worker:
                 del self.cut_by_ext[x]
                 self.ext_dvs.pop(x, None)
                 self._fresh_ext.discard(x)
-        self.subscribers.pop(v, None)
+        self._subscribers.pop(v, None)
+        self._subs_sorted.pop(v, None)
         for pend in self._pending:
             pend.discard(v)
         for baselines in self._sent_rows:

@@ -5,6 +5,10 @@ The fold in :func:`repro.runtime.kernels.minplus_fold` (used by
 block size to 1 when ``n * c`` exceeds the broadcast-temporary element
 budget, and skips blocks whose sources are all infinite.  Every variant
 must be bitwise-equal to a naive unblocked reference fold.
+
+The implementation module is :mod:`repro.runtime.kernels.oracle` (the
+``numpy`` tier delegates to it), so the block-size knobs are patched
+there.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from typing import List
 
 import numpy as np
 
-import repro.runtime.kernels as kernels
+import repro.runtime.kernels.oracle as kernels
 from repro.graph import extract_local_subgraph
 from repro.model import DEFAULT_COST
 from repro.runtime import GlobalIndex, Worker
