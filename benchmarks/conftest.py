@@ -34,7 +34,15 @@ def scale() -> ScenarioScale:
 
 @pytest.fixture(scope="session")
 def emit():
-    """Print a figure's rows and persist them under benchmarks/results/."""
+    """Print a figure's rows and persist them under benchmarks/results/.
+
+    Besides the human-readable table, every figure writes its rows
+    through the normalized regression-ledger schema as
+    ``<name>.ledger.jsonl`` — the current side ``tools/bench_diff.py``
+    judges against the committed ``benchmarks/history/`` baseline.
+    """
+
+    from repro.obs.history import append_records, records_from_rows
 
     RESULTS_DIR.mkdir(exist_ok=True)
 
@@ -43,5 +51,8 @@ def emit():
         text = f"== {name} ==\n{table}\n"
         print("\n" + text)
         (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
+        ledger = RESULTS_DIR / f"{name}.ledger.jsonl"
+        ledger.unlink(missing_ok=True)  # one run = one fresh ledger
+        append_records(ledger, records_from_rows(name, rows))
 
     return _emit

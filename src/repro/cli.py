@@ -52,6 +52,34 @@ _FIGS: Dict[str, Callable[..., List[dict]]] = {
 }
 
 
+def _add_chaos_args(p: argparse.ArgumentParser) -> None:
+    """The seeded fault-injection / self-healing flag group."""
+    p.add_argument("--chaos-seed", type=int, default=None,
+                   help="run under seeded fault injection (message loss"
+                        " + duplication) to exercise the chaos metrics")
+    p.add_argument("--chaos-crash", type=str, action="append", default=None,
+                   metavar="STEP:RANK",
+                   help="crash RANK at superstep STEP (repeatable);"
+                        " implies fault injection")
+    p.add_argument("--chaos-straggler", type=str, action="append",
+                   default=None, metavar="RANK:FACTOR",
+                   help="slow RANK down by FACTOR (repeatable);"
+                        " implies fault injection")
+    p.add_argument("--chaos-loss", type=float, default=None,
+                   metavar="P", help="message loss probability")
+    p.add_argument("--chaos-dup", type=float, default=None,
+                   metavar="P", help="message duplication probability")
+    p.add_argument("--recovery", type=str, default=None,
+                   choices=["warm", "checkpoint", "redistribute",
+                            "escalate"],
+                   help="crash recovery policy (escalate climbs the"
+                        " warm -> checkpoint -> redistribute ladder)")
+    p.add_argument("--health", action="store_true",
+                   help="attach the health monitor: deadline tracking,"
+                        " speculative straggler mitigation, seeded"
+                        " backoff, graceful degradation")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -124,30 +152,28 @@ def build_parser() -> argparse.ArgumentParser:
                          " jsonl:PATH, perfetto:PATH, or prom:PATH")
     tp.add_argument("--probe-convergence", action="store_true",
                     help="attach the per-superstep convergence probe")
-    tp.add_argument("--chaos-seed", type=int, default=None,
-                    help="run under seeded fault injection (message loss"
-                         " + duplication) to exercise the chaos metrics")
-    tp.add_argument("--chaos-crash", type=str, action="append", default=None,
-                    metavar="STEP:RANK",
-                    help="crash RANK at superstep STEP (repeatable);"
-                         " implies fault injection")
-    tp.add_argument("--chaos-straggler", type=str, action="append",
-                    default=None, metavar="RANK:FACTOR",
-                    help="slow RANK down by FACTOR (repeatable);"
-                         " implies fault injection")
-    tp.add_argument("--chaos-loss", type=float, default=None,
-                    metavar="P", help="message loss probability")
-    tp.add_argument("--chaos-dup", type=float, default=None,
-                    metavar="P", help="message duplication probability")
-    tp.add_argument("--recovery", type=str, default=None,
-                    choices=["warm", "checkpoint", "redistribute",
-                             "escalate"],
-                    help="crash recovery policy (escalate climbs the"
-                         " warm -> checkpoint -> redistribute ladder)")
-    tp.add_argument("--health", action="store_true",
-                    help="attach the health monitor: deadline tracking,"
-                         " speculative straggler mitigation, seeded"
-                         " backoff, graceful degradation")
+    _add_chaos_args(tp)
+
+    fp = sub.add_parser(
+        "profile",
+        help="fold an exported JSONL trace into deterministic"
+             " cost-attribution tables: modeled time per phase, rank,"
+             " and kernel tier, hot paths, wall-vs-modeled skew",
+    )
+    fp.add_argument("trace", type=str,
+                    help="path to a jsonl trace written by --trace-out")
+    fp.add_argument("--top", type=int, default=10,
+                    help="hot paths to keep (default 10)")
+    fp.add_argument("--json", type=str, default=None,
+                    help="also dump the folded profile as JSON")
+    fp.add_argument("--perfetto-out", type=str, default=None,
+                    help="write the aggregated Perfetto view (one slice"
+                         " per phase, one track per rank)")
+    fp.add_argument("--no-wall", action="store_true",
+                    help="omit the wall-clock annotation columns and the"
+                         " skew section (fully deterministic output)")
+    fp.add_argument("--out", type=str, default=None,
+                    help="write the rendered profile to this file as well")
 
     rp = sub.add_parser(
         "report",
@@ -197,6 +223,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the synthesized trace as JSONL and exit")
     vp.add_argument("--out", type=str, default=None,
                     help="write the serve log to this file as well")
+    vp.add_argument("--trace-out", type=str, action="append", default=None,
+                    metavar="FORMAT:PATH",
+                    help="attach a trace exporter (repeatable):"
+                         " jsonl:PATH, perfetto:PATH, or prom:PATH")
+    vp.add_argument("--slo", type=str, default=None, metavar="SPECS.json",
+                    help="load SLO specs and judge every tick; alert"
+                         " transitions print as canonical slo= lines")
+    vp.add_argument("--slo-out", type=str, default=None, metavar="PATH",
+                    help="write the alert transitions as trace-event"
+                         " JSONL (schema-validatable)")
+    _add_chaos_args(vp)
     return parser
 
 
@@ -297,6 +334,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 }
             )
         print(format_table(rows))
+        return 0
+
+    if args.command == "profile":
+        from .obs import load_events
+        from .obs.profile import (
+            dump_profile,
+            fold_events,
+            profile_to_perfetto,
+            render_profile,
+        )
+
+        prof = fold_events(load_events(args.trace), top=args.top)
+        text = render_profile(prof, include_wall=not args.no_wall)
+        print(text, end="")
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        if args.json:
+            dump_profile(prof, args.json, include_wall=not args.no_wall)
+            print(f"profile written to {args.json}")
+        if args.perfetto_out:
+            import json as _json
+
+            with open(args.perfetto_out, "w", encoding="utf-8") as fh:
+                _json.dump(profile_to_perfetto(prof), fh)
+            print(f"aggregated perfetto view written to {args.perfetto_out}")
         return 0
 
     if args.command == "report":
@@ -450,16 +513,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             cfg_kwargs["backend"] = args.backend
         if args.kernel_tier is not None:
             cfg_kwargs["kernel_tier"] = args.kernel_tier
+        if args.trace_out:
+            cfg_kwargs["observers"] = tuple(args.trace_out)
+        if args.health:
+            from .runtime.health import HealthPolicy
+
+            cfg_kwargs["health"] = HealthPolicy()
+        fault_plan = _fault_plan_from_args(args)
+        if fault_plan is not None or args.recovery is not None:
+            from . import ResilienceConfig
+
+            cfg_kwargs["resilience"] = ResilienceConfig(
+                recovery=args.recovery or "warm", fault_plan=fault_plan
+            )
+        slo_specs = None
+        if args.slo is not None:
+            from .obs.slo import load_slo_specs
+
+            slo_specs = load_slo_specs(args.slo)
         config = AnytimeConfig(
             nprocs=args.nprocs, seed=args.seed, collect_snapshots=False,
             **cfg_kwargs,
         )
         lines: List[str] = []
+        if slo_specs is not None:
+            for spec in slo_specs:
+                lines.append(f"slo loaded: {spec.describe()}")
         with session(
             base, config,
             admission=HybridAdmission(args.max_events, args.max_delay_ticks),
             strategy=args.strategy,
             summary_interval=args.summary_every,
+            slo=slo_specs,
         ) as s:
             svc = s.service
             for t in range(ticks):
@@ -467,13 +552,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 if at_t:
                     s.feed(at_t)
                 seen = len(svc.summaries)
+                alerts_seen = len(svc.slo_alerts)
                 lines.append(s.step().line())
+                for alert in svc.slo_alerts[alerts_seen:]:
+                    lines.append(alert.line())
                 for summ in svc.summaries[seen:]:
                     lines.extend(summ.lines())
             result = s.result()
             final = svc.summarize(result)
+            alerts = list(svc.slo_alerts)
+            slo_status = svc.slo.status() if svc.slo is not None else []
         lines.append("serve drained; final state:")
         lines.extend(final.lines()[1:])
+        if slo_specs is not None:
+            firing = [row["slo"] for row in slo_status
+                      if row["state"] == "firing"]
+            lines.append(
+                f"slo: {len(alerts)} alert transition(s);"
+                f" firing at exit: {', '.join(firing) if firing else 'none'}"
+            )
+            if args.slo_out:
+                from .obs.events import SpanEvent
+
+                with open(args.slo_out, "w", encoding="utf-8") as fh:
+                    for i, alert in enumerate(alerts):
+                        ev = SpanEvent(
+                            seq=i, kind="alert", level="slo",
+                            name=alert.slo, t=alert.t, step=alert.tick,
+                            attrs=alert.attrs(),
+                        )
+                        fh.write(ev.to_json() + "\n")
+                lines.append(f"slo alerts written to {args.slo_out}")
         text = "\n".join(lines) + "\n"
         print(text, end="")
         if args.out:

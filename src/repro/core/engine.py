@@ -30,7 +30,16 @@ import json
 import logging
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -119,6 +128,11 @@ class RunResult:
     #: last sample of each attached convergence probe, keyed by probe
     #: name — the quantified quality statement for anytime interruptions
     convergence: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    # --- cost attribution ---------------------------------------------
+    #: folded cost-attribution profile (:class:`repro.obs.profile.Profile`
+    #: as a dict): modeled time per phase/rank/kernel-tier, hot paths,
+    #: coverage — populated on every run, observers on or off
+    profile: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def modeled_minutes(self) -> float:
@@ -495,6 +509,7 @@ class AnytimeAnywhereCloseness:
                 name: dict(sample)
                 for name, sample in self.obs.last_samples.items()
             },
+            profile=self._fold_profile(cluster),
         )
 
     def run_baseline_restart(
@@ -560,7 +575,15 @@ class AnytimeAnywhereCloseness:
             boundary_rows_dense=cluster.boundary_rows_dense,
             boundary_rows_sparse=cluster.boundary_rows_sparse,
             wire_format=cluster.wire_format,
+            profile=self._fold_profile(cluster),
         )
+
+    @staticmethod
+    def _fold_profile(cluster: Cluster) -> Dict[str, Any]:
+        """Fold the cluster's cost-attribution accumulators (pure read)."""
+        from ..obs.profile import fold_cluster
+
+        return fold_cluster(cluster).to_dict()
 
     # ------------------------------------------------------------------
     # fault tolerance (paper §VI future work)

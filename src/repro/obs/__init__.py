@@ -35,14 +35,43 @@ from .exporters import (
     make_exporter,
     parse_spec,
 )
+from .history import (
+    BenchDiff,
+    BenchRecord,
+    append_records,
+    diff_records,
+    load_records,
+    records_from_report,
+    records_from_rows,
+    render_diff,
+)
 from .observer import NULL_HUB, NullObserver, Observer, ObserverHub
+from .profile import (
+    Profile,
+    fold_cluster,
+    fold_events,
+    profile_to_perfetto,
+    render_profile,
+)
 from .registry import Histogram, MetricsRegistry, SignalView
 from .report import TraceReport, load_events, render_report
+from .slo import (
+    SLO_KINDS,
+    SLOAlert,
+    SLOEvaluator,
+    SLOSample,
+    SLOSpec,
+    load_slo_specs,
+    specs_from_json,
+)
 
 __all__ = [
     "EVENT_KINDS",
     "EVENT_LEVELS",
     "NULL_HUB",
+    "SLO_KINDS",
+    "BenchDiff",
+    "BenchRecord",
     "ConvergenceProbe",
     "DistanceOracle",
     "Histogram",
@@ -52,17 +81,34 @@ __all__ = [
     "Observer",
     "ObserverHub",
     "PerfettoExporter",
+    "Profile",
     "PrometheusExporter",
+    "SLOAlert",
+    "SLOEvaluator",
+    "SLOSample",
+    "SLOSpec",
     "SignalView",
     "SpanEvent",
     "TraceReport",
+    "append_records",
     "build_hub",
     "canonical_line",
+    "diff_records",
     "exact_distance_oracle",
+    "fold_cluster",
+    "fold_events",
     "load_events",
+    "load_records",
+    "load_slo_specs",
     "make_exporter",
     "parse_spec",
+    "profile_to_perfetto",
+    "records_from_report",
+    "records_from_rows",
+    "render_diff",
+    "render_profile",
     "render_report",
+    "specs_from_json",
 ]
 
 #: a spec is an exporter string (``"jsonl:PATH"``, ``"perfetto:PATH"``,

@@ -32,12 +32,15 @@ __all__ = [
     "canonical_line",
 ]
 
-#: the four span levels plus the synthetic level metric dumps land on
-EVENT_LEVELS = ("run", "phase", "superstep", "rank_kernel", "metrics")
+#: the four span levels plus the synthetic levels metric dumps and SLO
+#: alerts land on
+EVENT_LEVELS = ("run", "phase", "superstep", "rank_kernel", "metrics", "slo")
 
 #: ``begin``/``end`` delimit spans; ``point`` is an instant observation;
-#: ``metric`` carries one metrics-registry series at flush time
-EVENT_KINDS = ("begin", "end", "point", "metric")
+#: ``metric`` carries one metrics-registry series sample (per-superstep
+#: counter tracks and the close-time flush); ``alert`` is an SLO state
+#: transition emitted by the serve-loop SLO engine
+EVENT_KINDS = ("begin", "end", "point", "metric", "alert")
 
 #: attribute values are scalars so every exporter can serialize them
 AttrValue = Union[float, int, str, bool]

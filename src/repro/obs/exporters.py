@@ -113,6 +113,10 @@ class PerfettoExporter(Observer):
             self._events.append(
                 {**base, "ph": "C", "args": {"value": value}}
             )
+        elif event.kind == "alert":
+            # SLO state transitions: global-scope instants so they are
+            # visible across every track in the viewer
+            self._events.append({**base, "ph": "i", "s": "g", "args": args})
 
     def close(self, registry: MetricsRegistry) -> None:
         meta: List[Dict[str, object]] = [

@@ -153,6 +153,25 @@ class ObserverHub:
             )
 
     # ------------------------------------------------------------------
+    def sample_counters(
+        self, names: Sequence[str], t: float, *, step: Optional[int] = None
+    ) -> None:
+        """Emit one ``metric`` event per current series of ``names``.
+
+        Called once per superstep with the well-known gauge names so the
+        Perfetto exporter renders them as counter *tracks* (time-series
+        lanes) rather than only a final flush-time value.
+        """
+        if not self.observers:
+            return
+        for name in names:
+            for key, value in self.registry.series_values(name).items():
+                self.emit(
+                    "metric", "metrics", key, t, step=step,
+                    attrs={"value": value},
+                )
+
+    # ------------------------------------------------------------------
     def flush_metrics(self, t: float) -> None:
         """Emit one ``metric`` event per registry series (JSONL dumps)."""
         if not self.observers:

@@ -34,9 +34,11 @@ __all__ = [
     "PENDING_ROWS",
     "RANK_COMPUTE_SECONDS",
     "RETRIES",
+    "SLO_VIOLATIONS",
     "SPECULATIONS",
     "UNACKED_ROWS",
     "WIRE_WORDS",
+    "COUNTER_TRACK_SERIES",
     "Histogram",
     "MetricsRegistry",
     "SignalView",
@@ -77,6 +79,20 @@ SPECULATIONS = "repro_speculations_total"
 BACKOFF_SECONDS = "repro_backoff_modeled_seconds_total"
 #: vertices currently in the analyzed graph (gauge)
 GRAPH_VERTICES = "repro_graph_vertices"
+#: SLO alerts fired by the serve-loop evaluator, labeled by slo (counter)
+SLO_VIOLATIONS = "repro_slo_violations_total"
+
+#: gauges sampled every superstep as Perfetto counter tracks — real
+#: time-series lanes in the trace viewer, not just span annotations
+COUNTER_TRACK_SERIES = (
+    LOAD_VERTEX_IMBALANCE,
+    LOAD_CUT_IMBALANCE,
+    ACTIVE_WORKERS,
+    DELTA_HIT_RATE,
+    PENDING_ROWS,
+    UNACKED_ROWS,
+    GRAPH_VERTICES,
+)
 
 #: default histogram bucket upper bounds (modeled seconds, log-spaced)
 _DEFAULT_BUCKETS = (
@@ -190,6 +206,13 @@ class MetricsRegistry:
     def labeled_values(self, name: str) -> Dict[Labels, float]:
         """Every series of a metric, keyed by its sorted label tuple."""
         return dict(sorted(self._labeled.get(name, {}).items()))
+
+    def series_values(self, name: str) -> Dict[str, float]:
+        """Every series of a metric, keyed by its full series key."""
+        return {
+            _series_key(name, labels): value
+            for labels, value in sorted(self._labeled.get(name, {}).items())
+        }
 
     def snapshot(self) -> Dict[str, float]:
         """All scalar series (counters + gauges), sorted by key."""

@@ -38,6 +38,10 @@ class TraceReport:
     metrics: Dict[str, float] = field(default_factory=dict)
     #: run-level end attrs (modeled seconds, converged, ...)
     run: Dict[str, Any] = field(default_factory=dict)
+    #: SLO alert transitions, in emission order (``alert`` events)
+    alerts: List[Dict[str, Any]] = field(default_factory=list)
+    #: spans left open by an aborted run (truncated at the last event)
+    truncated_spans: int = 0
 
 
 def _aggregate(events: List[Dict[str, Any]]) -> TraceReport:
@@ -46,9 +50,13 @@ def _aggregate(events: List[Dict[str, Any]]) -> TraceReport:
     open_spans: Dict[Tuple[str, str], List[Dict[str, Any]]] = {}
     phase_agg: Dict[str, Dict[str, Any]] = {}
     phase_order: List[str] = []
+    last_t = 0.0
     for ev in events:
         kind, level = ev.get("kind"), ev.get("level")
         key = (str(level), str(ev.get("name")))
+        t = ev.get("t")
+        if isinstance(t, (int, float)):
+            last_t = max(last_t, float(t))
         if kind == "begin":
             open_spans.setdefault(key, []).append(ev)
         elif kind == "end":
@@ -85,6 +93,34 @@ def _aggregate(events: List[Dict[str, Any]]) -> TraceReport:
             value = (ev.get("attrs") or {}).get("value")
             if isinstance(value, (int, float)):
                 report.metrics[str(ev.get("name"))] = float(value)
+        elif kind == "alert":
+            row = {"slo": ev.get("name"), "tick": ev.get("step")}
+            row.update(ev.get("attrs") or {})
+            report.alerts.append(row)
+    # spans left open by an aborted run: truncate at the last timestamp
+    # so mid-phase aborts still render a useful report
+    for (level, name), stack in sorted(open_spans.items()):
+        for begin in stack:
+            report.truncated_spans += 1
+            if level == "run":
+                report.run.setdefault("aborted", True)
+                report.run.setdefault("modeled_seconds", last_t)
+                continue
+            if level not in ("phase", "superstep"):
+                continue
+            agg = phase_agg.get(name)
+            if agg is None:
+                agg = phase_agg[name] = {
+                    "phase": name,
+                    "count": 0,
+                    "modeled_seconds": 0.0,
+                }
+                phase_order.append(name)
+            agg["count"] += 1
+            begin_t = begin.get("t")
+            if isinstance(begin_t, (int, float)):
+                agg["modeled_seconds"] += max(0.0, last_t - float(begin_t))
+            agg["truncated"] = agg.get("truncated", 0.0) + 1
     report.phases = [phase_agg[name] for name in phase_order]
     return report
 
@@ -97,11 +133,20 @@ def render_report(events: List[Dict[str, Any]]) -> str:
     report = _aggregate(events)
     sections: List[str] = []
 
+    if not events:
+        sections.append("(empty trace: no events)")
+
     if report.run:
         pairs = ", ".join(
             f"{k}={v}" for k, v in sorted(report.run.items())
         )
         sections.append(f"run: {pairs}")
+    if report.truncated_spans:
+        sections.append(
+            f"warning: {report.truncated_spans} span(s) never closed"
+            " (run aborted mid-phase); durations are truncated at the"
+            " last event"
+        )
 
     sections.append("phases (modeled time by span):")
     if report.phases:
@@ -127,6 +172,25 @@ def render_report(events: List[Dict[str, Any]]) -> str:
         sections.append(format_table(report.convergence, cols))
     else:
         sections.append("(no convergence probe samples in trace)")
+
+    if report.alerts:
+        sections.append("")
+        sections.append("slo alerts (state transitions):")
+        cols = ["slo", "tick"] + sorted(
+            {
+                k
+                for row in report.alerts
+                for k in row
+                if k not in ("slo", "tick")
+            }
+        )
+        sections.append(format_table(report.alerts, cols))
+        firing = sum(
+            1 for row in report.alerts if row.get("state") == "firing"
+        )
+        sections.append(
+            f"({firing} firing / {len(report.alerts) - firing} resolved)"
+        )
 
     if report.metrics:
         sections.append("")

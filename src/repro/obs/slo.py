@@ -1,0 +1,425 @@
+"""Declarative SLOs over the streaming serve loop.
+
+An :class:`SLOSpec` states one objective about the serving behaviour of
+the anytime pipeline; an :class:`SLOEvaluator` judges every
+:class:`~repro.serve.service.UpdateService` tick against the loaded
+specs and emits :class:`SLOAlert` state transitions (``firing`` /
+``resolved``).
+
+Evaluation is **deterministic**: every input derives from the modeled
+clock and modeled quantities (tick modeled latency, convergence-probe
+residuals, delta-hit rate, degraded flags, per-rank health states), so
+two runs of the same seeded scenario — on either backend — produce
+byte-identical alert streams.  The evaluator is also **non-perturbing**:
+it only reads the engine's :class:`~repro.obs.registry.SignalView` and
+the tick's :class:`~repro.core.engine.RunResult`; it never touches the
+clock or algorithm state.
+
+Objective kinds (:data:`SLO_KINDS`):
+
+* ``tick_latency`` — the nearest-rank ``percentile`` of per-tick
+  modeled seconds over the last ``window`` ticks must stay at or below
+  ``threshold``.  Burn rate = statistic / threshold.
+* ``staleness`` — the convergence probe's ``residual_max`` must stay at
+  or below ``threshold``; ticks above it are *bad* and may consume at
+  most a ``budget_fraction`` of the window.  (No probe attached ⇒ the
+  objective reports no data and never fires.)
+* ``delta_hit_rate`` — the sparse-delta hit rate must stay at or above
+  the ``threshold`` floor (bad ticks budgeted as above; ticks before
+  any boundary row ships carry no data).
+* ``degraded_budget`` — degraded ticks (graceful-degradation exits)
+  burn the window's ``budget_fraction``; the evaluator fires only when
+  the budget is exhausted, it never crashes on degraded results.
+* ``rank_health`` — the worst per-rank health state (0=healthy,
+  1=suspect, 2=degraded, 3=dead) must stay at or below ``threshold``.
+
+For budgeted kinds, burn rate = bad fraction / budget fraction (bad
+tick *count* when the budget is zero), so ``burn >= 1`` exactly when
+the objective fires.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "SLO_KINDS",
+    "SLOAlert",
+    "SLOEvaluator",
+    "SLOSample",
+    "SLOSpec",
+    "load_slo_specs",
+    "specs_from_json",
+]
+
+#: the objective kinds the evaluator knows how to judge
+SLO_KINDS = (
+    "tick_latency",
+    "staleness",
+    "delta_hit_rate",
+    "degraded_budget",
+    "rank_health",
+)
+
+#: kinds judged by bad-tick budget rather than a windowed percentile
+_BUDGETED_KINDS = frozenset(SLO_KINDS) - {"tick_latency"}
+
+
+def _fmt(value: float) -> str:
+    """Canonical float rendering for alert lines (deterministic)."""
+    return f"{value:.9g}"
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative serving objective."""
+
+    #: unique objective name (one token; appears in canonical lines)
+    name: str
+    #: one of :data:`SLO_KINDS`
+    kind: str
+    #: the objective bound (seconds / residual / rate / state / count)
+    threshold: float
+    #: sliding evaluation window, in service ticks
+    window: int = 8
+    #: tolerated bad-tick fraction of the window (budgeted kinds)
+    budget_fraction: float = 0.0
+    #: nearest-rank percentile evaluated by ``tick_latency`` (0..1]
+    percentile: float = 0.95
+    #: free-text annotation (never enters canonical lines)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c.isspace() for c in self.name):
+            raise ConfigurationError(
+                f"slo name must be one non-empty token, got {self.name!r}"
+            )
+        if self.kind not in SLO_KINDS:
+            raise ConfigurationError(
+                f"unknown slo kind {self.kind!r}; choose from {SLO_KINDS}"
+            )
+        if self.threshold < 0.0:
+            raise ConfigurationError(
+                f"slo {self.name!r}: threshold must be >= 0"
+            )
+        if self.kind == "tick_latency" and self.threshold <= 0.0:
+            raise ConfigurationError(
+                f"slo {self.name!r}: tick_latency threshold must be > 0"
+            )
+        if self.window < 1:
+            raise ConfigurationError(
+                f"slo {self.name!r}: window must be >= 1 ticks"
+            )
+        if not 0.0 <= self.budget_fraction < 1.0:
+            raise ConfigurationError(
+                f"slo {self.name!r}: budget_fraction must be in [0, 1)"
+            )
+        if not 0.0 < self.percentile <= 1.0:
+            raise ConfigurationError(
+                f"slo {self.name!r}: percentile must be in (0, 1]"
+            )
+
+    def describe(self) -> str:
+        """One-line human summary of the objective."""
+        if self.kind == "tick_latency":
+            return (
+                f"{self.name}: p{self.percentile * 100:g} tick modeled"
+                f" latency <= {_fmt(self.threshold)}s over {self.window}"
+                " ticks"
+            )
+        relation = ">=" if self.kind == "delta_hit_rate" else "<="
+        return (
+            f"{self.name}: {self.kind} {relation} {_fmt(self.threshold)}"
+            f" for >= {_fmt(1.0 - self.budget_fraction)} of"
+            f" {self.window} ticks"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "threshold": self.threshold,
+            "window": self.window,
+            "budget_fraction": self.budget_fraction,
+            "percentile": self.percentile,
+        }
+        if self.description:
+            out["description"] = self.description
+        return out
+
+
+@dataclass(frozen=True)
+class SLOSample:
+    """The deterministic inputs one service tick exposes to evaluation."""
+
+    #: service tick index
+    tick: int
+    #: engine modeled clock after the tick (alert timestamp key)
+    t: float
+    #: modeled seconds this tick advanced the clock by
+    tick_seconds: float
+    #: convergence-probe ``residual_max`` (None = no probe attached)
+    residual_max: Optional[float] = None
+    #: sparse-delta hit rate (None until any boundary row shipped)
+    delta_hit_rate: Optional[float] = None
+    #: did this tick's run exit via graceful degradation?
+    degraded: bool = False
+    #: worst per-rank health state (None = no health monitor)
+    rank_health_max: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class SLOAlert:
+    """One SLO state transition (``firing`` or ``resolved``)."""
+
+    tick: int
+    #: modeled clock at the transition
+    t: float
+    slo: str
+    kind: str
+    #: ``"firing"`` | ``"resolved"``
+    state: str
+    #: the evaluated statistic at the transition
+    value: float
+    threshold: float
+    burn_rate: float
+    bad_ticks: int
+    window: int
+
+    def line(self) -> str:
+        """Canonical one-line form (pinned byte-for-byte in CI)."""
+        return (
+            f"slo={self.slo} state={self.state} kind={self.kind}"
+            f" tick={self.tick} t={self.t:.6f} value={_fmt(self.value)}"
+            f" threshold={_fmt(self.threshold)}"
+            f" burn={_fmt(self.burn_rate)} bad={self.bad_ticks}"
+            f" window={self.window}"
+        )
+
+    def attrs(self) -> Dict[str, Union[float, int, str, bool]]:
+        """Deterministic scalar payload for the ``alert`` trace event."""
+        return {
+            "kind": self.kind,
+            "state": self.state,
+            "value": self.value,
+            "threshold": self.threshold,
+            "burn_rate": self.burn_rate,
+            "bad_ticks": self.bad_ticks,
+            "window": self.window,
+        }
+
+
+def _percentile_nearest_rank(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    # ceil(q * n), guarded against float drift on exact multiples
+    rank = max(1, math.ceil(q * len(ordered) - 1e-12))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class _SpecState:
+    """Sliding-window state of one spec inside the evaluator."""
+
+    def __init__(self, spec: SLOSpec) -> None:
+        self.spec = spec
+        #: tick_latency: recent values; budgeted kinds: recent bad flags
+        self.values: Deque[float] = deque(maxlen=spec.window)
+        self.bad: Deque[bool] = deque(maxlen=spec.window)
+        self.firing = False
+        self.samples = 0
+        self.transitions = 0
+
+    # ------------------------------------------------------------------
+    def extract(self, sample: SLOSample) -> Tuple[Optional[float], bool]:
+        """The tick's (value, bad) under this spec; value None = no data."""
+        spec = self.spec
+        if spec.kind == "tick_latency":
+            return sample.tick_seconds, sample.tick_seconds > spec.threshold
+        if spec.kind == "staleness":
+            if sample.residual_max is None:
+                return None, False
+            return sample.residual_max, sample.residual_max > spec.threshold
+        if spec.kind == "delta_hit_rate":
+            if sample.delta_hit_rate is None:
+                return None, False
+            return (
+                sample.delta_hit_rate,
+                sample.delta_hit_rate < spec.threshold,
+            )
+        if spec.kind == "degraded_budget":
+            value = 1.0 if sample.degraded else 0.0
+            return value, sample.degraded
+        # rank_health
+        if sample.rank_health_max is None:
+            return None, False
+        return (
+            sample.rank_health_max,
+            sample.rank_health_max > spec.threshold,
+        )
+
+    def observe(self, sample: SLOSample) -> Optional[SLOAlert]:
+        """Advance the window by one tick; return a transition, if any."""
+        spec = self.spec
+        value, bad = self.extract(sample)
+        if value is None:
+            # no data: the window does not advance and the state holds
+            return None
+        self.samples += 1
+        self.values.append(value)
+        self.bad.append(bad)
+        if spec.kind == "tick_latency":
+            stat = _percentile_nearest_rank(
+                list(self.values), spec.percentile
+            )
+            now_firing = stat > spec.threshold
+            burn = stat / spec.threshold
+            reported = stat
+        else:
+            bad_count = sum(1 for b in self.bad if b)
+            fraction = bad_count / len(self.bad)
+            now_firing = fraction > spec.budget_fraction
+            if spec.budget_fraction > 0.0:
+                burn = fraction / spec.budget_fraction
+            else:
+                burn = float(bad_count)
+            reported = value
+        if now_firing == self.firing:
+            return None
+        self.firing = now_firing
+        self.transitions += 1
+        return SLOAlert(
+            tick=sample.tick,
+            t=sample.t,
+            slo=spec.name,
+            kind=spec.kind,
+            state="firing" if now_firing else "resolved",
+            value=reported,
+            threshold=spec.threshold,
+            burn_rate=burn,
+            bad_ticks=sum(1 for b in self.bad if b),
+            window=spec.window,
+        )
+
+    def status(self) -> Dict[str, Any]:
+        spec = self.spec
+        bad_count = sum(1 for b in self.bad if b)
+        if spec.kind == "tick_latency":
+            burn = (
+                _percentile_nearest_rank(list(self.values), spec.percentile)
+                / spec.threshold
+                if self.values
+                else 0.0
+            )
+        elif spec.budget_fraction > 0.0 and self.bad:
+            burn = (bad_count / len(self.bad)) / spec.budget_fraction
+        else:
+            burn = float(bad_count)
+        return {
+            "slo": spec.name,
+            "kind": spec.kind,
+            "state": "firing" if self.firing else "ok",
+            "threshold": spec.threshold,
+            "burn_rate": burn,
+            "bad_ticks": bad_count,
+            "window": spec.window,
+            "samples": self.samples,
+            "transitions": self.transitions,
+        }
+
+
+class SLOEvaluator:
+    """Judges every service tick against a set of :class:`SLOSpec`s.
+
+    Purely functional over the tick's :class:`SLOSample` plus its own
+    sliding windows — no clocks, no randomness — so the alert stream is
+    a deterministic function of the serve scenario.
+    """
+
+    def __init__(self, specs: Sequence[SLOSpec]) -> None:
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ConfigurationError(f"duplicate slo names: {dupes}")
+        self.specs: Tuple[SLOSpec, ...] = tuple(specs)
+        self._states: List[_SpecState] = [_SpecState(s) for s in specs]
+        #: every transition so far, in emission order
+        self.alerts: List[SLOAlert] = []
+
+    def observe(self, sample: SLOSample) -> List[SLOAlert]:
+        """Evaluate one tick; return (and record) new transitions."""
+        out: List[SLOAlert] = []
+        for state in self._states:
+            alert = state.observe(sample)
+            if alert is not None:
+                out.append(alert)
+        self.alerts.extend(out)
+        return out
+
+    def status(self) -> List[Dict[str, Any]]:
+        """Current state of every objective (for summaries/reports)."""
+        return [state.status() for state in self._states]
+
+    @property
+    def firing(self) -> List[str]:
+        """Names of objectives currently in violation."""
+        return [s.spec.name for s in self._states if s.firing]
+
+
+# ----------------------------------------------------------------------
+# spec loading
+# ----------------------------------------------------------------------
+def specs_from_json(data: Any) -> List[SLOSpec]:
+    """Build specs from parsed JSON: a list of spec objects, or an
+    object with a ``"slos"`` list (the schema-validated file form)."""
+    if isinstance(data, dict):
+        data = data.get("slos")
+    if not isinstance(data, list):
+        raise ConfigurationError(
+            "slo specs must be a JSON array (or an object with a"
+            " 'slos' array)"
+        )
+    specs: List[SLOSpec] = []
+    for i, raw in enumerate(data):
+        if not isinstance(raw, dict):
+            raise ConfigurationError(f"slo spec #{i} is not an object")
+        known = {
+            "name", "kind", "threshold", "window", "budget_fraction",
+            "percentile", "description",
+        }
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"slo spec #{i}: unknown fields {unknown}"
+            )
+        try:
+            specs.append(
+                SLOSpec(
+                    name=str(raw["name"]),
+                    kind=str(raw["kind"]),
+                    threshold=float(raw["threshold"]),
+                    window=int(raw.get("window", 8)),
+                    budget_fraction=float(raw.get("budget_fraction", 0.0)),
+                    percentile=float(raw.get("percentile", 0.95)),
+                    description=str(raw.get("description", "")),
+                )
+            )
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"slo spec #{i}: missing required field {exc.args[0]!r}"
+            ) from None
+    return specs
+
+
+def load_slo_specs(path: str) -> List[SLOSpec]:
+    """Load and validate an SLO spec file (JSON)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return specs_from_json(data)

@@ -123,6 +123,16 @@ class Cluster:
             )
             for r in range(nprocs)
         ]
+        #: cost-attribution accumulators for the profiler (always on —
+        #: pure bookkeeping over already-metered values, never touches
+        #: the modeled clock): per-rank metered kernel seconds, and the
+        #: *charged* barrier seconds attributed to the critical rank,
+        #: the active kernel tier, and the enclosing tracer phase
+        self.kernel_metered_by_rank: Dict[Rank, float] = {}
+        self.kernel_charged_by_rank: Dict[Rank, float] = {}
+        self.kernel_charged_by_tier: Dict[str, float] = {}
+        self.kernel_charged_by_phase: Dict[str, float] = {}
+        self.kernel_barriers = 0
         #: boundary-exchange payload words actually put on the wire
         #: (deliveries, retries and duplicates included; acks excluded)
         self.boundary_words = 0
@@ -173,9 +183,30 @@ class Cluster:
         t = max(times) if times else 0.0
         if self.health is not None and self._spec_context is not None:
             t = self._mitigated_barrier(times)
+        rec = self.tracer._open
+        if times:
+            # critical rank = first slowest (deterministic tiebreak);
+            # it is charged the whole (possibly mitigated) barrier
+            crit = times.index(max(times))
+            for rank, seconds in enumerate(times):
+                if seconds:
+                    self.kernel_metered_by_rank[rank] = (
+                        self.kernel_metered_by_rank.get(rank, 0.0) + seconds
+                    )
+            self.kernel_charged_by_rank[crit] = (
+                self.kernel_charged_by_rank.get(crit, 0.0) + t
+            )
+            tier_name = self.tier.name
+            self.kernel_charged_by_tier[tier_name] = (
+                self.kernel_charged_by_tier.get(tier_name, 0.0) + t
+            )
+            phase = rec.name if rec is not None else ""
+            self.kernel_charged_by_phase[phase] = (
+                self.kernel_charged_by_phase.get(phase, 0.0) + t
+            )
+            self.kernel_barriers += 1
         if self.obs.enabled:
             start = self.tracer.now()
-            rec = self.tracer._open
             step = rec.step if rec is not None else None
             for rank, seconds in enumerate(times):
                 self.obs.registry.observe(
@@ -187,7 +218,10 @@ class Cluster:
                     start,
                     step=step,
                     rank=rank,
-                    attrs={"modeled_seconds": seconds},
+                    attrs={
+                        "modeled_seconds": seconds,
+                        "tier": self.tier.name,
+                    },
                 )
         self.tracer.add_compute(t)
         return t
@@ -559,6 +593,9 @@ class Cluster:
         if not self.obs.enabled:
             return
         self.refresh_metrics()
+        self.obs.sample_counters(
+            series.COUNTER_TRACK_SERIES, self.tracer.now(), step=step
+        )
         self.obs.sample_probes(self, step)
 
     def refresh_metrics(self) -> None:

@@ -55,6 +55,9 @@ class Tracer:
         self.wall_seconds = 0.0
         self.total_messages = 0
         self.total_words = 0
+        #: modeled seconds charged outside any open phase (convergence
+        #: votes between RC steps etc.) — the profiler's coverage gap
+        self.unattributed_seconds = 0.0
         self._open: Optional[PhaseRecord] = None
         self._open_wall_start = 0.0
         #: observability hub phase spans are emitted to (disabled default)
@@ -98,12 +101,14 @@ class Tracer:
         """
         if self._open is None:
             self.modeled_seconds += seconds
+            self.unattributed_seconds += seconds
         else:
             self._open.modeled_compute += seconds
 
     def add_comm(self, seconds: float, messages: int = 0, words: int = 0) -> None:
         if self._open is None:
             self.modeled_seconds += seconds
+            self.unattributed_seconds += seconds
             self.total_messages += messages
             self.total_words += words
         else:

@@ -17,7 +17,7 @@ serve runs pin byte-for-byte across repeats and backends.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..core.engine import AnytimeAnywhereCloseness, RunResult
 from ..core.strategies import (
@@ -37,7 +37,8 @@ from ..graph.changes import (
     VertexAddition,
     VertexDeletion,
 )
-from ..obs.registry import SignalView
+from ..obs.registry import DELTA_HIT_RATE, HEALTH_STATE, SLO_VIOLATIONS, SignalView
+from ..obs.slo import SLOAlert, SLOEvaluator, SLOSample, SLOSpec
 from .admission import AdmissionPolicy, HybridAdmission, PendingChange
 
 __all__ = ["ServeTick", "ServeSummary", "UpdateService", "batch_to_events"]
@@ -157,6 +158,14 @@ class UpdateService:
         Default ``"auto"`` (signal-driven policy selection).
     summary_interval:
         Emit a :class:`ServeSummary` every this many ticks (0 = never).
+    slo:
+        Serving objectives: a sequence of
+        :class:`~repro.obs.slo.SLOSpec` (or a prebuilt
+        :class:`~repro.obs.slo.SLOEvaluator`) judged deterministically
+        at every tick.  State transitions accumulate in
+        :attr:`slo_alerts` and flow through the engine's observability
+        hub as ``alert`` trace events.  Evaluation is read-only — serve
+        results stay bitwise-identical with SLOs on or off.
     """
 
     def __init__(
@@ -166,6 +175,7 @@ class UpdateService:
         admission: Optional[AdmissionPolicy] = None,
         strategy: Union[str, DynamicStrategy] = "auto",
         summary_interval: int = 0,
+        slo: Union[Sequence[SLOSpec], SLOEvaluator, None] = None,
     ) -> None:
         if summary_interval < 0:
             raise ConfigurationError("summary_interval must be >= 0")
@@ -199,6 +209,12 @@ class UpdateService:
         self.batches_formed = 0
         self.rc_steps_total = 0
         self._strategy_counts: Dict[str, int] = {}
+        if slo is None or isinstance(slo, SLOEvaluator):
+            self.slo: Optional[SLOEvaluator] = slo
+        else:
+            self.slo = SLOEvaluator(slo) if slo else None
+        #: every SLO state transition so far, in emission order
+        self.slo_alerts: List[SLOAlert] = []
 
     # ------------------------------------------------------------------
     # feeding
@@ -256,6 +272,7 @@ class UpdateService:
             if admitted
             else None
         )
+        clock_before = self.engine.modeled_seconds
         decisions_before = len(self.policy_decisions)
         if batch is not None:
             stream = ChangeStream({self.engine.next_step: batch})
@@ -294,10 +311,55 @@ class UpdateService:
         )
         self.ticks.append(record)
         self.rc_steps_total += result.rc_steps
+        if self.slo is not None:
+            self._evaluate_slo(record, result, clock_before)
         self.tick += 1
         if self.summary_interval and self.tick % self.summary_interval == 0:
             self.summaries.append(self.summarize(result))
         return record
+
+    def _evaluate_slo(
+        self, record: ServeTick, result: RunResult, clock_before: float
+    ) -> None:
+        """Judge one tick against the loaded SLOs (read-only).
+
+        Degraded ticks are first-class inputs — they burn the
+        degraded-tick budget instead of crashing the evaluator — and
+        every extracted signal is a modeled quantity, so the alert
+        stream pins byte-for-byte across repeats and backends.
+        """
+        evaluator = self.slo
+        assert evaluator is not None
+        signals = self.engine.signals()
+        probe = signals.sample()
+        health = signals.per_rank(HEALTH_STATE)
+        hit_rate = signals.get(DELTA_HIT_RATE, default=-1.0)
+        sample = SLOSample(
+            tick=record.tick,
+            t=result.modeled_seconds,
+            tick_seconds=result.modeled_seconds - clock_before,
+            residual_max=probe.get("residual_max"),
+            delta_hit_rate=None if hit_rate < 0.0 else hit_rate,
+            degraded=result.degraded,
+            rank_health_max=max(health.values()) if health else None,
+        )
+        alerts = evaluator.observe(sample)
+        if not alerts:
+            return
+        self.slo_alerts.extend(alerts)
+        hub = self.engine.obs
+        if hub.enabled:
+            for alert in alerts:
+                hub.emit(
+                    "alert",
+                    "slo",
+                    alert.slo,
+                    alert.t,
+                    step=alert.tick,
+                    attrs=alert.attrs(),
+                )
+                if alert.state == "firing":
+                    hub.registry.inc(SLO_VIOLATIONS, slo=alert.slo)
 
     def summarize(self, result: RunResult) -> ServeSummary:
         """Digest ``result`` + loop counters into a :class:`ServeSummary`."""

@@ -18,7 +18,7 @@ session, run to convergence, close.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Iterable, Optional, Sequence, Union
 
 from ..core.config import AnytimeConfig
 from ..core.engine import AnytimeAnywhereCloseness, RunResult
@@ -26,6 +26,7 @@ from ..core.strategies import DynamicStrategy
 from ..graph.changes import ChangeBatch, ChangeEvent
 from ..graph.graph import Graph
 from ..obs.registry import SignalView
+from ..obs.slo import SLOEvaluator, SLOSpec
 from .admission import AdmissionPolicy
 from .service import ServeTick, UpdateService
 
@@ -49,11 +50,13 @@ class Session:
         admission: Optional[AdmissionPolicy] = None,
         strategy: Union[str, DynamicStrategy] = "auto",
         summary_interval: int = 0,
+        slo: Union[Sequence[SLOSpec], SLOEvaluator, None] = None,
     ) -> None:
         self.engine = AnytimeAnywhereCloseness(graph, config)
         self._admission = admission
         self._strategy = strategy
         self._summary_interval = summary_interval
+        self._slo = slo
         self._service: Optional[UpdateService] = None
 
     # ------------------------------------------------------------------
@@ -85,6 +88,7 @@ class Session:
                 admission=self._admission,
                 strategy=self._strategy,
                 summary_interval=self._summary_interval,
+                slo=self._slo,
             )
         return self._service
 
@@ -133,6 +137,7 @@ def session(
     admission: Optional[AdmissionPolicy] = None,
     strategy: Union[str, DynamicStrategy] = "auto",
     summary_interval: int = 0,
+    slo: Union[Sequence[SLOSpec], SLOEvaluator, None] = None,
 ) -> Session:
     """Open a :class:`Session` over ``graph`` (the primary entry point)."""
     return Session(
@@ -141,4 +146,5 @@ def session(
         admission=admission,
         strategy=strategy,
         summary_interval=summary_interval,
+        slo=slo,
     )

@@ -1,0 +1,138 @@
+"""Unit tests for the benchmark regression ledger (`repro.obs.history`)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.history import (
+    BenchRecord,
+    append_records,
+    diff_records,
+    latest_by_key,
+    load_records,
+    records_from_report,
+    records_from_rows,
+    render_diff,
+)
+
+REPORT = {
+    "bench": "demo",
+    "pass": True,
+    "failures": [],
+    "smoke": True,
+    "n_vertices": 500,
+    "points": [
+        {"backend": "serial", "modeled_seconds": 1.25,
+         "wall_seconds": 9.5, "bitwise_identical": True},
+        {"backend": "process", "modeled_seconds": 1.25,
+         "wall_seconds": 7.5, "bitwise_identical": True},
+    ],
+}
+
+
+def rec(metric="modeled_seconds", value=1.0, case="c", **kwargs):
+    return BenchRecord(
+        bench="demo", case=case, metric=metric, value=value, **kwargs
+    )
+
+
+class TestNormalization:
+    def test_report_flattens_to_records(self):
+        records = records_from_report(REPORT)
+        keys = {(r.case, r.metric) for r in records}
+        assert ("", "n_vertices") in keys
+        assert ("points[serial]", "modeled_seconds") in keys
+        assert ("points[process]", "wall_seconds") in keys
+        # booleans and bookkeeping keys never become measurements
+        metrics = {r.metric for r in records}
+        assert "bitwise_identical" not in metrics
+        assert "pass" not in metrics and "smoke" not in metrics
+
+    def test_smoke_flag_becomes_scale_context(self):
+        smoke = records_from_report(REPORT)
+        assert all(r.context["scale"] == "smoke" for r in smoke)
+        full = records_from_report({**REPORT, "smoke": False})
+        assert all(r.context["scale"] == "full" for r in full)
+        # same metric at the two scales never shares a ledger identity
+        assert smoke[0].key != full[0].key
+
+    def test_unit_heuristic(self):
+        records = {r.metric: r for r in records_from_report(REPORT)}
+        assert records_from_report(REPORT)[0].schema_version == 1
+        assert records["n_vertices"].unit == "count"
+        by_case = {
+            (r.case, r.metric): r for r in records_from_report(REPORT)
+        }
+        assert by_case[("points[serial]", "modeled_seconds")].unit == (
+            "seconds"
+        )
+
+    def test_rows_normalize_with_string_labels_as_case(self):
+        rows = [
+            {"strategy": "cutedge", "modeled_seconds": 2.0, "ok": True},
+            {"strategy": "vertex", "modeled_seconds": 3.0, "ok": False},
+        ]
+        records = records_from_rows("fig", rows)
+        assert {r.case for r in records} == {
+            "strategy=cutedge", "strategy=vertex",
+        }
+        assert all(r.metric == "modeled_seconds" for r in records)
+
+
+class TestLedgerIO:
+    def test_roundtrip_and_last_wins(self, tmp_path):
+        path = tmp_path / "demo.jsonl"
+        append_records(path, [rec(value=1.0)])
+        append_records(path, [rec(value=2.0), rec(metric="other", value=5)])
+        loaded = load_records(path)
+        assert len(loaded) == 3
+        latest = latest_by_key(loaded)
+        assert latest[rec().key].value == 2.0  # append-only: last wins
+
+    def test_created_stamp_is_annotation_only(self, tmp_path):
+        stamped = rec(created="2026-08-08T00:00:00Z")
+        bare = rec()
+        assert stamped.key == bare.key
+        line = json.loads(stamped.to_json())
+        assert line["created"] == "2026-08-08T00:00:00Z"
+        assert "created" not in json.loads(bare.to_json())
+
+
+class TestDiff:
+    def test_gated_increase_regresses(self):
+        base = [rec(value=1.0), rec(metric="wall_seconds", value=1.0)]
+        cur = [rec(value=1.10), rec(metric="wall_seconds", value=9.0)]
+        diff = diff_records(base, cur, threshold=0.05)
+        assert not diff.ok
+        (bad,) = diff.regressions
+        assert bad.metric == "modeled_seconds"
+        assert bad.delta == 0.10000000000000009 or abs(bad.delta - 0.1) < 1e-9
+        # wall metrics never gate, however much they move
+        wall = next(r for r in diff.rows if r.metric == "wall_seconds")
+        assert not wall.gated and not wall.regressed
+
+    def test_within_threshold_and_improvements_pass(self):
+        base = [rec(value=1.0)]
+        assert diff_records(base, [rec(value=1.04)]).ok
+        assert diff_records(base, [rec(value=0.5)]).ok
+
+    def test_missing_and_added_are_informational(self):
+        base = [rec(case="a"), rec(case="b")]
+        cur = [rec(case="a"), rec(case="new")]
+        diff = diff_records(base, cur)
+        assert diff.ok
+        assert [k[1] for k in diff.missing] == ["b"]
+        assert [k[1] for k in diff.added] == ["new"]
+
+    def test_zero_baseline_increase_is_infinite_regression(self):
+        diff = diff_records([rec(value=0.0)], [rec(value=0.5)])
+        assert not diff.ok
+        assert diff.regressions[0].delta == float("inf")
+        assert diff_records([rec(value=0.0)], [rec(value=0.0)]).ok
+
+    def test_render_mentions_verdict(self):
+        base, cur = [rec(value=1.0)], [rec(value=2.0)]
+        text = render_diff(diff_records(base, cur))
+        assert "REGRESSED" in text and "FAIL" in text
+        ok_text = render_diff(diff_records(base, base))
+        assert "OK: no gated regressions" in ok_text

@@ -65,4 +65,57 @@ class TestRender:
 
     def test_render_empty_trace(self):
         text = render_report([])  # degrades, never crashes
+        assert "(empty trace: no events)" in text
         assert "(no phase spans in trace)" in text
+
+
+class TestHardening:
+    """Aborted, truncated, and degenerate traces must still report."""
+
+    def test_aborted_mid_phase_run_truncates_open_spans(self):
+        events = [
+            {"kind": "begin", "level": "run", "name": "run", "t": 0.0},
+            {"kind": "begin", "level": "phase",
+             "name": "domain_decomposition", "t": 0.0},
+            {"kind": "end", "level": "phase",
+             "name": "domain_decomposition", "t": 1.0, "attrs": {}},
+            {"kind": "begin", "level": "superstep", "name": "rc_step",
+             "t": 1.0},
+            # the run dies here: rc_step and run never close
+        ]
+        report = _aggregate(events)
+        assert report.truncated_spans == 2
+        assert report.run["aborted"] is True
+        assert report.run["modeled_seconds"] == 1.0
+        rc = next(p for p in report.phases if p["phase"] == "rc_step")
+        assert rc["truncated"] == 1
+        text = render_report(events)
+        assert "never closed" in text and "aborted mid-phase" in text
+
+    def test_zero_superstep_run_renders(self):
+        events = [
+            {"kind": "begin", "level": "run", "name": "run", "t": 0.0},
+            {"kind": "end", "level": "run", "name": "run", "t": 0.0,
+             "attrs": {"rc_steps": 0, "converged": True}},
+        ]
+        text = render_report(events)
+        assert "rc_steps=0" in text
+        assert "(no phase spans in trace)" in text
+        assert "(no convergence probe samples in trace)" in text
+
+    def test_alert_events_render_transition_table(self):
+        events = [
+            {"kind": "alert", "level": "slo", "name": "lat", "t": 0.04,
+             "step": 3,
+             "attrs": {"state": "firing", "kind": "tick_latency",
+                       "value": 0.025, "threshold": 0.01}},
+            {"kind": "alert", "level": "slo", "name": "lat", "t": 0.08,
+             "step": 7,
+             "attrs": {"state": "resolved", "kind": "tick_latency",
+                       "value": 0.004, "threshold": 0.01}},
+        ]
+        report = _aggregate(events)
+        assert [row["slo"] for row in report.alerts] == ["lat", "lat"]
+        text = render_report(events)
+        assert "slo alerts (state transitions):" in text
+        assert "(1 firing / 1 resolved)" in text

@@ -1,0 +1,211 @@
+"""Unit tests for the declarative SLO engine (`repro.obs.slo`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.slo import (
+    SLO_KINDS,
+    SLOEvaluator,
+    SLOSample,
+    SLOSpec,
+    load_slo_specs,
+    specs_from_json,
+)
+from repro.obs.slo import _percentile_nearest_rank
+
+
+def sample(tick, tick_seconds=0.001, **kwargs):
+    return SLOSample(
+        tick=tick, t=0.01 * (tick + 1), tick_seconds=tick_seconds, **kwargs
+    )
+
+
+class TestSpecValidation:
+    def test_all_kinds_construct(self):
+        for kind in SLO_KINDS:
+            SLOSpec(name=f"s-{kind}", kind=kind, threshold=0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": "", "kind": "staleness", "threshold": 0.1},
+            {"name": "two words", "kind": "staleness", "threshold": 0.1},
+            {"name": "x", "kind": "not-a-kind", "threshold": 0.1},
+            {"name": "x", "kind": "staleness", "threshold": -1.0},
+            {"name": "x", "kind": "tick_latency", "threshold": 0.0},
+            {"name": "x", "kind": "staleness", "threshold": 0.1, "window": 0},
+            {"name": "x", "kind": "staleness", "threshold": 0.1,
+             "budget_fraction": 1.0},
+            {"name": "x", "kind": "tick_latency", "threshold": 0.1,
+             "percentile": 0.0},
+            {"name": "x", "kind": "tick_latency", "threshold": 0.1,
+             "percentile": 1.5},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SLOSpec(**kwargs)
+
+    def test_describe_mentions_name_and_window(self):
+        spec = SLOSpec(name="lat", kind="tick_latency", threshold=0.5,
+                       window=4, percentile=0.9)
+        text = spec.describe()
+        assert "lat" in text and "p90" in text and "4" in text
+
+    def test_duplicate_names_rejected(self):
+        specs = [
+            SLOSpec(name="a", kind="staleness", threshold=0.1),
+            SLOSpec(name="a", kind="tick_latency", threshold=0.2),
+        ]
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            SLOEvaluator(specs)
+
+
+class TestPercentile:
+    def test_nearest_rank_values(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert _percentile_nearest_rank(values, 0.5) == 5.0
+        assert _percentile_nearest_rank(values, 0.95) == 10.0
+        assert _percentile_nearest_rank(values, 1.0) == 10.0
+        assert _percentile_nearest_rank(values, 0.1) == 1.0
+        assert _percentile_nearest_rank([], 0.5) == 0.0
+
+    def test_order_independent(self):
+        assert _percentile_nearest_rank([3.0, 1.0, 2.0], 0.5) == 2.0
+
+
+class TestTransitions:
+    def test_latency_fires_and_resolves(self):
+        ev = SLOEvaluator([
+            SLOSpec(name="lat", kind="tick_latency", threshold=0.01,
+                    window=4, percentile=0.5)
+        ])
+        # under threshold: no alert
+        assert ev.observe(sample(0, 0.005)) == []
+        # sustained breach: exactly one firing transition
+        alerts = ev.observe(sample(1, 0.02))
+        alerts += ev.observe(sample(2, 0.02))
+        alerts += ev.observe(sample(3, 0.02))
+        firing = [a for a in alerts if a.state == "firing"]
+        assert len(firing) == 1
+        assert firing[0].kind == "tick_latency"
+        assert firing[0].burn_rate > 1.0
+        # recovery: the median falls back under the bound
+        resolved = []
+        for t in range(4, 10):
+            resolved += ev.observe(sample(t, 0.001))
+        assert [a.state for a in resolved] == ["resolved"]
+        assert ev.firing == []
+
+    def test_budget_fires_only_past_budget(self):
+        ev = SLOEvaluator([
+            SLOSpec(name="st", kind="staleness", threshold=0.1,
+                    window=4, budget_fraction=0.5)
+        ])
+        # 1 bad of 2 ticks = 0.5, not above the 0.5 budget
+        assert ev.observe(sample(0, residual_max=0.01)) == []
+        assert ev.observe(sample(1, residual_max=0.5)) == []
+        # 2 bad of 3 > 0.5: fires
+        alerts = ev.observe(sample(2, residual_max=0.9))
+        assert [a.state for a in alerts] == ["firing"]
+        assert alerts[0].burn_rate == pytest.approx((2 / 3) / 0.5)
+
+    def test_no_data_ticks_hold_state(self):
+        ev = SLOEvaluator([
+            SLOSpec(name="st", kind="staleness", threshold=0.1, window=2)
+        ])
+        alerts = ev.observe(sample(0, residual_max=0.5))
+        assert [a.state for a in alerts] == ["firing"]
+        # ticks without a probe sample neither resolve nor re-fire
+        for t in range(1, 5):
+            assert ev.observe(sample(t, residual_max=None)) == []
+        assert ev.firing == ["st"]
+        state = ev.status()[0]
+        assert state["samples"] == 1
+
+    def test_delta_hit_rate_is_a_floor(self):
+        ev = SLOEvaluator([
+            SLOSpec(name="hit", kind="delta_hit_rate", threshold=0.5,
+                    window=2)
+        ])
+        assert ev.observe(sample(0, delta_hit_rate=0.9)) == []
+        alerts = ev.observe(sample(1, delta_hit_rate=0.1))
+        assert [a.state for a in alerts] == ["firing"]
+
+    def test_degraded_ticks_burn_budget_without_crashing(self):
+        ev = SLOEvaluator([
+            SLOSpec(name="degr", kind="degraded_budget", threshold=0,
+                    window=4, budget_fraction=0.25)
+        ])
+        assert ev.observe(sample(0, degraded=False)) == []
+        # one degraded tick of two: 0.5 > 0.25 budget, fires
+        alerts = ev.observe(sample(1, degraded=True))
+        assert [a.state for a in alerts] == ["firing"]
+        assert alerts[0].bad_ticks == 1
+        # healthy ticks age the bad one out of the window: resolves
+        resolved = []
+        for t in range(2, 8):
+            resolved += ev.observe(sample(t, degraded=False))
+        assert [a.state for a in resolved] == ["resolved"]
+
+    def test_rank_health_threshold(self):
+        ev = SLOEvaluator([
+            SLOSpec(name="rank", kind="rank_health", threshold=1,
+                    window=2)
+        ])
+        assert ev.observe(sample(0, rank_health_max=1.0)) == []
+        alerts = ev.observe(sample(1, rank_health_max=2.0))
+        assert [a.state for a in alerts] == ["firing"]
+
+    def test_alert_line_is_canonical(self):
+        ev = SLOEvaluator([
+            SLOSpec(name="lat", kind="tick_latency", threshold=0.01,
+                    window=1, percentile=1.0)
+        ])
+        (alert,) = ev.observe(sample(3, 0.025))
+        assert alert.line() == (
+            "slo=lat state=firing kind=tick_latency tick=3 t=0.040000"
+            " value=0.025 threshold=0.01 burn=2.5 bad=1 window=1"
+        )
+        attrs = alert.attrs()
+        assert attrs["state"] == "firing"
+        assert attrs["value"] == 0.025
+
+
+class TestSpecLoading:
+    def test_object_and_bare_list_forms(self):
+        raw = [{"name": "a", "kind": "staleness", "threshold": 0.1}]
+        assert len(specs_from_json(raw)) == 1
+        assert len(specs_from_json({"slos": raw})) == 1
+
+    def test_unknown_and_missing_fields(self):
+        with pytest.raises(ConfigurationError, match="unknown fields"):
+            specs_from_json([{"name": "a", "kind": "staleness",
+                              "threshold": 0.1, "oops": 1}])
+        with pytest.raises(ConfigurationError, match="missing required"):
+            specs_from_json([{"name": "a", "kind": "staleness"}])
+        with pytest.raises(ConfigurationError, match="JSON array"):
+            specs_from_json({"nope": []})
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "slos.json"
+        path.write_text(json.dumps({"slos": [
+            {"name": "lat", "kind": "tick_latency", "threshold": 0.5},
+        ]}), encoding="utf-8")
+        specs = load_slo_specs(str(path))
+        assert specs[0].name == "lat"
+        assert specs[0].window == 8  # default
+
+    def test_repo_example_spec_file_loads(self):
+        from pathlib import Path
+
+        example = (
+            Path(__file__).resolve().parents[2]
+            / "examples" / "serving_slos.json"
+        )
+        specs = load_slo_specs(str(example))
+        assert {s.kind for s in specs} == set(SLO_KINDS)

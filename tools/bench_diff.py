@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Judge fresh benchmark results against the committed ledger baseline.
+
+Compares the newest record per ``(bench, case, metric)`` from the
+current side — either fresh ``BENCH_*.json`` reports or a second ledger
+directory — against ``benchmarks/history/*.jsonl``.  Metrics whose name
+contains a gated substring (default ``modeled``) are deterministic
+modeled-time figures: an increase beyond ``--threshold`` (default 5%)
+is a real performance regression and fails the diff (exit 1).
+Wall-clock figures are informational and never gate.
+
+Usage::
+
+    python tools/bench_diff.py
+        [--baseline benchmarks/history] [--results-dir benchmarks/results]
+        [--current LEDGER_DIR] [--bench NAME ...]
+        [--threshold 0.05] [--show-all]
+
+Benches present in the baseline but with no current measurement are
+reported as missing, not failed, so partial runs (one bench at a time)
+stay usable.  Requires ``repro`` importable (PYTHONPATH=src).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.history import (  # noqa: E402
+    BenchRecord,
+    diff_records,
+    load_records,
+    records_from_report,
+    render_diff,
+)
+
+__all__ = ["main"]
+
+
+def _load_ledger_dir(path: Path) -> List[BenchRecord]:
+    out: List[BenchRecord] = []
+    for ledger in sorted(path.glob("*.jsonl")):
+        out.extend(load_records(ledger))
+    return out
+
+
+def _load_results_dir(path: Path) -> List[BenchRecord]:
+    out: List[BenchRecord] = []
+    for report_path in sorted(path.glob("BENCH_*.json")):
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        out.extend(records_from_report(report))
+    # pytest figure benches write through the ledger schema directly
+    for ledger in sorted(path.glob("*.ledger.jsonl")):
+        out.extend(load_records(ledger))
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff fresh bench results against the committed"
+                    " benchmarks/history baseline"
+    )
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / "benchmarks" / "history",
+                        help="baseline ledger directory")
+    parser.add_argument("--results-dir", type=Path,
+                        default=REPO_ROOT / "benchmarks" / "results",
+                        help="current side: BENCH_*.json report directory")
+    parser.add_argument("--current", type=Path, default=None,
+                        help="current side: a ledger directory instead"
+                             " of fresh reports")
+    parser.add_argument("--bench", action="append", default=None,
+                        help="restrict the comparison to these benches"
+                             " (repeatable)")
+    parser.add_argument("--threshold", type=float, default=0.05,
+                        help="gated relative increase that fails"
+                             " (default 0.05)")
+    parser.add_argument("--show-all", action="store_true",
+                        help="show every compared metric, not just"
+                             " gated/regressed ones")
+    args = parser.parse_args(argv)
+
+    baseline = _load_ledger_dir(args.baseline)
+    if not baseline:
+        print(f"no baseline ledgers under {args.baseline}", file=sys.stderr)
+        return 2
+    current = (
+        _load_ledger_dir(args.current) if args.current is not None
+        else _load_results_dir(args.results_dir)
+    )
+    if not current:
+        side = args.current if args.current is not None else args.results_dir
+        print(f"no current measurements under {side}", file=sys.stderr)
+        return 2
+    if args.bench:
+        keep = set(args.bench)
+        baseline = [r for r in baseline if r.bench in keep]
+        current = [r for r in current if r.bench in keep]
+    # only judge benches measured on both sides; a partial run must not
+    # flood the report with every other bench's baseline as "missing"
+    measured = {r.bench for r in current}
+    baseline = [r for r in baseline if r.bench in measured]
+    if not baseline:
+        print("no overlapping benches between baseline and current",
+              file=sys.stderr)
+        return 2
+    diff = diff_records(baseline, current, threshold=args.threshold)
+    print(render_diff(diff, show_all=args.show_all), end="")
+    return 0 if diff.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

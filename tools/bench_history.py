@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Append ``BENCH_*.json`` reports to the benchmark regression ledger.
+
+Normalizes every numeric leaf of each report into one
+:class:`repro.obs.history.BenchRecord` line and appends it to
+``benchmarks/history/<bench>.jsonl`` — the append-only, committed
+history that ``tools/bench_diff.py`` judges new runs against.
+
+This is the only place ledger lines gain their ``created`` wall-clock
+stamp: record *identity* (bench/case/metric/value) stays a pure
+function of the report, the stamp is annotation (and ``--no-stamp``
+drops it for byte-reproducible ledger writes, as used by tests).
+
+Usage::
+
+    python tools/bench_history.py [REPORT.json ...]
+        [--results-dir benchmarks/results] [--history-dir benchmarks/history]
+        [--context KEY=VALUE ...] [--no-stamp]
+
+With no explicit reports, every ``BENCH_*.json`` under the results
+directory is ingested.  Requires ``repro`` importable (PYTHONPATH=src).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.history import append_records, records_from_report  # noqa: E402
+
+__all__ = ["main"]
+
+
+def _parse_context(specs: Sequence[str]) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for spec in specs:
+        if "=" not in spec:
+            raise SystemExit(f"--context expects KEY=VALUE (got {spec!r})")
+        key, value = spec.split("=", 1)
+        out[key] = value
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="append BENCH_*.json reports to benchmarks/history/"
+    )
+    parser.add_argument("reports", nargs="*", type=Path,
+                        help="report files (default: scan --results-dir)")
+    parser.add_argument("--results-dir", type=Path,
+                        default=REPO_ROOT / "benchmarks" / "results")
+    parser.add_argument("--history-dir", type=Path,
+                        default=REPO_ROOT / "benchmarks" / "history")
+    parser.add_argument("--context", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="context label stamped on every record"
+                             " (repeatable)")
+    parser.add_argument("--no-stamp", action="store_true",
+                        help="omit the created timestamp (byte-"
+                             "reproducible ledger lines)")
+    args = parser.parse_args(argv)
+
+    reports: List[Path] = list(args.reports) or sorted(
+        args.results_dir.glob("BENCH_*.json")
+    )
+    if not reports:
+        print(f"no BENCH_*.json reports under {args.results_dir}",
+              file=sys.stderr)
+        return 1
+    context = _parse_context(args.context)
+    created = (
+        None if args.no_stamp
+        else datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    )
+    total = 0
+    for path in reports:
+        report = json.loads(path.read_text(encoding="utf-8"))
+        records = records_from_report(
+            report, context=context, created=created
+        )
+        if not records:
+            print(f"{path}: no numeric metrics, skipped")
+            continue
+        bench = records[0].bench
+        ledger = args.history_dir / f"{bench}.jsonl"
+        count = append_records(ledger, records)
+        total += count
+        print(f"{path} -> {ledger}: {count} record(s) appended")
+    print(f"{total} record(s) appended across {len(reports)} report(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

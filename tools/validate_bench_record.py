@@ -1,0 +1,47 @@
+"""Validate a benchmark ledger file against the checked-in schema.
+
+Thin front-end over :mod:`validate_trace`'s dependency-free JSON-Schema
+subset, defaulting to ``tools/schemas/bench_record.schema.json`` — the
+contract for ``benchmarks/history/*.jsonl`` ledgers written by
+``tools/bench_history.py`` via :mod:`repro.obs.history`.
+
+Usage (CI and tests)::
+
+    python tools/validate_bench_record.py LEDGER.jsonl [SCHEMA.json]
+
+Exit status 0 when every line validates, 1 otherwise (errors on stderr).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Optional, Sequence, Tuple
+
+from validate_trace import validate_trace_file
+
+__all__ = ["main"]
+
+DEFAULT_SCHEMA = Path(__file__).parent / "schemas" / "bench_record.schema.json"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args: Tuple[str, ...] = tuple(sys.argv[1:] if argv is None else argv)
+    if not 1 <= len(args) <= 2:
+        print(
+            "usage: validate_bench_record.py LEDGER.jsonl [SCHEMA.json]",
+            file=sys.stderr,
+        )
+        return 2
+    ledger = Path(args[0])
+    schema = Path(args[1]) if len(args) == 2 else DEFAULT_SCHEMA
+    errors = validate_trace_file(ledger, schema)
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        print(f"{ledger}: OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Validate an SLO spec file against the checked-in JSON Schema.
+
+Front-end over :mod:`validate_trace`'s dependency-free JSON-Schema
+subset.  Unlike the trace validators this checks one whole JSON
+document (the spec file is not JSONL), then cross-checks the semantic
+constraints the schema subset cannot express (unique names, range
+bounds) by actually constructing the specs through
+``repro.obs.slo.specs_from_json`` when ``repro`` is importable.
+
+Usage (CI and tests)::
+
+    python tools/validate_slo_spec.py SPECS.json [SCHEMA.json]
+
+Exit status 0 when the file validates, 1 otherwise (errors on stderr).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from validate_trace import validate
+
+__all__ = ["validate_slo_spec_file", "main"]
+
+DEFAULT_SCHEMA = Path(__file__).parent / "schemas" / "slo_spec.schema.json"
+
+
+def validate_slo_spec_file(
+    spec_path: Path, schema_path: Optional[Path] = None
+) -> List[str]:
+    """All violations in one SLO spec file (empty list = valid)."""
+    schema = json.loads(
+        (schema_path or DEFAULT_SCHEMA).read_text(encoding="utf-8")
+    )
+    try:
+        data = json.loads(spec_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        return [f"invalid JSON ({exc})"]
+    errors = list(validate(data, schema))
+    if errors:
+        return errors
+    # semantic pass: the library loader enforces what the schema
+    # subset cannot (unique names, budget_fraction < 1, ...)
+    try:
+        from repro.obs.slo import specs_from_json
+    except ImportError:
+        return errors
+    try:
+        specs_from_json(data)
+    except Exception as exc:
+        errors.append(f"semantic: {exc}")
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args: Tuple[str, ...] = tuple(sys.argv[1:] if argv is None else argv)
+    if not 1 <= len(args) <= 2:
+        print(
+            "usage: validate_slo_spec.py SPECS.json [SCHEMA.json]",
+            file=sys.stderr,
+        )
+        return 2
+    spec = Path(args[0])
+    schema = Path(args[1]) if len(args) == 2 else None
+    errors = validate_slo_spec_file(spec, schema)
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        print(f"{spec}: OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
